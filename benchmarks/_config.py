@@ -1,0 +1,76 @@
+"""Shared benchmark configuration (scales, grids, specs).
+
+Every table and figure of the paper's evaluation has one file here; each
+prints the same rows/series the paper reports (scaled sizes — see
+DESIGN.md §3 and EXPERIMENTS.md) and registers one pytest-benchmark
+measurement for the end-to-end experiment.
+
+Scale can be lowered for smoke runs:  REPRO_BENCH_SCALE=tiny pytest benchmarks/
+"""
+
+from __future__ import annotations
+
+import os
+
+
+from repro.experiments.config import ExperimentConfig
+
+_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+#: Base configuration for figure sweeps (paper: M=3718, N=25,000 — the
+#: N/M proportion and all knobs are preserved at reduced size).
+BENCH_BASE: ExperimentConfig = {
+    "tiny": ExperimentConfig(
+        n_servers=16, n_objects=64, total_requests=8_000, seed=2007, name="bench"
+    ),
+    "small": ExperimentConfig(
+        n_servers=40, n_objects=160, total_requests=30_000, seed=2007, name="bench"
+    ),
+    "medium": ExperimentConfig(
+        n_servers=80, n_objects=400, total_requests=120_000, seed=2007, name="bench"
+    ),
+}[_SCALE]
+
+#: Scaled Table 1 grid — 3x3 (M, N) sizes, proportions as in the paper.
+TABLE1_BENCH_GRID: tuple[tuple[int, int], ...] = {
+    "tiny": ((12, 40), (12, 60), (16, 40), (16, 60)),
+    "small": (
+        (30, 150), (30, 200), (30, 250),
+        (40, 150), (40, 200), (40, 250),
+        (50, 150), (50, 200), (50, 250),
+    ),
+    "medium": (
+        (60, 300), (60, 400), (60, 500),
+        (80, 300), (80, 400), (80, 500),
+        (100, 300), (100, 400), (100, 500),
+    ),
+}[_SCALE]
+
+#: Scaled Table 2 instance specs (M, N, C%, R/W), rows as in the paper.
+TABLE2_BENCH_SPECS: tuple[tuple[int, int, float, float], ...] = {
+    "tiny": ((10, 40, 0.2, 0.75), (14, 56, 0.3, 0.9)),
+    "small": (
+        (16, 70, 0.20, 0.75),
+        (20, 90, 0.20, 0.80),
+        (24, 110, 0.25, 0.95),
+        (28, 130, 0.35, 0.95),
+        (32, 160, 0.25, 0.75),
+        (36, 190, 0.30, 0.65),
+        (38, 190, 0.25, 0.85),
+        (40, 220, 0.25, 0.65),
+        (44, 250, 0.35, 0.50),
+        (46, 250, 0.10, 0.40),
+    ),
+    "medium": (
+        (30, 140, 0.20, 0.75),
+        (40, 180, 0.20, 0.80),
+        (50, 220, 0.25, 0.95),
+        (60, 280, 0.35, 0.95),
+        (70, 380, 0.25, 0.75),
+        (80, 480, 0.30, 0.65),
+        (85, 480, 0.25, 0.85),
+        (90, 580, 0.25, 0.65),
+        (95, 650, 0.35, 0.50),
+        (100, 650, 0.10, 0.40),
+    ),
+}[_SCALE]

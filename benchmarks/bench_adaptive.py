@@ -1,0 +1,82 @@
+"""Extension: adaptive re-replication under demand drift.
+
+The paper frames AGT-RAM as "a protocol for automatic replication and
+migration of objects in response to demand changes."  Measured over
+drifting Zipf popularity: freezing the epoch-0 scheme decays; the
+adaptive evict-then-reallocate protocol tracks the rebuild-from-scratch
+quality ceiling at a fraction of its migration volume.
+"""
+
+from _config import BENCH_BASE
+from repro.core.adaptive import AdaptiveReplicator
+from repro.experiments.instances import paper_instance
+from repro.utils.tables import render_table
+from repro.workload.drift import drifting_workloads
+
+N_EPOCHS = 5
+
+
+def run_policies():
+    template = paper_instance(
+        BENCH_BASE.with_(rw_ratio=0.95, capacity_fraction=0.4, name="adaptive")
+    )
+    epochs = drifting_workloads(
+        template.n_servers,
+        template.n_objects,
+        N_EPOCHS,
+        total_requests=BENCH_BASE.total_requests,
+        rw_ratio=0.95,
+        drift_fraction=0.3,
+        seed=BENCH_BASE.seed,
+    )
+    return {
+        policy: AdaptiveReplicator(policy=policy).run(template, epochs)
+        for policy in ("static", "adaptive", "rebuild")
+    }
+
+
+def test_adaptive_replication(benchmark, report):
+    outcomes = benchmark.pedantic(run_policies, rounds=1, iterations=1)
+    rows = []
+    for policy, out in outcomes.items():
+        rows.append(
+            [
+                policy,
+                out[0].savings_percent,
+                out[-1].savings_percent,
+                sum(o.evictions for o in out),
+                sum(o.migration_volume for o in out[1:]),
+            ]
+        )
+    report(
+        render_table(
+            [
+                "policy",
+                "epoch-0 savings (%)",
+                "final-epoch savings (%)",
+                "evictions",
+                "migration volume (epochs 1+)",
+            ],
+            rows,
+            title=f"Adaptive re-replication over {N_EPOCHS} drifting epochs",
+        )
+    )
+
+    static, adaptive, rebuild = (
+        outcomes["static"],
+        outcomes["adaptive"],
+        outcomes["rebuild"],
+    )
+    # Drift erodes the frozen scheme; adaptation recovers most of it.
+    # (The recovery ratio vs rebuild shrinks at tiny scales where one
+    # drift step reshuffles most of the catalog — keep the bound loose
+    # enough to be scale-robust.)
+    assert adaptive[-1].savings_percent > static[-1].savings_percent
+    assert adaptive[-1].savings_percent > 0.6 * rebuild[-1].savings_percent
+    # Adaptation migrates less than rebuilding every epoch.
+    assert sum(o.migration_volume for o in adaptive[1:]) < sum(
+        o.migration_volume for o in rebuild[1:]
+    )
+    benchmark.extra_info["static_decay_pp"] = round(
+        static[0].savings_percent - static[-1].savings_percent, 2
+    )

@@ -1,0 +1,36 @@
+"""Figure 4: OTC savings (%) vs read/write ratio, C = 45%.
+
+Paper shape: savings grow with the read share for every method
+(replication pays when reads dominate); AGT-RAM and Greedy climb
+highest while GRA saturates far lower.
+"""
+
+from _config import BENCH_BASE
+from repro.experiments.figures import figure4_rw_sweep
+from repro.experiments.report import format_series
+
+RATIOS = (0.05, 0.20, 0.35, 0.50, 0.65, 0.80, 0.95)
+
+
+def test_fig4_rw_sweep(benchmark, report):
+    series = benchmark.pedantic(
+        lambda: figure4_rw_sweep(base=BENCH_BASE, ratios=RATIOS, seed=4),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        format_series(
+            series,
+            x_label="R/W ratio",
+            title="Figure 4 — OTC savings (%) vs read/write ratio [C=45%]",
+        )
+    )
+    for alg, pts in series.items():
+        benchmark.extra_info[f"savings_at_rw95[{alg}]"] = round(pts[-1][1], 2)
+
+    # Shape assertions.
+    for alg in ("AGT-RAM", "Greedy", "DA", "EA"):
+        pts = dict(series[alg])
+        assert pts[0.95] > pts[0.35], alg  # read-heavy saves more
+    agt, gra = dict(series["AGT-RAM"]), dict(series["GRA"])
+    assert agt[0.95] > gra[0.95]  # the paper's headline gap

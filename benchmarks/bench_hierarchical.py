@@ -1,0 +1,78 @@
+"""Extension (paper §7): hierarchical/regional mechanisms.
+
+"This would enable the system to be less vulnerable to the failures of
+a single mechanism" — measured: the sequential two-level game exactly
+reproduces the flat mechanism; the concurrent regional game converges
+in far fewer global rounds for a small quality cost; and killing one
+regional body degrades savings gracefully where the flat design would
+lose everything.
+"""
+
+from _config import BENCH_BASE
+from repro.core.agt_ram import run_agt_ram
+from repro.core.hierarchical import HierarchicalAGTRam
+from repro.experiments.instances import paper_instance
+from repro.utils.tables import render_table
+
+N_REGIONS = 5
+
+
+def run_all():
+    instance = paper_instance(
+        BENCH_BASE.with_(rw_ratio=0.95, capacity_fraction=0.45, name="hier")
+    )
+    flat = run_agt_ram(instance)
+    seq = HierarchicalAGTRam(n_regions=N_REGIONS, mode="sequential", seed=1).run(
+        instance
+    )
+    con = HierarchicalAGTRam(n_regions=N_REGIONS, mode="concurrent", seed=1).run(
+        instance
+    )
+    coop = HierarchicalAGTRam(
+        n_regions=N_REGIONS, mode="concurrent", regional_game="cooperative", seed=1
+    ).run(instance)
+    one_down = HierarchicalAGTRam(
+        n_regions=N_REGIONS, mode="concurrent", seed=1, failed_regions=[0]
+    ).run(instance)
+    return {
+        "flat": flat,
+        "sequential": seq,
+        "concurrent": con,
+        "concurrent+cooperative": coop,
+        "1-region-down": one_down,
+    }
+
+
+def test_hierarchical_extension(benchmark, report):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        [name, res.savings_percent, res.rounds, res.replicas_allocated]
+        for name, res in results.items()
+    ]
+    report(
+        render_table(
+            ["variant", "savings (%)", "global rounds", "replicas"],
+            rows,
+            title=f"Hierarchical mechanism ({N_REGIONS} regions) vs flat "
+            "[R/W=0.95, C=45%]",
+        )
+    )
+    flat, seq, con, down = (
+        results["flat"],
+        results["sequential"],
+        results["concurrent"],
+        results["1-region-down"],
+    )
+    import numpy as np
+
+    # Sequential two-level game is allocation-identical to flat.
+    assert np.array_equal(seq.state.x, flat.state.x)
+    # Concurrent autonomy: ~n_regions x fewer global rounds...
+    assert con.rounds < flat.rounds * 0.6
+    # ...at a bounded quality cost.
+    assert con.savings_percent > 0.85 * flat.savings_percent
+    # Failure resilience: one dead region still leaves most of the value.
+    assert down.savings_percent > 0.6 * flat.savings_percent
+    benchmark.extra_info["concurrent_round_reduction"] = round(
+        1 - con.rounds / flat.rounds, 3
+    )

@@ -1,0 +1,60 @@
+"""Protocol-level scalability of the semi-distributed design.
+
+Measures what the paper argues qualitatively: the central body's load
+(one binary decision per round) and the protocol byte volume grow
+gently with system size, while the heavy valuation work stays on the
+servers and parallelizes (PARFOR speedup ~ M).
+"""
+
+from _config import BENCH_BASE
+from repro.experiments.instances import paper_instance
+from repro.runtime.simulator import SemiDistributedSimulator
+from repro.utils.tables import render_table
+
+SIZES = (10, 20, 40)
+
+
+def run_scaling():
+    out = []
+    for m in SIZES:
+        cfg = BENCH_BASE.with_(
+            n_servers=m,
+            n_objects=4 * m,
+            total_requests=400 * m,
+            rw_ratio=0.9,
+            capacity_fraction=0.35,
+            name=f"protocol-{m}",
+        )
+        inst = paper_instance(cfg)
+        res = SemiDistributedSimulator().run(inst)
+        metrics = res.extra["metrics"]
+        out.append(
+            {
+                "m": m,
+                "rounds": metrics.rounds,
+                "messages": metrics.log.total_messages(),
+                "kbytes": metrics.log.bytes_total / 1024.0,
+                "speedup": metrics.parallel_speedup,
+            }
+        )
+    return out
+
+
+def test_protocol_overhead_scaling(benchmark, report):
+    data = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    rows = [
+        [d["m"], d["rounds"], d["messages"], d["kbytes"], d["speedup"]]
+        for d in data
+    ]
+    report(
+        render_table(
+            ["servers M", "rounds", "messages", "protocol kB", "PARFOR speedup"],
+            rows,
+            title="Semi-distributed protocol overhead vs system size",
+        )
+    )
+    # The PARFOR speedup must grow with the agent population: the heavy
+    # work is on the servers, which is the semi-distributed claim.
+    speedups = [d["speedup"] for d in data]
+    assert speedups[-1] > speedups[0]
+    assert speedups[-1] > SIZES[-1] / 4  # meaningful fraction of M

@@ -1,0 +1,61 @@
+"""Multi-draw replication of the headline comparison.
+
+The paper evaluated every setup thirteen times (one per Friday log) and
+reported averages.  This bench replicates the headline regime across
+independent instance draws and reports mean ± std — confirming the
+orderings are not one-seed artifacts.
+"""
+
+from _config import BENCH_BASE
+from repro.experiments.replication import replicate_comparison
+from repro.utils.tables import render_table
+
+N_REPS = 5
+ALGS = ("Greedy", "AGT-RAM", "DA", "EA", "GRA")
+
+
+def test_replicated_headline_comparison(benchmark, report):
+    rc = benchmark.pedantic(
+        lambda: replicate_comparison(
+            BENCH_BASE.with_(
+                n_servers=24,
+                n_objects=100,
+                total_requests=15_000,
+                rw_ratio=0.95,
+                capacity_fraction=0.45,
+                name="replicated",
+            ),
+            n_replications=N_REPS,
+            algorithms=ALGS,
+            placer_kwargs={"GRA": {"population_size": 10, "generations": 10}},
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            alg,
+            s.savings_mean,
+            s.savings_std,
+            s.runtime_mean * 1e3,
+            s.replicas_mean,
+        ]
+        for alg, s in rc.summaries.items()
+    ]
+    report(
+        render_table(
+            ["method", "savings mean (%)", "std", "runtime mean (ms)", "replicas"],
+            rows,
+            title=f"Headline comparison over {N_REPS} independent draws "
+            "[R/W=0.95, C=45%]",
+        )
+    )
+
+    means = rc.mean_savings()
+    # The orderings reported in Tables 1-2 hold on averages too.
+    assert means["AGT-RAM"] > means["GRA"]
+    assert means["AGT-RAM"] >= means["EA"] - 0.5
+    assert means["Greedy"] >= means["AGT-RAM"] - 1e-9
+    times = rc.mean_runtimes()
+    assert times["AGT-RAM"] < times["Greedy"]
+    assert times["AGT-RAM"] < times["GRA"]

@@ -1,0 +1,45 @@
+"""Table 1: running time (s) of the placement methods over a size grid.
+
+Paper shape (C=45%, R/W=0.85): AGT-RAM terminates fastest, then Greedy,
+with the auctions next and Aε-Star / GRA slowest; the "Improvement
+brought by AGT-RAM (%)" column is computed against the best competitor.
+"""
+
+import statistics
+
+from _config import BENCH_BASE, TABLE1_BENCH_GRID
+from repro.experiments.report import format_table_rows
+from repro.experiments.tables import table1_running_time
+
+
+def test_table1_running_time(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: table1_running_time(BENCH_BASE, grid=TABLE1_BENCH_GRID, seed=6),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        format_table_rows(
+            rows,
+            metric_label=(
+                "Table 1 — running time (s) [C=45%, R/W=0.85]; improvement "
+                "= (Greedy - AGT-RAM) / Greedy x 100"
+            ),
+        )
+    )
+    median_improvement = statistics.median(r.improvement_percent for r in rows)
+    benchmark.extra_info["median_improvement_pct"] = round(median_improvement, 2)
+
+    # Shape assertions: AGT-RAM always beats the centralized quality
+    # methods.  (Our in-process DA/EA clocks are cheaper than the paper's
+    # distributed auctions — see EXPERIMENTS.md — so they are excluded
+    # from the ordering assertion.)
+    for r in rows:
+        assert r.values["AGT-RAM"] < r.values["Ae-Star"]
+        assert r.values["AGT-RAM"] < r.values["GRA"]
+        # The AGT-RAM/Greedy gap is asymptotic (O(M+N) vs O(M^2) per
+        # step); below M=20 fixed per-call constants can mask it, so
+        # the strict ordering is only asserted at meaningful sizes.
+        m = int(r.label.split(",")[0].split("=")[1])
+        if m >= 20:
+            assert r.values["AGT-RAM"] < r.values["Greedy"], r.label

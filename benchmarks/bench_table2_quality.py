@@ -1,0 +1,59 @@
+"""Table 2: average OTC savings (%) on randomly-parameterized instances.
+
+Paper shape: AGT-RAM leads with Greedy and Aε-Star in close competition;
+EA and GRA trail.  Our exact-ΔOTC Greedy is stronger than the paper's
+(see EXPERIMENTS.md), so the honest expectation here is AGT-RAM within
+a few percent of Greedy and clearly ahead of EA/GRA.
+"""
+
+import statistics
+
+from _config import BENCH_BASE, TABLE2_BENCH_SPECS
+from repro.experiments.report import format_table_rows
+from repro.experiments.tables import table2_quality
+
+
+def test_table2_quality(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: table2_quality(BENCH_BASE, specs=TABLE2_BENCH_SPECS, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        format_table_rows(
+            rows,
+            metric_label=(
+                "Table 2 — OTC savings (%) on mixed instances; improvement "
+                "= (AGT-RAM - best other) / best other x 100"
+            ),
+        )
+    )
+    benchmark.extra_info["mean_agt_ram_savings"] = round(
+        statistics.mean(r.values["AGT-RAM"] for r in rows), 2
+    )
+
+    # Shape assertions.  The local-CoR methods only shine when reads
+    # dominate (the regime the paper's rows emphasize); on write-heavy
+    # rows every method's savings shrink toward zero (see EXPERIMENTS.md
+    # for why the absolute low-R/W numbers deviate from the paper's).
+    for r in rows:
+        read_heavy = any(
+            f"R/W={v}" in r.label for v in ("0.75", "0.80", "0.85", "0.90", "0.95")
+        )
+        if read_heavy:
+            # AGT-RAM leads the distributed/local-information class.
+            assert r.values["AGT-RAM"] >= r.values["EA"] - 0.5, r.label
+            assert r.values["AGT-RAM"] >= r.values["DA"] - 0.5, r.label
+        if "R/W=0.9" in r.label or "R/W=0.95" in r.label:
+            # GRA's population search competes at small scale and low
+            # read share; its gap is structural only in the paper's
+            # headline read-heavy regime.
+            assert r.values["AGT-RAM"] >= r.values["GRA"] - 1e-9, r.label
+        if "R/W=0.95" in r.label:
+            # In the paper's headline regime it stays within ~25% of the
+            # fully-informed Greedy across scales.
+            best = max(r.values.values())
+            assert r.values["AGT-RAM"] >= 0.75 * best, r.label
+        # No method may ever *worsen* the system (beyond float noise).
+        for alg, v in r.values.items():
+            assert v >= -1e-6, f"{r.label}: {alg}"

@@ -1,0 +1,47 @@
+"""Section 5's robustness text: "further experiments with various update
+ratios (5%, 10%, and 20%) showed similar plot trends".
+
+An update ratio U% is a write fraction (rw_ratio = 1 - U).  The claim to
+preserve: the method ordering is stable across update ratios, with
+absolute savings shrinking as updates grow.
+"""
+
+from _config import BENCH_BASE
+from repro.experiments.report import format_sweep
+from repro.experiments.sweeps import update_ratio_sweep
+
+UPDATE_RATIOS = (0.05, 0.10, 0.20)
+ALGS = ("Greedy", "AGT-RAM", "DA", "EA", "GRA")
+
+
+def test_update_ratio_trends(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: update_ratio_sweep(
+            BENCH_BASE.with_(capacity_fraction=0.45),
+            update_ratios=UPDATE_RATIOS,
+            algorithms=ALGS,
+            seed=8,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        format_sweep(
+            rows,
+            title=(
+                "Update-ratio robustness — OTC savings (%) at U = 5/10/20% "
+                "(shown as R/W = 0.95/0.90/0.80) [C=45%]"
+            ),
+        )
+    )
+
+    by = {
+        (r.sweep_value, r.algorithm): r.savings_percent for r in rows
+    }
+    for alg in ALGS:
+        # Savings shrink monotonically as the update share grows.
+        assert by[(0.95, alg)] >= by[(0.90, alg)] - 1.0, alg
+        assert by[(0.90, alg)] >= by[(0.80, alg)] - 1.0, alg
+    for rw in (0.95, 0.90, 0.80):
+        # Ordering stable: AGT-RAM above GRA at every update ratio.
+        assert by[(rw, "AGT-RAM")] > by[(rw, "GRA")]

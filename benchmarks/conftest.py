@@ -1,0 +1,16 @@
+"""Benchmark fixtures (shared config lives in _config.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def report(capsys):
+    """Print benchmark tables straight to the terminal (tee-able)."""
+
+    def _report(text: str) -> None:
+        with capsys.disabled():
+            print(f"\n{text}")
+
+    return _report

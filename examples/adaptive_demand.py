@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Adaptive replication under shifting demand.
+
+AGT-RAM is "a protocol for automatic replication and migration of
+objects in response to demand changes".  This example drifts the Zipf
+popularity ranking across epochs (yesterday's hot pages cool off) and
+compares three policies: freezing the initial scheme, adapting with
+evict-then-reallocate, and rebuilding from scratch each epoch.
+
+Run:  python examples/adaptive_demand.py
+"""
+
+from repro import AdaptiveReplicator, ExperimentConfig, drifting_workloads, paper_instance
+from repro.utils.ascii_chart import ascii_chart
+from repro.utils.tables import render_table
+from repro.workload.drift import rank_displacement
+
+N_EPOCHS = 8
+
+
+def main() -> None:
+    template = paper_instance(
+        ExperimentConfig(
+            n_servers=30,
+            n_objects=120,
+            total_requests=25_000,
+            rw_ratio=0.95,
+            capacity_fraction=0.4,
+            seed=7,
+            name="adaptive-demo",
+        )
+    )
+    epochs = drifting_workloads(
+        template.n_servers,
+        template.n_objects,
+        N_EPOCHS,
+        total_requests=25_000,
+        rw_ratio=0.95,
+        drift_fraction=0.35,
+        seed=8,
+    )
+    disp = rank_displacement(epochs)
+    print(
+        f"{N_EPOCHS} epochs; mean popularity-rank displacement per epoch: "
+        f"{sum(disp) / len(disp):.1f} positions"
+    )
+
+    outcomes = {
+        policy: AdaptiveReplicator(policy=policy).run(template, epochs)
+        for policy in ("static", "adaptive", "rebuild")
+    }
+
+    series = {
+        policy: [(o.epoch, o.savings_percent) for o in out]
+        for policy, out in outcomes.items()
+    }
+    print()
+    print(ascii_chart(series, y_label="OTC savings (%)", x_label="epoch"))
+
+    rows = []
+    for policy, out in outcomes.items():
+        rows.append(
+            [
+                policy,
+                out[-1].savings_percent,
+                sum(o.evictions for o in out),
+                sum(o.allocations for o in out[1:]),
+                sum(o.migration_volume for o in out[1:]),
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["policy", "final savings (%)", "evictions", "re-allocations",
+             "migration volume"],
+            rows,
+            title="policy comparison after drift",
+        )
+    )
+    print(
+        "\nThe frozen scheme decays as demand moves; the adaptive protocol "
+        "tracks the rebuild ceiling while moving far less data."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Convergence of the mechanism's rounds.
+
+The paper claims "replica allocations were made in a fast algorithmic
+turn-around time" and Figure 3's discussion notes an "immediate initial
+increase" followed by near-constant performance.  This example replays
+an audited AGT-RAM run into its per-round savings curve, compares it
+against Greedy's allocation order, and quantifies front-loading.
+
+Run:  python examples/convergence_study.py
+"""
+
+from repro import ExperimentConfig, GreedyPlacer, paper_instance, run_agt_ram
+from repro.analysis.trajectory import rounds_to_fraction, savings_trajectory
+from repro.drp.cost import primary_only_otc, total_otc
+from repro.drp.state import ReplicationState
+from repro.utils.ascii_chart import ascii_chart
+
+
+def greedy_trajectory(instance, max_steps=None):
+    """Greedy's own per-step savings curve (it is incremental too)."""
+    from repro.drp.global_engine import GlobalBenefitEngine
+    import numpy as np
+
+    baseline = primary_only_otc(instance)
+    state = ReplicationState.primaries_only(instance)
+    engine = GlobalBenefitEngine(instance, state)
+    out = [(0, 0.0)]
+    step = 0
+    while max_steps is None or step < max_steps:
+        i, k, gain = engine.best_cell()
+        if not np.isfinite(gain) or gain <= 0:
+            break
+        state.add_replica(i, k)
+        engine.notify_allocation(i, k)
+        step += 1
+        out.append((step, 100.0 * (baseline - total_otc(state)) / baseline))
+    return out
+
+
+def main() -> None:
+    instance = paper_instance(
+        ExperimentConfig(
+            n_servers=30,
+            n_objects=120,
+            total_requests=25_000,
+            rw_ratio=0.95,
+            capacity_fraction=0.45,
+            seed=23,
+            name="convergence",
+        )
+    )
+    agt = run_agt_ram(instance, record_audit=True)
+    agt_traj = savings_trajectory(instance, agt)
+    greedy_traj = greedy_trajectory(instance)
+
+    print(
+        ascii_chart(
+            {"AGT-RAM": agt_traj, "Greedy": greedy_traj},
+            y_label="OTC savings (%)",
+            x_label="allocation round",
+            height=18,
+        )
+    )
+
+    r50 = rounds_to_fraction(agt_traj, 0.5)
+    r90 = rounds_to_fraction(agt_traj, 0.9)
+    print(
+        f"\nAGT-RAM: {agt.rounds} rounds total; 50% of the final savings "
+        f"after {r50} rounds ({100 * r50 / agt.rounds:.0f}%), 90% after "
+        f"{r90} rounds ({100 * r90 / agt.rounds:.0f}%)."
+    )
+    g = GreedyPlacer().place(instance)
+    print(
+        f"final: AGT-RAM {agt.savings_percent:.1f}% in {agt.runtime_s*1e3:.1f} ms "
+        f"vs Greedy {g.savings_percent:.1f}% in {g.runtime_s*1e3:.1f} ms —\n"
+        "the mechanism's rounds are heavily front-loaded, which is what "
+        "makes early termination (or a round budget) practical."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Regional (hierarchical) AGT-RAM — the paper's Section 7 extension.
+
+Servers are partitioned into proximity regions, each with its own
+regional mechanism; a root body composes them.  The example contrasts:
+
+* sequential composition (provably identical to the flat mechanism),
+* concurrent regional autonomy (fewer global rounds, small quality cost),
+* resilience when a regional body fails (the flat design's single
+  central body is a total single point of failure).
+
+Run:  python examples/hierarchical_regions.py
+"""
+
+import numpy as np
+
+from repro import ExperimentConfig, HierarchicalAGTRam, paper_instance, run_agt_ram
+from repro.utils.tables import render_table
+
+
+def main() -> None:
+    instance = paper_instance(
+        ExperimentConfig(
+            n_servers=40,
+            n_objects=160,
+            total_requests=30_000,
+            rw_ratio=0.95,
+            capacity_fraction=0.45,
+            seed=17,
+            name="regions-demo",
+        )
+    )
+    n_regions = 5
+
+    flat = run_agt_ram(instance)
+    seq = HierarchicalAGTRam(n_regions=n_regions, mode="sequential", seed=2).run(
+        instance
+    )
+    con = HierarchicalAGTRam(n_regions=n_regions, mode="concurrent", seed=2).run(
+        instance
+    )
+
+    rows = [
+        ["flat AGT-RAM", flat.savings_percent, flat.rounds],
+        ["hierarchical (sequential)", seq.savings_percent, seq.rounds],
+        ["hierarchical (concurrent)", con.savings_percent, con.rounds],
+    ]
+    for dead in range(n_regions):
+        res = HierarchicalAGTRam(
+            n_regions=n_regions, mode="concurrent", seed=2, failed_regions=[dead]
+        ).run(instance)
+        rows.append(
+            [f"concurrent, region {dead} down", res.savings_percent, res.rounds]
+        )
+    print(
+        render_table(
+            ["variant", "OTC savings (%)", "global rounds"],
+            rows,
+            title=f"hierarchical mechanism over {n_regions} proximity regions",
+        )
+    )
+
+    assert np.array_equal(seq.state.x, flat.state.x)
+    print(
+        "\nsequential composition allocated the *identical* scheme to the "
+        "flat mechanism (verified), while the concurrent variant used "
+        f"{flat.rounds - con.rounds} fewer global rounds.\n"
+        "Losing any single regional body costs a few points of savings; "
+        "losing the flat design's central body would cost all of them."
+    )
+
+    stats = con.extra["region_stats"]
+    rows = [
+        [s.region, s.servers, s.allocations, s.payments]
+        for s in stats.values()
+    ]
+    print()
+    print(
+        render_table(
+            ["region", "servers", "allocations", "payments"],
+            rows,
+            title="per-region accounting (concurrent mode)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

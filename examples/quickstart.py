@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: build a DRP instance, run AGT-RAM, inspect the outcome.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ExperimentConfig,
+    paper_instance,
+    primary_only_otc,
+    run_agt_ram,
+    verify_axioms,
+)
+
+
+def main() -> None:
+    # 1. Build a problem instance: a 40-server random topology (the
+    #    paper's GT-ITM family) with a Zipf-skewed, read-mostly workload.
+    cfg = ExperimentConfig(
+        n_servers=40,
+        n_objects=200,
+        total_requests=40_000,
+        rw_ratio=0.95,          # 95% reads — the paper's headline regime
+        capacity_fraction=0.30, # each server can hold ~30% of the catalog
+        seed=1,
+    )
+    instance = paper_instance(cfg)
+    print(f"instance: {instance}")
+    print(f"primaries-only OTC: {primary_only_otc(instance):,.0f}")
+
+    # 2. Run the mechanism (with an audit transcript so we can verify
+    #    the six axioms afterwards).
+    result = run_agt_ram(instance, record_audit=True)
+    print(f"\nAGT-RAM finished in {result.rounds} rounds "
+          f"({result.runtime_s * 1e3:.1f} ms)")
+    print(f"replicas allocated: {result.replicas_allocated}")
+    print(f"final OTC:          {result.otc:,.0f}")
+    print(f"OTC savings:        {result.savings_percent:.1f}%")
+    print(f"total payments:     {result.extra['payments'].sum():,.0f}")
+
+    # 3. Verify the six axioms on the recorded run.
+    print("\naxiom verification:")
+    for name, check in verify_axioms(instance, result).items():
+        print(f"  {name:28s} {'PASS' if check.passed else 'FAIL'}  {check.detail}")
+
+
+if __name__ == "__main__":
+    main()

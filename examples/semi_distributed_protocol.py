@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""The semi-distributed protocol, message by message.
+
+The paper's scalability argument: servers do the heavy valuation work
+in parallel, the central body only takes a binary decision per round.
+This example runs the message-granular simulator and reports what a
+deployment engineer would budget — message counts, protocol bytes, the
+per-round critical path, and the ideal PARFOR speedup — and confirms
+the simulated protocol lands on exactly the same replication scheme as
+the vectorized engine.
+
+Run:  python examples/semi_distributed_protocol.py
+"""
+
+import numpy as np
+
+from repro import ExperimentConfig, SemiDistributedSimulator, paper_instance, run_agt_ram
+from repro.utils.tables import render_table
+
+
+def main() -> None:
+    instance = paper_instance(
+        ExperimentConfig(
+            n_servers=25,
+            n_objects=100,
+            total_requests=20_000,
+            rw_ratio=0.9,
+            capacity_fraction=0.35,
+            seed=55,
+        )
+    )
+
+    sim = SemiDistributedSimulator(max_workers=4).run(instance)
+    eng = run_agt_ram(instance)
+    metrics = sim.extra["metrics"]
+
+    assert np.array_equal(sim.state.x, eng.state.x), "protocol != engine!"
+    print("simulated protocol reproduces the vectorized engine's scheme: OK\n")
+
+    print(f"rounds played:        {metrics.rounds}")
+    print(f"replicas allocated:   {sim.replicas_allocated}")
+    print(f"OTC savings:          {sim.savings_percent:.1f}%\n")
+
+    rows = [[name, count] for name, count in sorted(metrics.log.counts.items())]
+    print(render_table(["message type", "count"], rows, title="protocol traffic"))
+    print(f"\ntotal protocol bytes: {metrics.log.bytes_total:,} "
+          f"({metrics.log.bytes_total / 1024:.1f} kB)")
+
+    print(f"\nbid-evaluation work (object valuations):")
+    print(f"  serial total:        {metrics.total_work:,}")
+    print(f"  parallel critical path: {metrics.critical_path_work:,}")
+    print(f"  ideal PARFOR speedup:   {metrics.parallel_speedup:.1f}x")
+
+    central_share = metrics.rounds / max(1, metrics.total_work)
+    print(
+        f"\nThe central body performed {metrics.rounds} binary decisions "
+        f"against {metrics.total_work:,} agent-side valuations — "
+        f"{100 * central_share:.2f}% of the system's work, which is the "
+        "semi-distributed property the paper claims."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Post-hoc analysis of placement results."""
+
+from repro.analysis.metrics import summarize_results, ResultSummary
+from repro.analysis.compare import (
+    rank_by_savings,
+    rank_by_runtime,
+    classify_performance,
+    PERFORMANCE_TIERS,
+)
+from repro.analysis.trajectory import (
+    savings_trajectory,
+    rounds_to_fraction,
+    marginal_gains,
+)
+from repro.analysis.stats import (
+    BootstrapCI,
+    bootstrap_ci,
+    PairedComparison,
+    paired_comparison,
+)
+from repro.analysis.latency import (
+    LatencyReport,
+    read_latency_report,
+    latency_improvement,
+)
+from repro.analysis.breakdown import (
+    AttributionRow,
+    object_attribution,
+    server_attribution,
+    concentration,
+)
+
+__all__ = [
+    "summarize_results",
+    "ResultSummary",
+    "rank_by_savings",
+    "rank_by_runtime",
+    "classify_performance",
+    "PERFORMANCE_TIERS",
+    "savings_trajectory",
+    "rounds_to_fraction",
+    "marginal_gains",
+    "BootstrapCI",
+    "bootstrap_ci",
+    "PairedComparison",
+    "paired_comparison",
+    "LatencyReport",
+    "read_latency_report",
+    "latency_improvement",
+    "AttributionRow",
+    "object_attribution",
+    "server_attribution",
+    "concentration",
+]

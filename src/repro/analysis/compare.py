@@ -1,0 +1,63 @@
+"""Algorithm comparison utilities.
+
+The paper closes Section 5 with a four-tier classification of the
+methods by solution quality; :func:`classify_performance` reproduces
+that bucketing from measured savings so EXPERIMENTS.md can report
+paper-tier vs measured-tier side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.result import PlacementResult
+
+#: The paper's Section 5 classification.
+PERFORMANCE_TIERS: dict[str, str] = {
+    "AGT-RAM": "High",
+    "Greedy": "Medium-High",
+    "Ae-Star": "Medium",
+    "DA": "Medium",
+    "EA": "Low",
+    "GRA": "Low",
+}
+
+
+def rank_by_savings(results: Mapping[str, PlacementResult]) -> list[str]:
+    """Algorithm labels ordered best-savings first."""
+    return sorted(results, key=lambda a: results[a].savings_percent, reverse=True)
+
+
+def rank_by_runtime(results: Mapping[str, PlacementResult]) -> list[str]:
+    """Algorithm labels ordered fastest first."""
+    return sorted(results, key=lambda a: results[a].runtime_s)
+
+
+def classify_performance(
+    results: Mapping[str, PlacementResult],
+    *,
+    tier_labels: Sequence[str] = ("High", "Medium-High", "Medium", "Low"),
+) -> dict[str, str]:
+    """Bucket algorithms into quality tiers by measured savings.
+
+    The best method anchors the "High" tier; each further tier spans an
+    equal slice of the best-to-worst savings range.  Mirrors how the
+    paper's qualitative tiers relate to its Table 2 numbers.
+    """
+    if not results:
+        return {}
+    savings = {a: r.savings_percent for a, r in results.items()}
+    best = max(savings.values())
+    worst = min(savings.values())
+    span = best - worst
+    out: dict[str, str] = {}
+    n = len(tier_labels)
+    for alg, s in savings.items():
+        if span == 0:
+            out[alg] = tier_labels[0]
+            continue
+        # Position 0 = best, 1 = worst.
+        pos = (best - s) / span
+        idx = min(n - 1, int(pos * n))
+        out[alg] = tier_labels[idx]
+    return out

@@ -1,0 +1,76 @@
+"""User-perceived access-latency view of a replication scheme.
+
+The paper's opening sentence: "Replicating data objects onto servers
+across a system can alleviate access delays."  The optimization runs on
+transfer *costs*; this module translates a scheme back into the
+latencies a user would perceive, via the paper's copper-wire mapping
+(:func:`repro.topology.propagation_delays`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.drp.instance import DRPInstance
+from repro.drp.state import ReplicationState
+from repro.topology.costs import COPPER_SPEED_M_PER_S, propagation_delays
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Read-latency statistics, request-weighted."""
+
+    mean_s: float
+    p95_s: float
+    worst_s: float
+    local_fraction: float  # reads served from the requesting server
+
+    def __str__(self) -> str:
+        return (
+            f"mean {self.mean_s * 1e3:.2f} ms, p95 {self.p95_s * 1e3:.2f} ms, "
+            f"worst {self.worst_s * 1e3:.2f} ms, "
+            f"{self.local_fraction:.0%} served locally"
+        )
+
+
+def read_latency_report(
+    state: ReplicationState,
+    *,
+    meters_per_cost_unit: float = 1_000.0,
+    speed_m_per_s: float = COPPER_SPEED_M_PER_S,
+) -> LatencyReport:
+    """Request-weighted read-latency statistics for ``state``.
+
+    Each read travels the NN distance; the report weights every (server,
+    object) cell by its read count.  Write latency is not reported — the
+    paper's model makes writes asynchronous broadcasts.
+    """
+    inst = state.instance
+    delays = state.nn_dist * (meters_per_cost_unit / speed_m_per_s)
+    weights = inst.reads.astype(np.float64)
+    total = weights.sum()
+    if total == 0:
+        return LatencyReport(mean_s=0.0, p95_s=0.0, worst_s=0.0, local_fraction=1.0)
+    mean = float((weights * delays).sum() / total)
+    flat_d = delays.ravel()
+    flat_w = weights.ravel()
+    order = np.argsort(flat_d)
+    cum = np.cumsum(flat_w[order]) / total
+    p95 = float(flat_d[order][np.searchsorted(cum, 0.95)])
+    served = flat_d[flat_w > 0]
+    worst = float(served.max()) if len(served) else 0.0
+    local = float(flat_w[flat_d == 0.0].sum() / total)
+    return LatencyReport(mean_s=mean, p95_s=p95, worst_s=worst, local_fraction=local)
+
+
+def latency_improvement(
+    before: ReplicationState, after: ReplicationState, **kwargs
+) -> float:
+    """Fractional mean-read-latency reduction between two schemes."""
+    a = read_latency_report(before, **kwargs)
+    b = read_latency_report(after, **kwargs)
+    if a.mean_s == 0:
+        return 0.0
+    return (a.mean_s - b.mean_s) / a.mean_s

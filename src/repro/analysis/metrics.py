@@ -1,0 +1,51 @@
+"""Summary statistics over repeated runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.result import PlacementResult
+
+
+@dataclass(frozen=True)
+class ResultSummary:
+    """Mean/stddev summary of one algorithm across seeds/instances."""
+
+    algorithm: str
+    n_runs: int
+    savings_mean: float
+    savings_std: float
+    runtime_mean: float
+    runtime_std: float
+    replicas_mean: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.algorithm}: savings {self.savings_mean:.2f}±"
+            f"{self.savings_std:.2f}%, runtime {self.runtime_mean:.3f}±"
+            f"{self.runtime_std:.3f}s over {self.n_runs} runs"
+        )
+
+
+def summarize_results(results: Sequence[PlacementResult]) -> ResultSummary:
+    """Aggregate repeated runs of one algorithm."""
+    if not results:
+        raise ValueError("cannot summarize an empty result list")
+    names = {r.algorithm for r in results}
+    if len(names) != 1:
+        raise ValueError(f"mixed algorithms in summary: {sorted(names)}")
+    savings = np.array([r.savings_percent for r in results])
+    runtimes = np.array([r.runtime_s for r in results])
+    replicas = np.array([r.replicas_allocated for r in results])
+    return ResultSummary(
+        algorithm=results[0].algorithm,
+        n_runs=len(results),
+        savings_mean=float(savings.mean()),
+        savings_std=float(savings.std()),
+        runtime_mean=float(runtimes.mean()),
+        runtime_std=float(runtimes.std()),
+        replicas_mean=float(replicas.mean()),
+    )

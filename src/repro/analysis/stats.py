@@ -1,0 +1,116 @@
+"""Statistical comparison of algorithms across replications.
+
+The paper averages thirteen runs per setup without dispersion;
+:func:`bootstrap_ci` and :func:`paired_comparison` give the replication
+study confidence intervals and paired win-rates so "A beats B" claims
+carry uncertainty, as a modern evaluation should.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """Percentile bootstrap confidence interval for a sample mean."""
+
+    mean: float
+    lo: float
+    hi: float
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.2f} [{self.lo:.2f}, {self.hi:.2f}] "
+            f"@{self.confidence:.0%}"
+        )
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    n_resamples: int = 2_000,
+    seed: SeedLike = None,
+) -> BootstrapCI:
+    """Percentile bootstrap CI for the mean of ``samples``."""
+    x = np.asarray(samples, dtype=np.float64)
+    if x.ndim != 1 or len(x) == 0:
+        raise ValueError("samples must be a non-empty 1-D sequence")
+    if not (0.0 < confidence < 1.0):
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if n_resamples < 1:
+        raise ValueError("n_resamples must be >= 1")
+    rng = as_generator(seed)
+    idx = rng.integers(0, len(x), size=(n_resamples, len(x)))
+    means = x[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(means, [alpha, 1.0 - alpha])
+    return BootstrapCI(
+        mean=float(x.mean()), lo=float(lo), hi=float(hi), confidence=confidence
+    )
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Paired comparison of two algorithms over shared instances."""
+
+    a: str
+    b: str
+    n_pairs: int
+    wins_a: int
+    wins_b: int
+    ties: int
+    mean_diff: float  # mean of (a - b)
+    diff_ci: BootstrapCI
+
+    @property
+    def a_significantly_better(self) -> bool:
+        """The CI of the paired difference excludes zero on the + side."""
+        return self.diff_ci.lo > 0.0
+
+    @property
+    def b_significantly_better(self) -> bool:
+        return self.diff_ci.hi < 0.0
+
+
+def paired_comparison(
+    name_a: str,
+    values_a: Sequence[float],
+    name_b: str,
+    values_b: Sequence[float],
+    *,
+    tie_tolerance: float = 1e-9,
+    confidence: float = 0.95,
+    seed: SeedLike = None,
+) -> PairedComparison:
+    """Compare two algorithms measured on the *same* instances.
+
+    Pairing removes the instance-to-instance variance that dominates
+    unpaired comparisons; ``values_a[i]`` and ``values_b[i]`` must come
+    from instance i.
+    """
+    a = np.asarray(values_a, dtype=np.float64)
+    b = np.asarray(values_b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1 or len(a) == 0:
+        raise ValueError("paired samples must be non-empty and equal-length")
+    diff = a - b
+    return PairedComparison(
+        a=name_a,
+        b=name_b,
+        n_pairs=len(a),
+        wins_a=int((diff > tie_tolerance).sum()),
+        wins_b=int((diff < -tie_tolerance).sum()),
+        ties=int((np.abs(diff) <= tie_tolerance).sum()),
+        mean_diff=float(diff.mean()),
+        diff_ci=bootstrap_ci(diff, confidence=confidence, seed=seed),
+    )

@@ -1,0 +1,76 @@
+"""Per-round convergence trajectories.
+
+The mechanism's audit transcript lets us replay the allocation sequence
+and record the OTC after every round — the convergence curve of the
+"fast algorithmic turn-around" the paper claims.  Greedy and the other
+incremental baselines expose the same view through their allocation
+order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.drp.cost import primary_only_otc, total_otc
+from repro.drp.instance import DRPInstance
+from repro.drp.state import ReplicationState
+from repro.errors import ReproError
+from repro.result import PlacementResult
+
+
+def savings_trajectory(
+    instance: DRPInstance, result: PlacementResult
+) -> list[tuple[int, float]]:
+    """Replay a mechanism audit into per-round savings.
+
+    Returns ``[(round, savings_percent), ...]`` starting at round 0 with
+    0% (primaries only).  Requires the result to carry an audit
+    transcript (``run_agt_ram(..., record_audit=True)``).
+    """
+    audit = result.extra.get("audit")
+    if audit is None:
+        raise ReproError(
+            "result carries no audit transcript; run with record_audit=True"
+        )
+    baseline = primary_only_otc(instance)
+    state = ReplicationState.primaries_only(instance)
+    out = [(0, 0.0)]
+    rnd = 0
+    for rec in audit.rounds:
+        if rec.winner < 0:
+            continue
+        state.add_replica(rec.winner, rec.obj)
+        rnd += 1
+        if baseline > 0:
+            out.append((rnd, 100.0 * (baseline - total_otc(state)) / baseline))
+        else:
+            out.append((rnd, 0.0))
+    return out
+
+
+def rounds_to_fraction(
+    trajectory: list[tuple[int, float]], fraction: float = 0.9
+) -> int:
+    """First round at which ``fraction`` of the final savings is reached.
+
+    The paper's "immediate initial increase ... afterward near constant
+    performance" observation, as a single number.
+    """
+    if not trajectory:
+        raise ValueError("empty trajectory")
+    if not (0.0 < fraction <= 1.0):
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    final = trajectory[-1][1]
+    if final <= 0:
+        return 0
+    target = fraction * final
+    for rnd, sav in trajectory:
+        if sav >= target:
+            return rnd
+    return trajectory[-1][0]
+
+
+def marginal_gains(trajectory: list[tuple[int, float]]) -> np.ndarray:
+    """Per-round savings increments (diminishing under the mechanism)."""
+    vals = np.array([s for _, s in trajectory])
+    return np.diff(vals)

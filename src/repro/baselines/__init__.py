@@ -1,0 +1,36 @@
+"""The paper's five comparison algorithms plus a random-placement sanity
+baseline (Section 5, "Comparative algorithms").
+
+* :class:`GreedyPlacer` — the global-benefit greedy of Qiu et al. [26],
+* :class:`AEStarPlacer` — the Aε-Star ε-relaxed branch-and-bound [16],
+* :class:`GRAPlacer` — the genetic replication algorithm [21],
+* :class:`DutchAuctionPlacer` / :class:`EnglishAuctionPlacer` — the
+  descending / ascending price auctions [15],
+* :class:`RandomPlacer` — feasible random allocation (sanity floor).
+
+All placers share the :class:`~repro.baselines.base.ReplicaPlacer`
+interface and return :class:`~repro.result.PlacementResult`.
+"""
+
+from repro.baselines.base import ReplicaPlacer, ALGORITHM_REGISTRY, make_placer
+from repro.baselines.random_placement import RandomPlacer
+from repro.baselines.greedy import GreedyPlacer
+from repro.baselines.aestar import AEStarPlacer
+from repro.baselines.gra import GRAPlacer
+from repro.baselines.dutch import DutchAuctionPlacer
+from repro.baselines.english import EnglishAuctionPlacer
+from repro.baselines.optimal import OptimalPlacer, brute_force_otc
+
+__all__ = [
+    "ReplicaPlacer",
+    "ALGORITHM_REGISTRY",
+    "make_placer",
+    "RandomPlacer",
+    "GreedyPlacer",
+    "AEStarPlacer",
+    "GRAPlacer",
+    "DutchAuctionPlacer",
+    "EnglishAuctionPlacer",
+    "OptimalPlacer",
+    "brute_force_otc",
+]

@@ -1,0 +1,205 @@
+"""Exact optimal replica placement for small instances.
+
+The DRP is NP-complete (Eswaran 1974, cited by the paper), so exact
+solutions exist only at toy scale — but there they anchor everything:
+the optimality gap of AGT-RAM and every baseline is measured against
+this solver in the evaluation (``bench_optimality_gap.py``) and the
+test suite.
+
+The search enumerates, object by object, which additional servers
+replicate that object, with two prunings:
+
+* **bound** — a node is cut when its OTC, minus an optimistic bound on
+  the savings still available from undecided objects (each object's
+  best-case savings ignoring capacity interactions), cannot beat the
+  incumbent;
+* **dominance** — per object, candidate servers with zero reads for it
+  and no transit value can only add update cost... kept implicit in the
+  bound, which already prices them correctly.
+
+Complexity is exponential in M·N; callers must keep M, N tiny
+(``max_nodes`` guards against accidents).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.baselines.base import ReplicaPlacer
+from repro.drp.benefit import global_benefit_column
+from repro.drp.cost import primary_only_otc, total_otc
+from repro.drp.instance import DRPInstance
+from repro.drp.state import ReplicationState
+from repro.errors import ConvergenceError
+from repro.result import PlacementResult
+from repro.utils.timing import Timer
+
+
+class OptimalPlacer(ReplicaPlacer):
+    """Exhaustive branch-and-bound over replication schemes.
+
+    Parameters
+    ----------
+    max_nodes:
+        Hard cap on search nodes; exceeding it raises
+        :class:`~repro.errors.ConvergenceError` rather than silently
+        returning a non-optimal scheme.
+    """
+
+    name = "Optimal"
+
+    def __init__(self, *, max_nodes: int = 2_000_000):
+        if max_nodes <= 0:
+            raise ValueError("max_nodes must be > 0")
+        self.max_nodes = max_nodes
+
+    def place(self, instance: DRPInstance) -> PlacementResult:
+        timer = Timer()
+        with timer:
+            best_x, best_otc, nodes = self._search(instance)
+            state = ReplicationState.from_matrix(instance, best_x)
+        return PlacementResult(
+            algorithm=self.name,
+            state=state,
+            otc=total_otc(state),
+            runtime_s=timer.elapsed,
+            rounds=nodes,
+            extra={"nodes": nodes},
+        )
+
+    # -- search --------------------------------------------------------------
+
+    def _search(self, instance: DRPInstance):
+        m, n = instance.n_servers, instance.n_objects
+        base_state = ReplicationState.primaries_only(instance)
+        base_x = base_state.x
+
+        # Optimistic per-object savings: the best single-replica gain per
+        # object, times the number of candidate servers, is a loose upper
+        # bound; we use the tighter sum of positive single-replica gains
+        # (supermodularity of reads means adding more replicas to one
+        # object can't save more than the sum of their standalone gains
+        # ... actually standalone gains overcount shared reads, which is
+        # exactly what makes this an upper bound).
+        opt_gain = np.zeros(n)
+        for k in range(n):
+            col = global_benefit_column(instance, base_state, k)
+            finite = col[np.isfinite(col)]
+            opt_gain[k] = float(finite[finite > 0].sum()) if len(finite) else 0.0
+        suffix_gain = np.concatenate([np.cumsum(opt_gain[::-1])[::-1], [0.0]])
+
+        best = {
+            "x": base_x.copy(),
+            "otc": primary_only_otc(instance),
+        }
+        nodes = 0
+
+        def candidates_for(k: int, residual: np.ndarray) -> list[int]:
+            return [
+                i
+                for i in range(m)
+                if not base_x[i, k] and instance.sizes[k] <= residual[i]
+            ]
+
+        def recurse(k: int, x: np.ndarray, residual: np.ndarray, otc_now: float):
+            nonlocal nodes
+            nodes += 1
+            if nodes > self.max_nodes:
+                raise ConvergenceError(
+                    f"optimal search exceeded {self.max_nodes} nodes; "
+                    "instance too large for exact solving"
+                )
+            if otc_now < best["otc"]:
+                best["otc"] = otc_now
+                best["x"] = x.copy()
+            if k == n:
+                return
+            # Bound: even saving every remaining object's optimistic gain
+            # cannot beat the incumbent.
+            if otc_now - suffix_gain[k] >= best["otc"]:
+                return
+            cands = candidates_for(k, residual)
+            # Score every replica subset for object k, then recurse
+            # best-first: a strong incumbent found early prunes siblings.
+            scored: list[tuple[float, tuple[int, ...]]] = []
+            for r in range(0, len(cands) + 1):
+                for subset in combinations(cands, r):
+                    for i in subset:
+                        x[i, k] = True
+                    scored.append(
+                        (self._otc_with(instance, x, otc_now, k), subset)
+                    )
+                    for i in subset:
+                        x[i, k] = False
+            scored.sort(key=lambda t: t[0])
+            for child_otc, subset in scored:
+                for i in subset:
+                    x[i, k] = True
+                    residual[i] -= instance.sizes[k]
+                recurse(k + 1, x, residual, child_otc)
+                for i in subset:
+                    x[i, k] = False
+                    residual[i] += instance.sizes[k]
+
+        # Precompute per-object primary-only OTC so deltas are local.
+        self._per_obj_base = self._per_object_otc(instance, base_x)
+        recurse(0, base_x.copy(), instance.replica_headroom().astype(np.int64).copy(),
+                primary_only_otc(instance))
+        return best["x"], best["otc"], nodes
+
+    # -- per-object OTC helpers ------------------------------------------------
+
+    @staticmethod
+    def _object_otc(instance: DRPInstance, x: np.ndarray, k: int) -> float:
+        reps = np.flatnonzero(x[:, k])
+        c = instance.cost
+        o = float(instance.sizes[k])
+        d = c[:, reps[0]] if len(reps) == 1 else c[:, reps].min(axis=1)
+        read = o * float(instance.reads[:, k] @ d)
+        cp = instance.primary_cost_rows()[k]
+        b = float(cp[reps].sum())
+        w = instance.writes[:, k].astype(np.float64)
+        write = o * float(
+            (w * (c[:, instance.primaries[k]] + b)).sum()
+            - (w[reps] * cp[reps]).sum()
+        )
+        return read + write
+
+    def _per_object_otc(self, instance: DRPInstance, x: np.ndarray) -> np.ndarray:
+        return np.array(
+            [self._object_otc(instance, x, k) for k in range(instance.n_objects)]
+        )
+
+    def _otc_with(
+        self, instance: DRPInstance, x: np.ndarray, otc_now: float, k: int
+    ) -> float:
+        """OTC after object k's replica set in ``x`` replaced its base set."""
+        return otc_now - self._per_obj_base[k] + self._object_otc(instance, x, k)
+
+
+def brute_force_otc(instance: DRPInstance) -> float:
+    """Independent-objects exhaustive minimum, valid only when capacity
+    never binds (used by tests to cross-check :class:`OptimalPlacer`).
+
+    When every server can hold every object simultaneously, the DRP
+    decomposes per object; this enumerates all 2^(M-1) replica sets per
+    object and sums the minima.
+    """
+    m, n = instance.n_servers, instance.n_objects
+    if (instance.replica_headroom() < instance.sizes.sum()).any():
+        raise ValueError("capacity binds; per-object decomposition is invalid")
+    base = ReplicationState.primaries_only(instance).x
+    total = 0.0
+    for k in range(n):
+        others = [i for i in range(m) if not base[i, k]]
+        best = np.inf
+        for r in range(len(others) + 1):
+            for subset in combinations(others, r):
+                x = base.copy()
+                for i in subset:
+                    x[i, k] = True
+                best = min(best, OptimalPlacer._object_otc(instance, x, k))
+        total += best
+    return total

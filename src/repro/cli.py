@@ -1,0 +1,254 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+generate   build a DRP instance from knobs and save it to .npz
+run        run one placement algorithm on an instance (file or knobs)
+compare    run several algorithms and print the comparison table
+sweep      capacity or R/W sweep, printed as table + ASCII chart
+axioms     run AGT-RAM with an audit and verify the six axioms
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.agt_ram import run_agt_ram
+from repro.core.axioms import verify_axioms
+from repro.drp.instance import DRPInstance
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.instances import paper_instance
+from repro.experiments.runner import PAPER_ALGORITHMS, run_algorithms
+from repro.experiments.report import format_series
+from repro.experiments.sweeps import capacity_sweep, rw_ratio_sweep
+from repro.io import load_instance, save_instance, save_result
+from repro.utils.ascii_chart import ascii_chart
+from repro.utils.tables import render_table
+
+
+def _add_instance_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--instance", help="load a saved instance (.npz) instead of generating")
+    p.add_argument("--servers", type=int, default=40, help="M (default 40)")
+    p.add_argument("--objects", type=int, default=160, help="N (default 160)")
+    p.add_argument("--requests", type=int, default=30_000)
+    p.add_argument("--rw-ratio", type=float, default=0.9, dest="rw_ratio")
+    p.add_argument(
+        "--capacity", type=float, default=0.3, help="C%% as a fraction (default 0.3)"
+    )
+    p.add_argument(
+        "--topology",
+        default="random",
+        choices=["random", "waxman", "powerlaw", "transit-stub"],
+    )
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _instance_from_args(args: argparse.Namespace) -> DRPInstance:
+    if getattr(args, "instance", None):
+        return load_instance(args.instance)
+    cfg = ExperimentConfig(
+        n_servers=args.servers,
+        n_objects=args.objects,
+        total_requests=args.requests,
+        rw_ratio=args.rw_ratio,
+        capacity_fraction=args.capacity,
+        topology=args.topology,
+        topology_params={} if args.topology != "random" else {"p": 0.4},
+        seed=args.seed,
+        name="cli",
+    )
+    return paper_instance(cfg)
+
+
+def _cfg_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        n_servers=args.servers,
+        n_objects=args.objects,
+        total_requests=args.requests,
+        rw_ratio=args.rw_ratio,
+        capacity_fraction=args.capacity,
+        topology=args.topology,
+        topology_params={} if args.topology != "random" else {"p": 0.4},
+        seed=args.seed,
+        name="cli-sweep",
+    )
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    instance = _instance_from_args(args)
+    path = save_instance(instance, args.output)
+    print(f"wrote {instance} -> {path}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    instance = _instance_from_args(args)
+    results = run_algorithms(instance, [args.algorithm], seed=args.seed)
+    res = results[args.algorithm]
+    print(
+        f"{res.algorithm}: OTC {res.otc:,.0f}  savings {res.savings_percent:.2f}%  "
+        f"replicas {res.replicas_allocated}  runtime {res.runtime_s * 1e3:.1f} ms"
+    )
+    if args.output:
+        path = save_result(res, args.output)
+        print(f"wrote result -> {path}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    instance = _instance_from_args(args)
+    algorithms = args.algorithms or list(PAPER_ALGORITHMS)
+    results = run_algorithms(instance, algorithms, seed=args.seed)
+    rows = [
+        [a, r.savings_percent, r.runtime_s * 1e3, r.replicas_allocated]
+        for a, r in results.items()
+    ]
+    print(
+        render_table(
+            ["method", "savings (%)", "runtime (ms)", "replicas"],
+            rows,
+            title=f"comparison on {instance.name} (M={instance.n_servers}, "
+            f"N={instance.n_objects})",
+        )
+    )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    cfg = _cfg_from_args(args)
+    algorithms = args.algorithms or ["AGT-RAM", "Greedy"]
+    if args.param == "capacity":
+        rows = capacity_sweep(cfg, args.values or (0.1, 0.2, 0.3, 0.4),
+                              algorithms, seed=args.seed)
+        x_label = "capacity C"
+    else:
+        rows = rw_ratio_sweep(cfg, args.values or (0.5, 0.65, 0.8, 0.95),
+                              algorithms, seed=args.seed)
+        x_label = "R/W ratio"
+    series: dict[str, list[tuple[float, float]]] = {}
+    for r in rows:
+        series.setdefault(r.algorithm, []).append((r.sweep_value, r.savings_percent))
+    print(format_series(series, x_label=x_label))
+    if not args.no_chart:
+        print()
+        print(ascii_chart(series, y_label="OTC savings (%)", x_label=x_label))
+    if args.csv:
+        from repro.experiments.export import sweep_to_csv
+
+        path = sweep_to_csv(rows, args.csv)
+        print(f"\nwrote raw rows -> {path}")
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    """Regenerate the paper's figures/tables at a chosen scale."""
+    from repro.experiments.figures import figure3_capacity_sweep, figure4_rw_sweep
+    from repro.experiments.report import format_table_rows
+    from repro.experiments.tables import table1_running_time, table2_quality
+    from repro.experiments.config import SCALES
+
+    base = SCALES[args.scale]
+    grids = {
+        "tiny": [(10, 40), (10, 60), (14, 40), (14, 60)],
+        "small": [(30, 150), (30, 250), (50, 150), (50, 250)],
+        "medium": [(60, 300), (60, 500), (100, 300), (100, 500)],
+    }
+    specs = {
+        "tiny": [(10, 40, 0.2, 0.9), (12, 50, 0.3, 0.8), (14, 60, 0.25, 0.95)],
+        "small": [(20, 90, 0.2, 0.9), (30, 150, 0.3, 0.8), (40, 220, 0.25, 0.95)],
+        "medium": [(40, 180, 0.2, 0.9), (60, 280, 0.3, 0.8), (90, 580, 0.25, 0.95)],
+    }
+    targets = args.targets or ["fig3", "fig4", "table1", "table2"]
+    if "fig3" in targets:
+        series = figure3_capacity_sweep(base=base, seed=args.seed)
+        print(format_series(series, x_label="capacity C",
+                            title="Figure 3 — OTC savings (%) vs capacity"))
+        print()
+    if "fig4" in targets:
+        series = figure4_rw_sweep(base=base, seed=args.seed)
+        print(format_series(series, x_label="R/W ratio",
+                            title="Figure 4 — OTC savings (%) vs R/W ratio"))
+        print()
+    if "table1" in targets:
+        rows = table1_running_time(base, grid=grids[args.scale], seed=args.seed)
+        print(format_table_rows(rows, metric_label="Table 1 — running time (s)"))
+        print()
+    if "table2" in targets:
+        rows = table2_quality(base, specs=specs[args.scale], seed=args.seed)
+        print(format_table_rows(rows, metric_label="Table 2 — OTC savings (%)"))
+    return 0
+
+
+def cmd_axioms(args: argparse.Namespace) -> int:
+    instance = _instance_from_args(args)
+    result = run_agt_ram(instance, record_audit=True)
+    checks = verify_axioms(instance, result)
+    failed = 0
+    for name, check in checks.items():
+        status = "PASS" if check.passed else "FAIL"
+        failed += not check.passed
+        print(f"{name:28s} {status}  {check.detail}")
+    return 1 if failed else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AGT-RAM replica placement (Khan & Ahmad, IPPS 2007)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="build and save a DRP instance")
+    _add_instance_args(p)
+    p.add_argument("--output", "-o", required=True, help="output .npz path")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("run", help="run one algorithm")
+    _add_instance_args(p)
+    p.add_argument(
+        "--algorithm", "-a", default="AGT-RAM",
+        choices=list(PAPER_ALGORITHMS) + ["Random"],
+    )
+    p.add_argument("--output", "-o", help="save scheme + summary")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("compare", help="run several algorithms")
+    _add_instance_args(p)
+    p.add_argument("--algorithms", nargs="+", choices=list(PAPER_ALGORITHMS) + ["Random"])
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("sweep", help="capacity or R/W sweep")
+    _add_instance_args(p)
+    p.add_argument("--param", choices=["capacity", "rw"], default="capacity")
+    p.add_argument("--values", nargs="+", type=float)
+    p.add_argument("--algorithms", nargs="+", choices=list(PAPER_ALGORITHMS))
+    p.add_argument("--no-chart", action="store_true")
+    p.add_argument("--csv", help="also write the raw rows to this CSV path")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("axioms", help="verify the six axioms on a run")
+    _add_instance_args(p)
+    p.set_defaults(func=cmd_axioms)
+
+    p = sub.add_parser(
+        "reproduce", help="regenerate the paper's figures/tables"
+    )
+    p.add_argument(
+        "--targets", nargs="+", choices=["fig3", "fig4", "table1", "table2"]
+    )
+    p.add_argument("--scale", choices=["tiny", "small", "medium"], default="tiny")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_reproduce)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

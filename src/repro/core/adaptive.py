@@ -1,0 +1,210 @@
+"""Adaptive re-replication across workload epochs.
+
+The paper calls AGT-RAM "a protocol for automatic replication and
+migration of objects in response to demand changes".  This module plays
+that protocol over a sequence of workload epochs:
+
+1. at each epoch boundary, every agent re-evaluates the replicas it
+   already hosts with its new private frequencies and *evicts* any copy
+   whose keep-benefit has gone negative (an agent needs no permission
+   to drop — only allocation goes through the mechanism);
+2. the mechanism then runs fresh rounds from the surviving scheme,
+   allocating replicas the new demand justifies.
+
+Three policies are provided for comparison:
+
+* ``"adaptive"`` — evict-then-reallocate as above (the protocol),
+* ``"static"`` — the epoch-0 scheme is frozen and reused forever,
+* ``"rebuild"`` — a full from-scratch mechanism run every epoch
+  (the quality ceiling, at maximal migration cost).
+
+Migration cost is accounted as the data volume (size x cost to the
+nearest previous holder) of newly created replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.agt_ram import AGTRam
+from repro.drp.cost import total_otc
+from repro.drp.instance import DRPInstance
+from repro.drp.savings import otc_savings_percent
+from repro.drp.state import ReplicationState
+from repro.errors import ConfigurationError
+from repro.workload.drift import WorkloadEpoch
+
+
+@dataclass(frozen=True)
+class EpochOutcome:
+    """Per-epoch accounting of an adaptive run."""
+
+    epoch: int
+    otc: float
+    savings_percent: float
+    replicas: int
+    evictions: int
+    allocations: int
+    migration_volume: float
+
+
+@dataclass
+class AdaptiveReplicator:
+    """Epoch-driven replica adaptation.
+
+    Parameters
+    ----------
+    policy:
+        ``"adaptive"``, ``"static"``, or ``"rebuild"``.
+    payment_rule:
+        Forwarded to the underlying mechanism.
+    """
+
+    policy: str = "adaptive"
+    payment_rule: str = "second_price"
+
+    def __post_init__(self) -> None:
+        if self.policy not in ("adaptive", "static", "rebuild"):
+            raise ConfigurationError(
+                f"policy must be adaptive/static/rebuild, got {self.policy!r}"
+            )
+
+    # -- internals ----------------------------------------------------------
+
+    @staticmethod
+    def _epoch_instance(
+        template: DRPInstance, epoch: WorkloadEpoch
+    ) -> DRPInstance:
+        w = epoch.workload
+        if w.reads.shape != (template.n_servers, template.n_objects):
+            raise ConfigurationError(
+                "epoch workload shape does not match the instance template"
+            )
+        return DRPInstance(
+            cost=template.cost,
+            reads=w.reads,
+            writes=w.writes,
+            sizes=template.sizes,
+            capacities=template.capacities,
+            primaries=template.primaries,
+            name=f"{template.name}@epoch{epoch.index}",
+        )
+
+    @staticmethod
+    def _evict_negative_keepers(
+        instance: DRPInstance, state: ReplicationState
+    ) -> int:
+        """Drop non-primary replicas whose keep-benefit is negative.
+
+        An agent keeps its copy of k only if its reads served locally
+        outweigh the cost of staying current with everyone else's
+        writes:  ``r_ik o_k d'_k(i) >= o_k c(P_k, i) (W_k - w_ik)``
+        where d'_k(i) is the distance to the nearest *other* replica.
+        Evictions are processed globally until stable (dropping one copy
+        can only *raise* others' keep-benefit, so a single pass per
+        change suffices; we iterate to a fixed point).
+        """
+        o = instance.sizes.astype(np.float64)
+        cp = instance.primary_cost_rows()
+        w_total = instance.total_write_counts()
+        evicted = 0
+        changed = True
+        while changed:
+            changed = False
+            for k in range(instance.n_objects):
+                reps = np.flatnonzero(state.x[:, k])
+                if len(reps) <= 1:
+                    continue
+                for i in reps:
+                    if i == instance.primaries[k]:
+                        continue
+                    others = reps[reps != i]
+                    d_other = instance.cost[i, others].min()
+                    keep = (
+                        instance.reads[i, k] * o[k] * d_other
+                        - o[k] * cp[k, i] * (w_total[k] - instance.writes[i, k])
+                    )
+                    if keep < 0:
+                        state.x[i, k] = False
+                        state.used[i] -= int(instance.sizes[k])
+                        evicted += 1
+                        changed = True
+                        reps = np.flatnonzero(state.x[:, k])
+        if evicted:
+            state.recompute_nn()
+        return evicted
+
+    @staticmethod
+    def _migration_volume(
+        instance: DRPInstance, before_x: np.ndarray, after_x: np.ndarray
+    ) -> float:
+        """Data volume to materialize new replicas: each copies from the
+        nearest server that held the object before."""
+        new_cells = after_x & ~before_x
+        if not new_cells.any():
+            return 0.0
+        volume = 0.0
+        for k in np.flatnonzero(new_cells.any(axis=0)):
+            holders = np.flatnonzero(before_x[:, k])
+            for i in np.flatnonzero(new_cells[:, k]):
+                volume += float(instance.sizes[k]) * float(
+                    instance.cost[i, holders].min()
+                )
+        return volume
+
+    # -- main entry -----------------------------------------------------------
+
+    def run(
+        self, template: DRPInstance, epochs: Sequence[WorkloadEpoch]
+    ) -> list[EpochOutcome]:
+        """Adapt across ``epochs``; returns per-epoch accounting."""
+        if not epochs:
+            raise ConfigurationError("need at least one epoch")
+        mech = AGTRam(payment_rule=self.payment_rule)
+        outcomes: list[EpochOutcome] = []
+        carried_x: np.ndarray | None = None
+
+        for epoch in epochs:
+            inst = self._epoch_instance(template, epoch)
+            # Migration is always accounted against what physically
+            # existed before this epoch (the previous scheme, or just
+            # the primaries at the very start).
+            before_x = (
+                carried_x
+                if carried_x is not None
+                else ReplicationState.primaries_only(inst).x.copy()
+            )
+
+            if self.policy == "rebuild" or carried_x is None:
+                res = mech.run(inst)
+                state = res.state
+                evictions = 0
+                allocations = res.rounds
+            elif self.policy == "static":
+                state = ReplicationState.from_matrix(inst, carried_x)
+                evictions = 0
+                allocations = 0
+            else:  # adaptive
+                state = ReplicationState.from_matrix(inst, carried_x)
+                evictions = self._evict_negative_keepers(inst, state)
+                res = mech.run(inst, initial_state=state)
+                state = res.state
+                allocations = res.rounds
+
+            migration = self._migration_volume(inst, before_x, state.x)
+            outcomes.append(
+                EpochOutcome(
+                    epoch=epoch.index,
+                    otc=total_otc(state),
+                    savings_percent=otc_savings_percent(state),
+                    replicas=state.total_replicas(),
+                    evictions=evictions,
+                    allocations=allocations,
+                    migration_volume=migration,
+                )
+            )
+            carried_x = state.x.copy()
+        return outcomes

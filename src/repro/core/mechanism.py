@@ -1,0 +1,94 @@
+"""Mechanism abstractions — Definitions 1–3 of the paper.
+
+A *mechanism* (Definition 3) is a pair ``m = (x(·), p(·))`` of an
+algorithmic-output function and a payment function over the agents'
+declared data.  :class:`Mechanism` captures that contract;
+:class:`MechanismAudit` records every round of a concrete run so the six
+axioms can be verified post-hoc (:mod:`repro.core.axioms`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.result import PlacementResult
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """One mechanism round, as observed by the central body.
+
+    Attributes
+    ----------
+    reported:
+        (M,) vector of declared valuations (``-inf`` for agents that made
+        no bid this round).
+    objects:
+        (M,) vector of the object each agent asked for (-1 when absent).
+    winner:
+        Winning agent index, or -1 when the round ended the game.
+    obj:
+        Allocated object (valid when ``winner >= 0``).
+    payment:
+        Payment issued to the winner.
+    true_value:
+        The winner's *true* valuation (known to the audit because our
+        simulation can peek; the real mechanism only sees ``reported``).
+    """
+
+    reported: np.ndarray
+    objects: np.ndarray
+    winner: int
+    obj: int
+    payment: float
+    true_value: float
+
+
+@dataclass
+class MechanismAudit:
+    """Complete transcript of a mechanism run."""
+
+    rounds: list[RoundRecord] = field(default_factory=list)
+
+    def append(self, record: RoundRecord) -> None:
+        self.rounds.append(record)
+
+    def __len__(self) -> int:
+        return len(self.rounds)
+
+    def total_payments(self) -> float:
+        return float(sum(r.payment for r in self.rounds if r.winner >= 0))
+
+    def payments_by_agent(self, n_agents: int) -> np.ndarray:
+        out = np.zeros(n_agents)
+        for r in self.rounds:
+            if r.winner >= 0:
+                out[r.winner] += r.payment
+        return out
+
+    def utilities_by_agent(self, n_agents: int) -> np.ndarray:
+        """Theorem-5 utilities aggregated per agent."""
+        out = np.zeros(n_agents)
+        for r in self.rounds:
+            if r.winner >= 0:
+                out[r.winner] += r.true_value - r.payment
+        return out
+
+
+class Mechanism(ABC):
+    """Definition 3: an output function x(·) plus a payment function p(·).
+
+    Concrete mechanisms implement :meth:`run` which plays the game to
+    completion and returns a :class:`~repro.result.PlacementResult`; when
+    ``record_audit`` is set the result's ``extra["audit"]`` carries the
+    :class:`MechanismAudit` transcript.
+    """
+
+    name: str = "mechanism"
+
+    @abstractmethod
+    def run(self, instance, *, record_audit: bool = False) -> PlacementResult:
+        """Execute the mechanism on a DRP instance."""

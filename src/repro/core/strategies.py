@@ -1,0 +1,129 @@
+"""Agent reporting strategies.
+
+Axiom 5's analysis considers three manipulations of the true data:
+*over projection* (inflating reports hoping for more revenue), *under
+projection* (deflating them), and *random projection*.  A strategy maps
+the agent's true valuation vector to the vector it reports; the dominant
+report is then the argmax of the *reported* vector, so a non-monotone
+strategy (random projection) can also distort which object the agent
+asks for — exactly the failure mode the second-price rule punishes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator
+
+
+class Strategy(ABC):
+    """Maps a true valuation vector to a reported valuation vector.
+
+    Entries equal to ``-inf`` mark ineligible objects and must be
+    preserved by every strategy (an agent cannot bid on an object it
+    cannot host — the mechanism would reject the bid as a protocol
+    violation).
+    """
+
+    name: str = "strategy"
+
+    @abstractmethod
+    def _transform(self, true_values: np.ndarray) -> np.ndarray:
+        """Map finite true values to reported values (same shape)."""
+
+    def report(self, true_values: np.ndarray) -> np.ndarray:
+        true_values = np.asarray(true_values, dtype=np.float64)
+        reported = self._transform(true_values.copy())
+        reported = np.asarray(reported, dtype=np.float64)
+        if reported.shape != true_values.shape:
+            raise ConfigurationError(
+                f"{self.name} changed report shape {true_values.shape} -> "
+                f"{reported.shape}"
+            )
+        reported[~np.isfinite(true_values)] = -np.inf
+        return reported
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class TruthfulStrategy(Strategy):
+    """Report the true data — the dominant strategy (Lemma 1)."""
+
+    name = "truthful"
+
+    def _transform(self, true_values: np.ndarray) -> np.ndarray:
+        return true_values
+
+
+class OverProjection(Strategy):
+    """Inflate every valuation by a constant factor > 1."""
+
+    name = "over-projection"
+
+    def __init__(self, factor: float = 1.5):
+        if factor <= 1.0:
+            raise ConfigurationError(f"over-projection factor must be > 1, got {factor}")
+        self.factor = float(factor)
+
+    def _transform(self, true_values: np.ndarray) -> np.ndarray:
+        finite = np.isfinite(true_values)
+        # Scaling must push values *up* regardless of sign.
+        true_values[finite] = np.where(
+            true_values[finite] >= 0,
+            true_values[finite] * self.factor,
+            true_values[finite] / self.factor,
+        )
+        return true_values
+
+    def __repr__(self) -> str:
+        return f"OverProjection(factor={self.factor})"
+
+
+class UnderProjection(Strategy):
+    """Deflate every valuation by a constant factor in (0, 1)."""
+
+    name = "under-projection"
+
+    def __init__(self, factor: float = 0.5):
+        if not (0.0 < factor < 1.0):
+            raise ConfigurationError(
+                f"under-projection factor must be in (0, 1), got {factor}"
+            )
+        self.factor = float(factor)
+
+    def _transform(self, true_values: np.ndarray) -> np.ndarray:
+        finite = np.isfinite(true_values)
+        true_values[finite] = np.where(
+            true_values[finite] >= 0,
+            true_values[finite] * self.factor,
+            true_values[finite] / self.factor,
+        )
+        return true_values
+
+    def __repr__(self) -> str:
+        return f"UnderProjection(factor={self.factor})"
+
+
+class RandomProjection(Strategy):
+    """Multiply each valuation by independent lognormal noise."""
+
+    name = "random-projection"
+
+    def __init__(self, sigma: float = 0.5, seed: SeedLike = None):
+        if sigma <= 0:
+            raise ConfigurationError(f"sigma must be > 0, got {sigma}")
+        self.sigma = float(sigma)
+        self._rng = as_generator(seed)
+
+    def _transform(self, true_values: np.ndarray) -> np.ndarray:
+        finite = np.isfinite(true_values)
+        noise = self._rng.lognormal(0.0, self.sigma, size=int(finite.sum()))
+        true_values[finite] = true_values[finite] * noise
+        return true_values
+
+    def __repr__(self) -> str:
+        return f"RandomProjection(sigma={self.sigma})"

@@ -1,0 +1,75 @@
+"""Structural invariant checks for instances and replication states.
+
+Used by tests and by long-running experiments as cheap sanity guards; a
+violated invariant raises :class:`repro.errors.InfeasibleInstanceError`
+with a message naming the first offending server/object.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.drp.instance import DRPInstance
+from repro.drp.state import ReplicationState
+from repro.errors import InfeasibleInstanceError
+
+
+def check_instance(instance: DRPInstance) -> None:
+    """Re-validate the instance's structural constraints.
+
+    :class:`DRPInstance` validates at construction; this re-checks (the
+    arrays are mutable numpy objects, so corruption is possible) and is
+    what property-based tests call after adversarial mutations.
+    """
+    DRPInstance(
+        cost=instance.cost,
+        reads=instance.reads,
+        writes=instance.writes,
+        sizes=instance.sizes,
+        capacities=instance.capacities,
+        primaries=instance.primaries,
+        name=instance.name,
+    )
+
+
+def check_state(state: ReplicationState) -> None:
+    """Verify all replication-scheme invariants.
+
+    1. every primary copy is present (the primary-copies policy),
+    2. storage use matches X and never exceeds capacity,
+    3. NN distances equal the true minimum over replica columns,
+    4. NN servers actually hold the replica and realize the distance.
+    """
+    inst = state.instance
+    n = inst.n_objects
+    cols = np.arange(n)
+
+    if not state.x[inst.primaries, cols].all():
+        k = int(np.nonzero(~state.x[inst.primaries, cols])[0][0])
+        raise InfeasibleInstanceError(f"primary copy of object {k} is missing")
+
+    used = state.x @ inst.sizes
+    if not np.array_equal(used, state.used):
+        raise InfeasibleInstanceError("state.used is inconsistent with X")
+    over = np.nonzero(used > inst.capacities)[0]
+    if len(over):
+        i = int(over[0])
+        raise InfeasibleInstanceError(
+            f"server {i} stores {int(used[i])} > capacity {int(inst.capacities[i])}"
+        )
+
+    for k in range(n):
+        reps = np.nonzero(state.x[:, k])[0]
+        true_dist = inst.cost[:, reps].min(axis=1)
+        if not np.allclose(state.nn_dist[:, k], true_dist):
+            raise InfeasibleInstanceError(f"NN distances stale for object {k}")
+        nn = state.nn_server[:, k]
+        if not state.x[nn, k].all():
+            raise InfeasibleInstanceError(
+                f"NN table for object {k} points at a non-replicator"
+            )
+        realized = inst.cost[np.arange(inst.n_servers), nn]
+        if not np.allclose(realized, true_dist):
+            raise InfeasibleInstanceError(
+                f"NN server does not realize the NN distance for object {k}"
+            )

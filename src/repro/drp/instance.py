@@ -1,0 +1,209 @@
+"""The immutable DRP problem instance.
+
+Section 2 of the paper: M servers with storage capacities s_i connected by
+a network with communication costs c(i, j); N objects with sizes o_k, per
+server read counts r_ik and write counts w_ik; each object has exactly one
+primary copy on server P_k that can never be de-allocated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, InfeasibleInstanceError
+from repro.topology import Topology, cost_matrix
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_fraction
+from repro.workload.synthetic import SyntheticWorkload
+
+
+@dataclass(frozen=True)
+class DRPInstance:
+    """One Data Replication Problem instance.
+
+    Attributes
+    ----------
+    cost:
+        (M, M) symmetric non-negative matrix with zero diagonal; entry
+        (i, j) is the cost of moving one data unit between servers i, j.
+    reads, writes:
+        (M, N) non-negative matrices; r_ik / w_ik of the paper.  Stored
+        as float64: fractional write weights express the paper's
+        partial-update policy ("we can move only the updated parts"),
+        see :func:`repro.drp.transforms.delta_update_instance`.
+    sizes:
+        (N,) positive integer object sizes o_k in data units.
+    capacities:
+        (M,) non-negative integer storage capacities s_i.
+    primaries:
+        (N,) server index P_k holding object k's irremovable primary copy.
+    name:
+        Label used in reports.
+    """
+
+    cost: np.ndarray
+    reads: np.ndarray
+    writes: np.ndarray
+    sizes: np.ndarray
+    capacities: np.ndarray
+    primaries: np.ndarray
+    name: str = "drp"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cost", np.asarray(self.cost, dtype=np.float64))
+        object.__setattr__(self, "reads", np.asarray(self.reads, dtype=np.float64))
+        object.__setattr__(self, "writes", np.asarray(self.writes, dtype=np.float64))
+        object.__setattr__(self, "sizes", np.asarray(self.sizes, dtype=np.int64))
+        object.__setattr__(
+            self, "capacities", np.asarray(self.capacities, dtype=np.int64)
+        )
+        object.__setattr__(self, "primaries", np.asarray(self.primaries, dtype=np.int64))
+
+        m = self.cost.shape[0]
+        if self.cost.shape != (m, m):
+            raise ConfigurationError(f"cost must be square, got {self.cost.shape}")
+        n = self.sizes.shape[0]
+        if self.reads.shape != (m, n) or self.writes.shape != (m, n):
+            raise ConfigurationError(
+                f"reads/writes must have shape ({m}, {n}); got "
+                f"{self.reads.shape} and {self.writes.shape}"
+            )
+        if self.capacities.shape != (m,):
+            raise ConfigurationError(f"capacities must have shape ({m},)")
+        if self.primaries.shape != (n,):
+            raise ConfigurationError(f"primaries must have shape ({n},)")
+        if not np.isfinite(self.cost).all() or (self.cost < 0).any():
+            raise ConfigurationError("cost entries must be finite and non-negative")
+        if not np.allclose(self.cost, self.cost.T):
+            raise ConfigurationError("cost matrix must be symmetric")
+        if np.any(np.diag(self.cost) != 0):
+            raise ConfigurationError("cost diagonal must be zero")
+        if not np.isfinite(self.reads).all() or not np.isfinite(self.writes).all():
+            raise ConfigurationError("request counts must be finite")
+        if (self.reads < 0).any() or (self.writes < 0).any():
+            raise ConfigurationError("request counts must be non-negative")
+        if (self.sizes <= 0).any():
+            raise ConfigurationError("object sizes must be positive")
+        if (self.capacities < 0).any():
+            raise ConfigurationError("capacities must be non-negative")
+        if n and (self.primaries.min() < 0 or self.primaries.max() >= m):
+            raise ConfigurationError("primary server index out of range")
+
+        # Primary copies must themselves fit: Σ_{k: P_k = i} o_k <= s_i.
+        primary_load = np.zeros(m, dtype=np.int64)
+        np.add.at(primary_load, self.primaries, self.sizes)
+        overloaded = np.nonzero(primary_load > self.capacities)[0]
+        if len(overloaded):
+            i = int(overloaded[0])
+            raise InfeasibleInstanceError(
+                f"server {i} cannot store its primary copies "
+                f"(load {int(primary_load[i])} > capacity {int(self.capacities[i])})"
+            )
+        object.__setattr__(self, "_primary_load", primary_load)
+        # Cache the derived arrays the benefit oracles hit in hot loops.
+        object.__setattr__(self, "_primary_cost_rows", self.cost[self.primaries, :])
+        object.__setattr__(self, "_w_total", self.writes.sum(axis=0))
+
+    # -- derived views ------------------------------------------------------
+
+    @property
+    def n_servers(self) -> int:
+        return self.cost.shape[0]
+
+    @property
+    def n_objects(self) -> int:
+        return self.sizes.shape[0]
+
+    @property
+    def primary_load(self) -> np.ndarray:
+        """(M,) total size of primary copies each server must hold."""
+        return self._primary_load
+
+    def primary_cost_rows(self) -> np.ndarray:
+        """(N, M) matrix whose row k is ``c(P_k, ·)`` — used throughout the
+        cost model to price primary↔server transfers.  Cached; treat as
+        read-only."""
+        return self._primary_cost_rows
+
+    def total_write_counts(self) -> np.ndarray:
+        """(N,) total writes per object, the paper's Σ_x w_xk.  Cached;
+        treat as read-only."""
+        return self._w_total
+
+    def total_requests(self) -> int:
+        return int(self.reads.sum() + self.writes.sum())
+
+    def replica_headroom(self) -> np.ndarray:
+        """(M,) capacity left after storing primaries."""
+        return self.capacities - self._primary_load
+
+    def __repr__(self) -> str:
+        return (
+            f"DRPInstance(name={self.name!r}, M={self.n_servers}, "
+            f"N={self.n_objects}, requests={self.total_requests()})"
+        )
+
+
+def build_instance(
+    topology: Topology,
+    workload: SyntheticWorkload,
+    *,
+    capacity_fraction: float = 0.25,
+    capacity_jitter: float = 0.5,
+    primaries: Optional[np.ndarray] = None,
+    seed: SeedLike = None,
+    name: str = "drp",
+) -> DRPInstance:
+    """Assemble a :class:`DRPInstance` from a topology and a workload.
+
+    Mirrors the paper's setup:
+
+    * the cost matrix is the shortest-path closure of the topology,
+    * "the primary replicas' original server was mimicked by choosing
+      random locations" — ``primaries`` default to uniform random servers,
+    * "the capacities of the servers C% were generated randomly with range
+      from Total Primary Object Sizes / 2 to 1.5 x Total Primary Object
+      Sizes" — each server's *replica headroom* is
+      ``capacity_fraction x Σ o_k`` jittered by ``Uniform(1 ± capacity_jitter)``,
+      on top of the space its own primaries need (so every instance is
+      feasible by construction and ``capacity_fraction`` is exactly the
+      paper's C% knob).
+    """
+    check_fraction(capacity_jitter, "capacity_jitter")
+    if capacity_fraction < 0:
+        raise ConfigurationError("capacity_fraction must be >= 0")
+    if topology.n_nodes != workload.n_servers:
+        raise ConfigurationError(
+            f"topology has {topology.n_nodes} nodes but workload has "
+            f"{workload.n_servers} servers"
+        )
+    rng = as_generator(seed)
+    c = cost_matrix(topology)
+    m, n = workload.n_servers, workload.n_objects
+
+    if primaries is None:
+        primaries = rng.integers(0, m, size=n)
+    primaries = np.asarray(primaries, dtype=np.int64)
+
+    primary_load = np.zeros(m, dtype=np.int64)
+    np.add.at(primary_load, primaries, workload.sizes)
+    total_size = int(workload.sizes.sum())
+    headroom = np.round(
+        capacity_fraction
+        * total_size
+        * rng.uniform(1.0 - capacity_jitter, 1.0 + capacity_jitter, size=m)
+    ).astype(np.int64)
+    capacities = primary_load + np.maximum(0, headroom)
+
+    return DRPInstance(
+        cost=c,
+        reads=workload.reads,
+        writes=workload.writes,
+        sizes=workload.sizes,
+        capacities=capacities,
+        primaries=primaries,
+        name=name,
+    )

@@ -1,0 +1,28 @@
+"""The paper's performance metric: OTC savings percentage.
+
+"The solution quality was measured in terms of network communication cost
+(OTC percentage) that was saved under the replica scheme found by the
+replica allocation methods, compared to the initial one, i.e., when only
+primary copies exist."
+"""
+
+from __future__ import annotations
+
+from repro.drp.cost import primary_only_otc, total_otc
+from repro.drp.state import ReplicationState
+
+
+def otc_savings_percent(state: ReplicationState) -> float:
+    """Percentage of the primaries-only OTC saved by ``state``.
+
+    Returns 0.0 when the baseline cost is zero (degenerate empty
+    workload).  A well-formed allocation never yields negative savings
+    because allocators only place replicas with positive benefit, but the
+    metric itself is defined for any scheme and may go negative for
+    adversarial X matrices (e.g. replicating write-hot objects
+    everywhere).
+    """
+    baseline = primary_only_otc(state.instance)
+    if baseline == 0.0:
+        return 0.0
+    return 100.0 * (baseline - total_otc(state)) / baseline

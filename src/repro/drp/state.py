@@ -1,0 +1,155 @@
+"""Mutable replication scheme: the X matrix plus the NN tables.
+
+The paper's servers each store, for every object, the primary server P_k
+and the nearest-neighbor server NN_ik holding a replica (Section 2).  The
+mechanism's NN-update broadcast (Figure 2, line 20) is the
+:meth:`ReplicationState.add_replica` distance relaxation here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.drp.instance import DRPInstance
+from repro.errors import CapacityError, ConfigurationError
+
+
+class ReplicationState:
+    """Replication scheme over a :class:`~repro.drp.instance.DRPInstance`.
+
+    Attributes
+    ----------
+    x:
+        (M, N) boolean replication matrix; ``x[P_k, k]`` is always True.
+    nn_dist:
+        (M, N) float; ``nn_dist[i, k] = min_{j in R_k} c(i, j)`` — zero for
+        replicators.
+    nn_server:
+        (M, N) int; the argmin server realizing ``nn_dist`` (ties break to
+        the earliest replica added, matching the incremental protocol).
+    used:
+        (M,) storage units consumed on each server.
+    """
+
+    def __init__(self, instance: DRPInstance):
+        self.instance = instance
+        m, n = instance.n_servers, instance.n_objects
+        self.x = np.zeros((m, n), dtype=bool)
+        self.x[instance.primaries, np.arange(n)] = True
+        # With only primaries, NN of every server for object k is P_k.
+        self.nn_dist = instance.cost[:, instance.primaries].copy()
+        self.nn_server = np.broadcast_to(instance.primaries, (m, n)).copy()
+        self.used = instance.primary_load.copy()
+        self.n_replicas_added = 0
+
+    # -- factories ----------------------------------------------------------
+
+    @classmethod
+    def primaries_only(cls, instance: DRPInstance) -> "ReplicationState":
+        """The paper's initial scheme: only the primary copies exist."""
+        return cls(instance)
+
+    @classmethod
+    def from_matrix(cls, instance: DRPInstance, x: np.ndarray) -> "ReplicationState":
+        """Build a state from an arbitrary boolean matrix.
+
+        The matrix is validated (primaries present, shapes match) and the
+        NN tables are recomputed from scratch — used by population-based
+        baselines (GRA) that manipulate whole schemes.
+        """
+        x = np.asarray(x, dtype=bool)
+        m, n = instance.n_servers, instance.n_objects
+        if x.shape != (m, n):
+            raise ConfigurationError(f"x must have shape ({m}, {n}), got {x.shape}")
+        if not x[instance.primaries, np.arange(n)].all():
+            raise ConfigurationError("primary copies may not be de-allocated")
+        state = cls(instance)
+        state.x = x.copy()
+        state.used = x @ instance.sizes
+        state.n_replicas_added = int(x.sum() - n)
+        state.recompute_nn()
+        return state
+
+    def copy(self) -> "ReplicationState":
+        dup = ReplicationState.__new__(ReplicationState)
+        dup.instance = self.instance
+        dup.x = self.x.copy()
+        dup.nn_dist = self.nn_dist.copy()
+        dup.nn_server = self.nn_server.copy()
+        dup.used = self.used.copy()
+        dup.n_replicas_added = self.n_replicas_added
+        return dup
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def residual(self) -> np.ndarray:
+        """(M,) storage units still free on each server."""
+        return self.instance.capacities - self.used
+
+    def replica_set(self, k: int) -> np.ndarray:
+        """Sorted server indices of R_k."""
+        return np.nonzero(self.x[:, k])[0]
+
+    def replica_counts(self) -> np.ndarray:
+        """(N,) number of copies of each object, primaries included."""
+        return self.x.sum(axis=0)
+
+    def total_replicas(self) -> int:
+        """Total copies beyond the primaries."""
+        return int(self.x.sum() - self.instance.n_objects)
+
+    def is_replica(self, server: int, k: int) -> bool:
+        return bool(self.x[server, k])
+
+    def can_host(self, server: int, k: int) -> bool:
+        """True iff server may receive a new replica of k: not already a
+        replicator and the object fits the residual capacity."""
+        return (not self.x[server, k]) and (
+            self.instance.sizes[k] <= self.residual[server]
+        )
+
+    # -- mutation -----------------------------------------------------------
+
+    def add_replica(self, server: int, k: int) -> None:
+        """Allocate a replica of object k on ``server``.
+
+        Performs the paper's NN-table broadcast: every server relaxes its
+        nearest-replica distance against the new replicator.  O(M).
+        """
+        if self.x[server, k]:
+            raise ConfigurationError(
+                f"server {server} already replicates object {k}"
+            )
+        size = int(self.instance.sizes[k])
+        if size > self.residual[server]:
+            raise CapacityError(
+                f"object {k} (size {size}) exceeds residual "
+                f"{int(self.residual[server])} of server {server}"
+            )
+        self.x[server, k] = True
+        self.used[server] += size
+        self.n_replicas_added += 1
+        d_new = self.instance.cost[:, server]
+        closer = d_new < self.nn_dist[:, k]
+        self.nn_dist[closer, k] = d_new[closer]
+        self.nn_server[closer, k] = server
+
+    def recompute_nn(self) -> None:
+        """Rebuild NN tables from X (vectorized per object).
+
+        Cost O(Σ_k M·|R_k|); used after bulk edits to X.
+        """
+        inst = self.instance
+        for k in range(inst.n_objects):
+            reps = np.nonzero(self.x[:, k])[0]
+            block = inst.cost[:, reps]
+            arg = block.argmin(axis=1)
+            self.nn_dist[:, k] = block[np.arange(inst.n_servers), arg]
+            self.nn_server[:, k] = reps[arg]
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicationState(M={self.instance.n_servers}, "
+            f"N={self.instance.n_objects}, extra_replicas={self.total_replicas()})"
+        )

@@ -1,0 +1,87 @@
+"""Instance transformations — cost-model policies the paper sketches.
+
+Section 2's footnote: "we made the indirect assumption that in order to
+perform a write we need to ship the whole updated version of the
+object.  This of course is not always the case, as we can move only the
+updated parts of it (modeling such policies can also be done using our
+framework)."
+
+Under the OTC model every write term is linear in the shipped volume,
+so shipping only a δ-fraction of the object per update is *exactly*
+equivalent to scaling the write-count matrix by δ — which the float
+request matrices support without approximation.  The same linearity
+powers :func:`scaled_request_instance`, used to normalize workloads
+across instance sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.drp.instance import DRPInstance
+from repro.errors import ConfigurationError
+
+
+def delta_update_instance(instance: DRPInstance, delta: float) -> DRPInstance:
+    """Model partial-update shipping: each write moves ``delta * o_k``.
+
+    Parameters
+    ----------
+    delta:
+        Fraction of the object shipped per update, in (0, 1].  ``1.0``
+        returns an equivalent instance (whole-object shipping, the
+        paper's default assumption).
+
+    Notes
+    -----
+    Equivalent by linearity: every write cost term is
+    ``w_ik * (delta * o_k) * c(...) == (delta * w_ik) * o_k * c(...)``.
+    Read costs are untouched, so replication becomes strictly more
+    attractive as ``delta`` shrinks — quantified in
+    ``benchmarks/bench_delta_updates.py``.
+    """
+    if not (0.0 < delta <= 1.0):
+        raise ConfigurationError(f"delta must be in (0, 1], got {delta}")
+    return DRPInstance(
+        cost=instance.cost,
+        reads=instance.reads,
+        writes=instance.writes * delta,
+        sizes=instance.sizes,
+        capacities=instance.capacities,
+        primaries=instance.primaries,
+        name=f"{instance.name}[delta={delta:g}]",
+    )
+
+
+def scaled_request_instance(instance: DRPInstance, factor: float) -> DRPInstance:
+    """Scale all request rates by ``factor`` (> 0).
+
+    OTC scales linearly with request volume, so savings percentages are
+    invariant under this transform (a tested property) — useful for
+    normalizing traffic density across instance sizes.
+    """
+    if factor <= 0:
+        raise ConfigurationError(f"factor must be > 0, got {factor}")
+    return DRPInstance(
+        cost=instance.cost,
+        reads=instance.reads * factor,
+        writes=instance.writes * factor,
+        sizes=instance.sizes,
+        capacities=instance.capacities,
+        primaries=instance.primaries,
+        name=f"{instance.name}[x{factor:g}]",
+    )
+
+
+def read_only_instance(instance: DRPInstance) -> DRPInstance:
+    """Drop all writes — the replication-friendliest limit, where the
+    'replicate everywhere' policy becomes optimal given capacity."""
+    return DRPInstance(
+        cost=instance.cost,
+        reads=instance.reads,
+        writes=np.zeros_like(instance.writes),
+        sizes=instance.sizes,
+        capacities=instance.capacities,
+        primaries=instance.primaries,
+        name=f"{instance.name}[read-only]",
+    )

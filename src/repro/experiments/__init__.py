@@ -1,0 +1,60 @@
+"""Experiment harness reproducing the paper's evaluation (Section 5).
+
+Every figure and table has a driver here; the matching pytest-benchmark
+target lives in ``benchmarks/``.  Paper-scale instances (M = 3718,
+N = 25,000) are scaled down (documented in DESIGN.md §3); the knobs
+(C%, R/W, update ratio) and the experimental pipeline (topology →
+trace-style workload → instance) are the paper's.
+"""
+
+from repro.experiments.config import ExperimentConfig, SCALES
+from repro.experiments.instances import paper_instance, worldcup_instance
+from repro.experiments.runner import run_algorithms, PAPER_ALGORITHMS
+from repro.experiments.sweeps import (
+    capacity_sweep,
+    rw_ratio_sweep,
+    size_grid,
+    update_ratio_sweep,
+    SweepRow,
+)
+from repro.experiments.figures import (
+    figure3_capacity_sweep,
+    figure4_rw_sweep,
+    replica_growth,
+)
+from repro.experiments.tables import table1_running_time, table2_quality
+from repro.experiments.report import format_sweep, format_series
+from repro.experiments.replication import (
+    ReplicatedComparison,
+    replicate_comparison,
+)
+from repro.experiments.sensitivity import SensitivityRow, sensitivity_study
+from repro.experiments.export import sweep_to_csv, table_to_csv, read_csv_rows
+
+__all__ = [
+    "ExperimentConfig",
+    "SCALES",
+    "paper_instance",
+    "worldcup_instance",
+    "run_algorithms",
+    "PAPER_ALGORITHMS",
+    "capacity_sweep",
+    "rw_ratio_sweep",
+    "size_grid",
+    "update_ratio_sweep",
+    "SweepRow",
+    "figure3_capacity_sweep",
+    "figure4_rw_sweep",
+    "replica_growth",
+    "table1_running_time",
+    "table2_quality",
+    "format_sweep",
+    "format_series",
+    "ReplicatedComparison",
+    "replicate_comparison",
+    "SensitivityRow",
+    "sensitivity_study",
+    "sweep_to_csv",
+    "table_to_csv",
+    "read_csv_rows",
+]

@@ -1,0 +1,75 @@
+"""CSV export of sweep and table results.
+
+Downstream plotting (gnuplot, pandas, spreadsheets) wants flat CSV;
+these writers emit exactly the rows the drivers produce, stdlib-only.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence, Union
+
+from repro.experiments.sweeps import SweepRow
+from repro.experiments.tables import TableRow
+
+PathLike = Union[str, Path]
+
+
+def sweep_to_csv(rows: Sequence[SweepRow], path: PathLike) -> Path:
+    """Write sweep rows as CSV (one line per sweep-point x algorithm)."""
+    path = Path(path)
+    if not rows:
+        raise ValueError("no sweep rows to export")
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            [
+                "sweep_param",
+                "sweep_value",
+                "algorithm",
+                "savings_percent",
+                "otc",
+                "runtime_s",
+                "replicas",
+                "rounds",
+            ]
+        )
+        for r in rows:
+            writer.writerow(
+                [
+                    r.sweep_param,
+                    r.sweep_value,
+                    r.algorithm,
+                    f"{r.savings_percent:.6f}",
+                    f"{r.otc:.6f}",
+                    f"{r.runtime_s:.6f}",
+                    r.replicas,
+                    r.rounds,
+                ]
+            )
+    return path
+
+
+def table_to_csv(rows: Sequence[TableRow], path: PathLike) -> Path:
+    """Write table rows (one line per problem instance) as CSV."""
+    path = Path(path)
+    if not rows:
+        raise ValueError("no table rows to export")
+    algorithms = list(rows[0].values)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["label", *algorithms, "agt_ram_improvement_percent"])
+        for r in rows:
+            writer.writerow(
+                [r.label]
+                + [f"{r.values.get(a, float('nan')):.6f}" for a in algorithms]
+                + [f"{r.improvement_percent:.6f}"]
+            )
+    return path
+
+
+def read_csv_rows(path: PathLike) -> list[dict[str, str]]:
+    """Read back an exported CSV as dict rows (testing/round-trips)."""
+    with Path(path).open(newline="") as fh:
+        return list(csv.DictReader(fh))

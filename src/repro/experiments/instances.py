@@ -1,0 +1,99 @@
+"""Instance builders for the evaluation.
+
+Two pipelines, as in the paper:
+
+* :func:`paper_instance` — the fast path used by sweeps: topology +
+  directly-synthesized (Zipf, skewed) workload matrices.
+* :func:`worldcup_instance` — the full trace pipeline: synthetic WC'98
+  log lines → parser → per-client aggregates → 1-M client mapping →
+  matrices.  Slower but exercises the exact processing chain the paper
+  describes; used by integration tests and the trace-replay example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.drp.instance import DRPInstance, build_instance
+from repro.experiments.config import ExperimentConfig
+from repro.topology import make_topology
+from repro.utils.rng import spawn_children
+from repro.workload.clients import map_clients_to_servers
+from repro.workload.stats import trace_to_matrices
+from repro.workload.synthetic import SyntheticWorkload, synthesize_workload
+from repro.workload.worldcup import WorldCupLogGenerator, parse_common_log
+
+
+def paper_instance(cfg: ExperimentConfig) -> DRPInstance:
+    """Build a DRP instance from an :class:`ExperimentConfig`."""
+    rng_topo, rng_work, rng_inst = spawn_children(cfg.seed, 3)
+    topo = make_topology(
+        cfg.topology, cfg.n_servers, seed=rng_topo, **cfg.topology_params
+    )
+    workload = synthesize_workload(
+        topo.n_nodes,
+        cfg.n_objects,
+        total_requests=cfg.total_requests,
+        rw_ratio=cfg.rw_ratio,
+        popularity_alpha=cfg.popularity_alpha,
+        server_skew=cfg.server_skew,
+        mean_object_size=cfg.mean_object_size,
+        size_cv=cfg.size_cv,
+        seed=rng_work,
+    )
+    return build_instance(
+        topo,
+        workload,
+        capacity_fraction=cfg.capacity_fraction,
+        seed=rng_inst,
+        name=cfg.name,
+    )
+
+
+def worldcup_instance(
+    cfg: ExperimentConfig,
+    *,
+    n_clients: int = 200,
+    write_fraction: float | None = None,
+) -> DRPInstance:
+    """Build an instance through the full log pipeline.
+
+    Generates synthetic WC'98 log lines, parses them back (exercising the
+    common-log-format parser), aggregates per client, and maps clients to
+    servers 1-M — the paper's exact processing chain.
+    """
+    rng_topo, rng_gen, rng_map, rng_inst = spawn_children(cfg.seed, 4)
+    topo = make_topology(
+        cfg.topology, cfg.n_servers, seed=rng_topo, **cfg.topology_params
+    )
+    wf = (1.0 - cfg.rw_ratio) if write_fraction is None else write_fraction
+    gen = WorldCupLogGenerator(
+        n_objects=cfg.n_objects,
+        n_clients=n_clients,
+        mean_object_size=cfg.mean_object_size,
+        size_cv=cfg.size_cv,
+        popularity_alpha=cfg.popularity_alpha,
+        write_fraction=wf,
+        seed=rng_gen,
+    )
+    lines = gen.generate_log(cfg.total_requests)
+    trace = parse_common_log(lines, status_ok_only=True)
+    mapping = map_clients_to_servers(
+        trace.n_clients, topo.n_nodes, skew=cfg.server_skew, seed=rng_map
+    )
+    reads, writes = trace_to_matrices(trace, mapping, topo.n_nodes)
+    # The parser re-derives object sizes from response bytes; request
+    # matrices must align with the parsed catalog.
+    workload = SyntheticWorkload(
+        reads=reads,
+        writes=writes,
+        sizes=np.asarray(trace.catalog.sizes),
+        rw_ratio=cfg.rw_ratio,
+    )
+    return build_instance(
+        topo,
+        workload,
+        capacity_fraction=cfg.capacity_fraction,
+        seed=rng_inst,
+        name=f"{cfg.name}-worldcup",
+    )

@@ -1,0 +1,71 @@
+"""Rendering of sweep/table results into the rows the paper reports."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from repro.experiments.sweeps import SweepRow
+from repro.utils.tables import render_table
+
+
+def format_series(
+    series: dict[str, list[tuple[float, float]]],
+    *,
+    x_label: str = "x",
+    y_label: str = "OTC savings (%)",
+    title: str | None = None,
+) -> str:
+    """Render figure series as one table: rows = x values, cols = methods."""
+    algorithms = sorted(series)
+    xs: list[float] = sorted({x for pts in series.values() for x, _ in pts})
+    lookup = {
+        alg: {x: y for x, y in pts} for alg, pts in series.items()
+    }
+    rows = []
+    for x in xs:
+        rows.append(
+            [x] + [lookup[alg].get(x, float("nan")) for alg in algorithms]
+        )
+    return render_table(
+        [x_label] + algorithms,
+        rows,
+        title=title or f"{y_label} by {x_label}",
+    )
+
+
+def format_sweep(
+    rows: Sequence[SweepRow],
+    *,
+    field: str = "savings_percent",
+    title: str | None = None,
+) -> str:
+    """Render raw sweep rows pivoted by (sweep value x algorithm)."""
+    by_value: dict = defaultdict(dict)
+    algorithms: list[str] = []
+    for row in rows:
+        by_value[row.sweep_value][row.algorithm] = getattr(row, field)
+        if row.algorithm not in algorithms:
+            algorithms.append(row.algorithm)
+    param = rows[0].sweep_param if rows else "value"
+    table_rows = [
+        [str(value)] + [cells.get(alg, float("nan")) for alg in algorithms]
+        for value, cells in by_value.items()
+    ]
+    return render_table([param] + algorithms, table_rows, title=title)
+
+
+def format_table_rows(table_rows, *, metric_label: str) -> str:
+    """Render :class:`repro.experiments.tables.TableRow` records."""
+    if not table_rows:
+        return "(empty table)"
+    algorithms = list(table_rows[0].values)
+    headers = ["Problem Size"] + algorithms + ["AGT-RAM improvement (%)"]
+    rows = []
+    for tr in table_rows:
+        rows.append(
+            [tr.label]
+            + [tr.values.get(alg, float("nan")) for alg in algorithms]
+            + [tr.improvement_percent]
+        )
+    return render_table(headers, rows, title=metric_label)

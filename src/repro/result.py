@@ -1,0 +1,58 @@
+"""The common result record every replica-placement algorithm returns.
+
+Keeping one shape lets the experiment harness treat AGT-RAM and all five
+baselines uniformly when producing the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.drp.savings import otc_savings_percent
+from repro.drp.state import ReplicationState
+
+
+@dataclass
+class PlacementResult:
+    """Outcome of one replica-placement run.
+
+    Attributes
+    ----------
+    algorithm:
+        Canonical algorithm label ("AGT-RAM", "Greedy", "GRA", ...).
+    state:
+        The final replication scheme.
+    otc:
+        Final cumulative Object Transfer Cost.
+    runtime_s:
+        Wall-clock seconds spent inside the algorithm.
+    rounds:
+        Algorithm-specific iteration count (mechanism rounds, greedy
+        steps, GA generations, auction rounds, search-node expansions).
+    extra:
+        Algorithm-specific payload (payments, message counts, audit log).
+    """
+
+    algorithm: str
+    state: ReplicationState
+    otc: float
+    runtime_s: float
+    rounds: int
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def savings_percent(self) -> float:
+        """OTC savings vs the primaries-only scheme (the paper's metric)."""
+        return otc_savings_percent(self.state)
+
+    @property
+    def replicas_allocated(self) -> int:
+        return self.state.total_replicas()
+
+    def __repr__(self) -> str:
+        return (
+            f"PlacementResult({self.algorithm}, otc={self.otc:.1f}, "
+            f"savings={self.savings_percent:.1f}%, replicas="
+            f"{self.replicas_allocated}, {self.runtime_s:.3f}s)"
+        )

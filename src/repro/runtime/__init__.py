@@ -1,0 +1,47 @@
+"""Semi-distributed execution model.
+
+The paper's deployment (Ada/GLADE over a distributed system) exchanges
+messages between server agents and a lightweight central body.  This
+package simulates that protocol at message granularity:
+
+* :mod:`repro.runtime.messages` — the wire protocol (BID, ALLOCATE,
+  PAYMENT, NN_UPDATE) with byte accounting,
+* :mod:`repro.runtime.central` — the central decision body, whose only
+  output per round is the binary replicate / don't-replicate decision,
+* :mod:`repro.runtime.simulator` — a round-based simulation driving
+  :class:`~repro.core.agents.ReplicaAgent` objects through Figure 2,
+* :mod:`repro.runtime.parallel` — thread-pool evaluation of the PARFOR
+  loops (agents genuinely compute bids concurrently),
+* :mod:`repro.runtime.metrics` — rounds / messages / bytes accounting.
+"""
+
+from repro.runtime.messages import (
+    Message,
+    BidMessage,
+    AllocateMessage,
+    PaymentMessage,
+    NNUpdateMessage,
+    MessageLog,
+)
+from repro.runtime.central import CentralBody, Decision
+from repro.runtime.metrics import RuntimeMetrics
+from repro.runtime.simulator import SemiDistributedSimulator
+from repro.runtime.parallel import ParallelBidEvaluator
+from repro.runtime.replay import RealizedCost, replay_requests, replay_trace
+
+__all__ = [
+    "Message",
+    "BidMessage",
+    "AllocateMessage",
+    "PaymentMessage",
+    "NNUpdateMessage",
+    "MessageLog",
+    "CentralBody",
+    "Decision",
+    "RuntimeMetrics",
+    "SemiDistributedSimulator",
+    "ParallelBidEvaluator",
+    "RealizedCost",
+    "replay_requests",
+    "replay_trace",
+]

@@ -1,0 +1,84 @@
+"""The central decision body.
+
+The paper's scalability argument rests on how little this component
+does: it receives one bid per active agent, takes the maximum, computes
+the second-best payment, and answers with a single binary decision —
+``(0) not to replicate or (1) to replicate``.  It holds no cost matrix,
+no workload, no replica map beyond what the protocol itself carries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+import numpy as np
+
+from repro.core.payments import PAYMENT_RULES
+from repro.errors import ConfigurationError, MechanismProtocolError
+from repro.runtime.messages import BidMessage
+
+
+class Decision(IntEnum):
+    """The central body's only vocabulary."""
+
+    DO_NOT_REPLICATE = 0
+    REPLICATE = 1
+
+
+@dataclass(frozen=True)
+class RoundOutcome:
+    """What the central body announces after one round of bids."""
+
+    decision: Decision
+    winner: int = -1
+    obj: int = -1
+    payment: float = 0.0
+
+
+class CentralBody:
+    """Stateless round arbiter."""
+
+    def __init__(self, payment_rule: str = "second_price"):
+        if payment_rule not in PAYMENT_RULES:
+            raise ConfigurationError(
+                f"unknown payment rule {payment_rule!r}; expected one of "
+                f"{sorted(PAYMENT_RULES)}"
+            )
+        self._pay = PAYMENT_RULES[payment_rule]
+        self.payment_rule = payment_rule
+
+    def decide(self, bids: list[BidMessage], n_agents: int) -> RoundOutcome:
+        """Pick the globally dominant bid and price it.
+
+        Duplicate bids from one agent in a round violate the protocol.
+        """
+        seen: set[int] = set()
+        values = np.full(n_agents, -np.inf)
+        objs = np.full(n_agents, -1, dtype=np.int64)
+        for bid in bids:
+            if bid.sender in seen:
+                raise MechanismProtocolError(
+                    f"agent {bid.sender} sent two bids in one round"
+                )
+            if not (0 <= bid.sender < n_agents):
+                raise MechanismProtocolError(
+                    f"bid from unknown agent {bid.sender}"
+                )
+            seen.add(bid.sender)
+            values[bid.sender] = bid.value
+            objs[bid.sender] = bid.obj
+
+        if not len(bids):
+            return RoundOutcome(decision=Decision.DO_NOT_REPLICATE)
+        winner = int(np.argmax(values))
+        best = float(values[winner])
+        if not np.isfinite(best) or best <= 0.0:
+            return RoundOutcome(decision=Decision.DO_NOT_REPLICATE)
+        payment = self._pay(values, winner)
+        return RoundOutcome(
+            decision=Decision.REPLICATE,
+            winner=winner,
+            obj=int(objs[winner]),
+            payment=payment,
+        )

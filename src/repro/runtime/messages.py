@@ -1,0 +1,103 @@
+"""The mechanism's wire protocol with byte accounting.
+
+Message sizes follow a compact binary encoding (8-byte float values,
+4-byte integer ids, 1-byte tags) so the simulator can report protocol
+overhead in bytes — the quantity a deployment engineer would budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base message: sender/receiver use -1 for the central body."""
+
+    sender: int
+    receiver: int
+
+    #: wire size in bytes, excluding transport framing
+    WIRE_BYTES = 1 + 4 + 4  # tag + sender + receiver
+
+    def wire_bytes(self) -> int:
+        return self.WIRE_BYTES
+
+
+@dataclass(frozen=True)
+class BidMessage(Message):
+    """Agent → central: dominant valuation for a desired object
+    (Figure 2 line 08)."""
+
+    obj: int = -1
+    value: float = 0.0
+
+    def wire_bytes(self) -> int:
+        return Message.WIRE_BYTES + 4 + 8
+
+
+@dataclass(frozen=True)
+class AllocateMessage(Message):
+    """Central → all agents: the OMAX broadcast (line 13) carrying the
+    winning (server, object) pair so NN tables can be updated."""
+
+    winner: int = -1
+    obj: int = -1
+
+    def wire_bytes(self) -> int:
+        return Message.WIRE_BYTES + 4 + 4
+
+
+@dataclass(frozen=True)
+class PaymentMessage(Message):
+    """Central → winner: the second-best payment (line 14)."""
+
+    amount: float = 0.0
+
+    def wire_bytes(self) -> int:
+        return Message.WIRE_BYTES + 8
+
+
+@dataclass(frozen=True)
+class NNUpdateMessage(Message):
+    """Agent-internal NN table refresh acknowledgement (lines 19–21).
+
+    Modeled as a message so the accounting covers the full broadcast
+    fan-out of a round.
+    """
+
+    obj: int = -1
+
+    def wire_bytes(self) -> int:
+        return Message.WIRE_BYTES + 4
+
+
+@dataclass(frozen=True)
+class ElectionMessage(Message):
+    """Agent → agent: leader-election vote after a central-body failure
+    (the §7 "self-repairing" behaviour).  Carries the proposed id."""
+
+    candidate: int = -1
+
+    def wire_bytes(self) -> int:
+        return Message.WIRE_BYTES + 4
+
+
+@dataclass
+class MessageLog:
+    """Counts and sizes per message type; optionally keeps the stream."""
+
+    keep_messages: bool = False
+    counts: dict[str, int] = field(default_factory=dict)
+    bytes_total: int = 0
+    messages: list[Message] = field(default_factory=list)
+
+    def record(self, message: Message) -> None:
+        name = type(message).__name__
+        self.counts[name] = self.counts.get(name, 0) + 1
+        self.bytes_total += message.wire_bytes()
+        if self.keep_messages:
+            self.messages.append(message)
+
+    def total_messages(self) -> int:
+        return sum(self.counts.values())

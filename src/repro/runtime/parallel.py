@@ -1,0 +1,61 @@
+"""Concurrent evaluation of the PARFOR loops of Figure 2.
+
+The mechanism's per-round agent work ("compute the valuation
+corresponding to the desired object" for every object in L_i) is
+embarrassingly parallel across agents.  :class:`ParallelBidEvaluator`
+runs it on a thread pool: the bid computation is numpy-bound, so the GIL
+is released inside the array kernels and threads provide genuine overlap
+without the serialization cost of process pools.
+
+This is the fidelity knob, not the speed knob — the vectorized
+:class:`~repro.core.agt_ram.AGTRam` engine evaluates all agents in one
+array operation and is faster than any per-agent executor; the simulator
+exists to model the distributed protocol faithfully (per-agent work,
+message counts, critical-path depth).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional, Sequence
+
+from repro.core.agents import Bid, ReplicaAgent
+from repro.drp.benefit import BenefitEngine
+
+
+class ParallelBidEvaluator:
+    """Evaluates all agents' bids for one round, optionally in parallel.
+
+    Parameters
+    ----------
+    max_workers:
+        Thread count; ``None`` disables the pool (serial evaluation),
+        mirroring a single-machine deployment.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self._pool = (
+            ThreadPoolExecutor(max_workers=max_workers) if max_workers else None
+        )
+
+    def evaluate(
+        self, agents: Sequence[ReplicaAgent], engine: BenefitEngine
+    ) -> list[Bid | None]:
+        """One PARFOR sweep: each agent's dominant bid (None = abstains)."""
+        if self._pool is None:
+            return [agent.make_bid(engine) for agent in agents]
+        return list(self._pool.map(lambda a: a.make_bid(engine), agents))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelBidEvaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,234 @@
+"""Message-granular simulation of the AGT-RAM protocol.
+
+Drives explicit :class:`~repro.core.agents.ReplicaAgent` objects and a
+:class:`~repro.runtime.central.CentralBody` through Figure 2, recording
+every message.  Produces byte/round/critical-path accounting the
+vectorized engine cannot, and — by construction — the *same final
+replication scheme* as :class:`~repro.core.agt_ram.AGTRam` under
+truthful agents (a tested equivalence).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.core.agents import ReplicaAgent
+from repro.core.strategies import Strategy
+from repro.drp.benefit import BenefitEngine
+from repro.drp.cost import total_otc
+from repro.drp.instance import DRPInstance
+from repro.drp.state import ReplicationState
+from repro.result import PlacementResult
+from repro.runtime.central import CentralBody, Decision
+from repro.runtime.messages import (
+    AllocateMessage,
+    BidMessage,
+    ElectionMessage,
+    MessageLog,
+    NNUpdateMessage,
+    PaymentMessage,
+)
+from repro.runtime.metrics import RuntimeMetrics
+from repro.runtime.parallel import ParallelBidEvaluator
+from repro.utils.timing import Timer
+
+#: The central body's address in the message log.
+CENTRAL = -1
+
+
+class SemiDistributedSimulator:
+    """Protocol-faithful AGT-RAM execution.
+
+    Parameters
+    ----------
+    payment_rule:
+        Forwarded to the central body.
+    strategies:
+        Optional per-agent deviation strategies.
+    max_workers:
+        Thread-pool width for the PARFOR bid sweep (None = serial).
+    keep_messages:
+        Retain full message objects in the log (memory-heavy; counts and
+        bytes are always kept).
+    nn_update_period:
+        NN-table broadcast cadence.  1 (the paper's eager protocol)
+        broadcasts after every allocation; T > 1 lets agents bid on
+        views up to T-1 rounds stale, trading NN-update message volume
+        for solution quality (the DESIGN.md §5 ablation).  A winner's
+        own row is always fresh — it knows what it hosts.
+    failed_agents:
+        Servers whose agent process is down; they never bid and so
+        never receive replicas, but their primaries keep serving (data
+        survives agent failure).  Models the paper's robustness concern
+        about per-node failures in a large system.
+    central_failure_round:
+        If set, the central body crashes at the start of that round.
+        The agents self-repair (paper §7): each broadcasts an election
+        vote and the lowest-id live agent takes over as acting central.
+        The protocol — and the final scheme — are unchanged (the
+        central role is stateless); what the failure costs is one
+        election round of messages, which the metrics record.
+    """
+
+    def __init__(
+        self,
+        *,
+        payment_rule: str = "second_price",
+        strategies: Optional[Mapping[int, Strategy]] = None,
+        max_workers: Optional[int] = None,
+        keep_messages: bool = False,
+        nn_update_period: int = 1,
+        failed_agents: Optional[set[int]] = None,
+        central_failure_round: Optional[int] = None,
+    ):
+        if nn_update_period < 1:
+            raise ValueError("nn_update_period must be >= 1")
+        if central_failure_round is not None and central_failure_round < 0:
+            raise ValueError("central_failure_round must be >= 0")
+        self.central = CentralBody(payment_rule)
+        self.strategies = dict(strategies) if strategies else {}
+        self.max_workers = max_workers
+        self.keep_messages = keep_messages
+        self.nn_update_period = nn_update_period
+        self.failed_agents = set(failed_agents or ())
+        self.central_failure_round = central_failure_round
+
+    def run(self, instance: DRPInstance) -> PlacementResult:
+        timer = Timer()
+        metrics = RuntimeMetrics(log=MessageLog(keep_messages=self.keep_messages))
+        m = instance.n_servers
+
+        agents = []
+        for i in range(m):
+            if i in self.strategies:
+                agents.append(ReplicaAgent(server=i, strategy=self.strategies[i]))
+            else:
+                agents.append(ReplicaAgent(server=i))
+
+        with timer, ParallelBidEvaluator(self.max_workers) as evaluator:
+            state = ReplicationState.primaries_only(instance)
+            engine = BenefitEngine(instance, state)
+            active = set(range(m)) - self.failed_agents
+            acting_central = CENTRAL  # the dedicated body, until it fails
+            handover_round: Optional[int] = None
+
+            while active:
+                # Self-repair (§7): the central body crashes; every live
+                # agent broadcasts an election vote for the lowest live
+                # id, which becomes the acting central.  The role is
+                # stateless, so the game resumes at the next round.
+                if (
+                    self.central_failure_round is not None
+                    and handover_round is None
+                    and metrics.rounds >= self.central_failure_round
+                ):
+                    new_central = min(active)
+                    for voter in sorted(active):
+                        for peer in sorted(active):
+                            if peer != voter:
+                                metrics.log.record(
+                                    ElectionMessage(
+                                        sender=voter,
+                                        receiver=peer,
+                                        candidate=new_central,
+                                    )
+                                )
+                    acting_central = new_central
+                    handover_round = metrics.rounds
+                ordered = sorted(active)
+                live_agents = [agents[i] for i in ordered]
+                bids = evaluator.evaluate(live_agents, engine)
+
+                # Per-agent work this round = |L_i| object evaluations.
+                eligible_counts = np.isfinite(engine.matrix[ordered]).sum(axis=1)
+                metrics.record_round_work([int(c) for c in eligible_counts])
+
+                bid_msgs = []
+                for agent_id, bid in zip(ordered, bids):
+                    if bid is None:
+                        # Empty L_i: the agent leaves the game (line 18).
+                        active.discard(agent_id)
+                        continue
+                    msg = BidMessage(
+                        sender=agent_id, receiver=acting_central, obj=bid.obj, value=bid.value
+                    )
+                    metrics.log.record(msg)
+                    bid_msgs.append(msg)
+
+                outcome = self.central.decide(bid_msgs, m)
+                if outcome.decision is Decision.DO_NOT_REPLICATE:
+                    break
+                metrics.rounds += 1
+
+                # OMAX broadcast (line 13) + payment (line 14).
+                for agent_id in sorted(active):
+                    metrics.log.record(
+                        AllocateMessage(
+                            sender=acting_central,
+                            receiver=agent_id,
+                            winner=outcome.winner,
+                            obj=outcome.obj,
+                        )
+                    )
+                metrics.log.record(
+                    PaymentMessage(
+                        sender=acting_central, receiver=outcome.winner, amount=outcome.payment
+                    )
+                )
+
+                true_value = float(engine.matrix[outcome.winner, outcome.obj])
+                agents[outcome.winner].award(outcome.obj, outcome.payment, true_value)
+
+                state.add_replica(outcome.winner, outcome.obj)
+                if self.nn_update_period == 1:
+                    # Eager protocol (the paper): broadcast after every
+                    # allocation; every agent's view is always fresh.
+                    engine.notify_allocation(outcome.winner, outcome.obj)
+                    for agent_id in sorted(active):
+                        metrics.log.record(
+                            NNUpdateMessage(
+                                sender=agent_id, receiver=agent_id, obj=outcome.obj
+                            )
+                        )
+                else:
+                    # Lazy protocol: only the winner learns immediately
+                    # (about its own allocation); everyone else resyncs
+                    # on the periodic broadcast.
+                    engine.refresh_server(outcome.winner)
+                    metrics.log.record(
+                        NNUpdateMessage(
+                            sender=outcome.winner,
+                            receiver=outcome.winner,
+                            obj=outcome.obj,
+                        )
+                    )
+                    if metrics.rounds % self.nn_update_period == 0:
+                        engine.resync()
+                        for agent_id in sorted(active):
+                            metrics.log.record(
+                                NNUpdateMessage(
+                                    sender=agent_id,
+                                    receiver=agent_id,
+                                    obj=outcome.obj,
+                                )
+                            )
+
+        payments = np.array([a.payments_received for a in agents])
+        utilities = np.array([a.utility for a in agents])
+        return PlacementResult(
+            algorithm="AGT-RAM(simulated)",
+            state=state,
+            otc=total_otc(state),
+            runtime_s=timer.elapsed,
+            rounds=metrics.rounds,
+            extra={
+                "payments": payments,
+                "utilities": utilities,
+                "metrics": metrics,
+                "agents": agents,
+                "acting_central": acting_central,
+                "central_handover_round": handover_round,
+            },
+        )

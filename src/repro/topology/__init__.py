@@ -1,0 +1,40 @@
+"""Network topology substrate.
+
+The paper drew topologies from the GT-ITM and Inet generators.  This
+package reimplements the generative families those tools produce:
+
+* :func:`random_graph` — GT-ITM's "pure random" model G(M, P(edge=p)),
+* :func:`waxman_graph` — the Waxman locality model,
+* :func:`transit_stub_graph` — GT-ITM's hierarchical transit-stub model,
+* :func:`powerlaw_graph` — an Inet-style AS-level preferential-attachment
+  power-law topology,
+
+plus :func:`cost_matrix` which turns any of them into the all-pairs
+communication-cost matrix the Data Replication Problem consumes (shortest
+paths over link costs; the paper reverse-maps link distance onto the cost
+of shipping 1 kB).
+"""
+
+from repro.topology.graph import Topology
+from repro.topology.random_graph import random_graph
+from repro.topology.waxman import waxman_graph
+from repro.topology.transit_stub import transit_stub_graph
+from repro.topology.powerlaw import powerlaw_graph
+from repro.topology.costs import cost_matrix, propagation_delays, COPPER_SPEED_M_PER_S
+from repro.topology.generators import TOPOLOGY_GENERATORS, make_topology
+from repro.topology.io import read_edge_list, write_edge_list
+
+__all__ = [
+    "Topology",
+    "random_graph",
+    "waxman_graph",
+    "transit_stub_graph",
+    "powerlaw_graph",
+    "cost_matrix",
+    "propagation_delays",
+    "COPPER_SPEED_M_PER_S",
+    "TOPOLOGY_GENERATORS",
+    "make_topology",
+    "read_edge_list",
+    "write_edge_list",
+]

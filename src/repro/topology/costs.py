@@ -1,0 +1,77 @@
+"""All-pairs communication-cost matrices.
+
+The DRP's c(i, j) is "the sum of the costs of all the links in a chosen
+path" when i and j are not adjacent — i.e. the shortest-path closure of
+the link-cost graph.  We compute it with scipy's C Dijkstra over a sparse
+adjacency, which is the standard vectorized route (an O(M^2) dense Python
+loop would dominate instance-construction time).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import shortest_path
+
+from repro.errors import InfeasibleInstanceError
+from repro.topology.graph import Topology
+
+#: Signal propagation speed used by the paper's latency remark
+#: ("the latency on a link was assumed to be ... m/s (copper wire)").
+#: Electrical signalling in copper propagates at roughly 2/3 c.
+COPPER_SPEED_M_PER_S: float = 2.0e8
+
+
+def cost_matrix(topology: Topology, *, validate: bool = True) -> np.ndarray:
+    """Dense symmetric all-pairs shortest-path cost matrix.
+
+    Parameters
+    ----------
+    topology:
+        Any :class:`~repro.topology.graph.Topology`.
+    validate:
+        When True (default), raise :class:`InfeasibleInstanceError` if the
+        graph is disconnected (infinite entries would poison the DRP).
+
+    Returns
+    -------
+    numpy.ndarray
+        (M, M) float matrix with zero diagonal, ``c[i, j] == c[j, i]``.
+    """
+    n = topology.n_nodes
+    if topology.n_edges == 0:
+        if n == 1:
+            return np.zeros((1, 1))
+        raise InfeasibleInstanceError("edgeless multi-node topology is disconnected")
+    u, v = topology.edges[:, 0], topology.edges[:, 1]
+    w = topology.weights
+    adj = csr_matrix(
+        (np.concatenate([w, w]), (np.concatenate([u, v]), np.concatenate([v, u]))),
+        shape=(n, n),
+    )
+    c = shortest_path(adj, method="D", directed=False)
+    if validate and not np.isfinite(c).all():
+        raise InfeasibleInstanceError("topology is disconnected (infinite path cost)")
+    # Dijkstra over a symmetric graph is symmetric up to float noise;
+    # symmetrize exactly so c(i,j) == c(j,i) holds bit-for-bit (the DRP
+    # formulation assumes it).
+    c = np.minimum(c, c.T)
+    np.fill_diagonal(c, 0.0)
+    return c
+
+
+def propagation_delays(
+    cost: np.ndarray,
+    *,
+    meters_per_cost_unit: float = 1_000.0,
+    speed_m_per_s: float = COPPER_SPEED_M_PER_S,
+) -> np.ndarray:
+    """Map a cost matrix to one-way propagation delays in seconds.
+
+    The paper reverse-maps distance to the cost of shipping 1 kB and
+    assumes copper-wire propagation; this helper exposes that latency view
+    for reporting (the optimization itself runs on costs).
+    """
+    if meters_per_cost_unit <= 0 or speed_m_per_s <= 0:
+        raise ValueError("scale factors must be positive")
+    return np.asarray(cost, dtype=np.float64) * meters_per_cost_unit / speed_m_per_s

@@ -1,0 +1,82 @@
+"""Topology generator registry.
+
+Experiments name their topology family by string (e.g. in a sweep config);
+:func:`make_topology` dispatches to the matching generator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.topology.graph import Topology
+from repro.topology.powerlaw import powerlaw_graph
+from repro.topology.random_graph import random_graph
+from repro.topology.transit_stub import transit_stub_graph
+from repro.topology.waxman import waxman_graph
+from repro.utils.rng import SeedLike
+
+
+def _make_random(n_nodes: int, seed: SeedLike, **kw) -> Topology:
+    kw.setdefault("p", 0.4)
+    return random_graph(n_nodes, seed=seed, **kw)
+
+
+def _make_waxman(n_nodes: int, seed: SeedLike, **kw) -> Topology:
+    return waxman_graph(n_nodes, seed=seed, **kw)
+
+
+def _make_powerlaw(n_nodes: int, seed: SeedLike, **kw) -> Topology:
+    return powerlaw_graph(n_nodes, seed=seed, **kw)
+
+
+def _make_transit_stub(n_nodes: int, seed: SeedLike, **kw) -> Topology:
+    """Pick transit-stub shape parameters so the node count is >= n_nodes.
+
+    The hierarchical model's size is a product of its shape parameters, so
+    an arbitrary ``n_nodes`` cannot always be hit exactly; we choose the
+    number of stub domains to reach at least ``n_nodes`` and callers that
+    need an exact count should build the shape explicitly via
+    :func:`repro.topology.transit_stub_graph`.
+    """
+    transit_size = kw.pop("transit_size", 4)
+    stub_size = kw.pop("stub_size", 4)
+    n_transit_domains = kw.pop("n_transit_domains", 1)
+    per_stub = stub_size
+    base = n_transit_domains * transit_size
+    remaining = max(0, n_nodes - base)
+    stubs_total = -(-remaining // per_stub)  # ceil
+    stubs_per_transit_node = max(1, -(-stubs_total // base))
+    return transit_stub_graph(
+        n_transit_domains=n_transit_domains,
+        transit_size=transit_size,
+        stubs_per_transit_node=stubs_per_transit_node,
+        stub_size=stub_size,
+        seed=seed,
+        **kw,
+    )
+
+
+TOPOLOGY_GENERATORS: dict[str, Callable[..., Topology]] = {
+    "random": _make_random,
+    "waxman": _make_waxman,
+    "powerlaw": _make_powerlaw,
+    "transit-stub": _make_transit_stub,
+}
+
+
+def make_topology(kind: str, n_nodes: int, *, seed: SeedLike = None, **kwargs) -> Topology:
+    """Build a topology of family ``kind`` with roughly ``n_nodes`` nodes.
+
+    ``kind`` is one of ``"random"``, ``"waxman"``, ``"powerlaw"``,
+    ``"transit-stub"``.  Extra keyword arguments are forwarded to the
+    family's generator.
+    """
+    try:
+        gen = TOPOLOGY_GENERATORS[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown topology kind {kind!r}; expected one of "
+            f"{sorted(TOPOLOGY_GENERATORS)}"
+        ) from None
+    return gen(n_nodes, seed, **kwargs)

@@ -1,0 +1,96 @@
+"""Topology file I/O.
+
+A plain edge-list text format compatible in spirit with GT-ITM's
+``sgb2alt`` output, so real generated topologies (or hand-written ones)
+can be dropped into the pipeline:
+
+.. code-block:: text
+
+    # comment lines start with '#'
+    nodes 4
+    0 1 2.5
+    1 2 1.0
+    2 3 4.25
+
+Each edge line is ``u v weight``; the ``nodes`` header is optional (the
+maximum endpoint + 1 is used when absent, which silently drops trailing
+isolated nodes — declare the count when they matter).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.topology.graph import Topology
+
+PathLike = Union[str, Path]
+
+
+def write_edge_list(topology: Topology, path: PathLike) -> Path:
+    """Write a topology as an edge-list file."""
+    path = Path(path)
+    lines = [
+        f"# topology: {topology.name}",
+        f"nodes {topology.n_nodes}",
+    ]
+    lines.extend(f"{u} {v} {w:.12g}" for u, v, w in topology.iter_edges())
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def read_edge_list(path: PathLike, *, name: str | None = None) -> Topology:
+    """Parse an edge-list file into a :class:`Topology`.
+
+    Raises :class:`~repro.errors.ConfigurationError` on malformed lines
+    with the offending line number, as a parser must.
+    """
+    path = Path(path)
+    declared_nodes: int | None = None
+    edges: list[tuple[int, int]] = []
+    weights: list[float] = []
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if parts[0] == "nodes":
+            if len(parts) != 2:
+                raise ConfigurationError(f"{path}:{lineno}: malformed nodes header")
+            try:
+                declared_nodes = int(parts[1])
+            except ValueError:
+                raise ConfigurationError(
+                    f"{path}:{lineno}: node count must be an integer"
+                ) from None
+            continue
+        if len(parts) != 3:
+            raise ConfigurationError(
+                f"{path}:{lineno}: expected 'u v weight', got {line!r}"
+            )
+        try:
+            u, v = int(parts[0]), int(parts[1])
+            w = float(parts[2])
+        except ValueError:
+            raise ConfigurationError(
+                f"{path}:{lineno}: could not parse edge {line!r}"
+            ) from None
+        edges.append((u, v))
+        weights.append(w)
+
+    if not edges and declared_nodes is None:
+        raise ConfigurationError(f"{path}: no edges and no node count")
+    n_nodes = (
+        declared_nodes
+        if declared_nodes is not None
+        else int(max(max(u, v) for u, v in edges)) + 1
+    )
+    return Topology(
+        n_nodes=n_nodes,
+        edges=np.array(edges, dtype=np.int64).reshape(-1, 2),
+        weights=np.array(weights, dtype=np.float64),
+        name=name or path.stem,
+    )

@@ -1,0 +1,26 @@
+"""Shared utilities: RNG fan-out, timing, validation, table rendering."""
+
+from repro.utils.rng import RngFactory, as_generator, spawn_children
+from repro.utils.timing import Timer, format_seconds
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+from repro.utils.tables import render_table
+from repro.utils.ascii_chart import ascii_chart
+
+__all__ = [
+    "ascii_chart",
+    "RngFactory",
+    "as_generator",
+    "spawn_children",
+    "Timer",
+    "format_seconds",
+    "check_fraction",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "render_table",
+]

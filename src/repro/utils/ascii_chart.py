@@ -1,0 +1,71 @@
+"""Terminal line charts for figure series.
+
+No plotting dependency is available offline, so the examples and
+benchmark reports render figure series as ASCII charts — enough to see
+the saturation and crossover shapes the paper's plots show.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+#: Plot glyph per series, cycled in insertion order.
+_GLYPHS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render ``{name: [(x, y), ...]}`` as a fixed-size ASCII chart.
+
+    Points that collide on a cell keep the first-drawn series' glyph; a
+    legend maps glyphs back to names.  Raises on empty input.
+    """
+    if not series or all(not pts for pts in series.values()):
+        raise ValueError("nothing to plot")
+    xs = [x for pts in series.values() for x, _ in pts]
+    ys = [y for pts in series.values() for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if math.isclose(x_lo, x_hi):
+        x_hi = x_lo + 1.0
+    if math.isclose(y_lo, y_hi):
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> tuple[int, int]:
+        cx = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        cy = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        return height - 1 - cy, cx
+
+    legend = []
+    for idx, (name, pts) in enumerate(series.items()):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        legend.append(f"{glyph} = {name}")
+        for x, y in pts:
+            r, c = cell(x, y)
+            if grid[r][c] == " ":
+                grid[r][c] = glyph
+
+    top = f"{y_hi:10.2f} +"
+    bottom = f"{y_lo:10.2f} +"
+    pad = " " * 11
+    out = []
+    if y_label:
+        out.append(f"{y_label}")
+    for r, row in enumerate(grid):
+        prefix = top if r == 0 else (bottom if r == height - 1 else pad + "|")
+        out.append(prefix + "".join(row))
+    out.append(pad + "+" + "-" * width)
+    out.append(pad + f" {x_lo:g}" + f"{x_hi:g}".rjust(width - len(f"{x_lo:g}")))
+    if x_label:
+        out.append(pad + x_label.center(width))
+    out.append("  ".join(legend))
+    return "\n".join(out)

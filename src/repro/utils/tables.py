@@ -1,0 +1,54 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows the paper's tables report; this
+module renders them as aligned, pipe-separated text that is readable both
+in a terminal and when pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned markdown-ish table.
+
+    Every row must have exactly ``len(headers)`` cells; floats are shown
+    with two decimals.
+    """
+    header_cells = [str(h) for h in headers]
+    body = []
+    for r, row in enumerate(rows):
+        cells = [_fmt(c) for c in row]
+        if len(cells) != len(header_cells):
+            raise ValueError(
+                f"row {r} has {len(cells)} cells, expected {len(header_cells)}"
+            )
+        body.append(cells)
+
+    widths = [len(h) for h in header_cells]
+    for cells in body:
+        for i, c in enumerate(cells):
+            widths[i] = max(widths[i], len(c))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(header_cells))
+    out.append("-+-".join("-" * w for w in widths))
+    out.extend(line(cells) for cells in body)
+    return "\n".join(out)

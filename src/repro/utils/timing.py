@@ -1,0 +1,69 @@
+"""Wall-clock timing helpers used by the experiment harness.
+
+The paper's Table 1 compares algorithm termination times; we measure with
+:func:`time.perf_counter` which is the highest-resolution monotonic clock
+available from Python.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Context-manager stopwatch accumulating elapsed wall-clock seconds.
+
+    >>> with Timer() as t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+
+    A single :class:`Timer` may be entered repeatedly; ``elapsed``
+    accumulates across uses (useful for timing only the hot section of a
+    loop).
+    """
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+    _running: bool = field(default=False, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("Timer already running")
+        self._start = time.perf_counter()
+        self._running = True
+
+    def stop(self) -> float:
+        if not self._running:
+            raise RuntimeError("Timer not running")
+        self.elapsed += time.perf_counter() - self._start
+        self._running = False
+        return self.elapsed
+
+    def reset(self) -> None:
+        if self._running:
+            raise RuntimeError("cannot reset a running Timer")
+        self.elapsed = 0.0
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-readable duration: ``"13.2 ms"``, ``"4.71 s"``, ``"2m 03s"``."""
+    if seconds < 0:
+        raise ValueError("duration cannot be negative")
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    minutes, secs = divmod(seconds, 60.0)
+    return f"{int(minutes)}m {secs:02.0f}s"

@@ -1,0 +1,49 @@
+"""Argument-validation helpers with uniform error messages.
+
+These raise :class:`repro.errors.ConfigurationError` (a ``ValueError``
+subclass) so user-facing constructors fail fast with a message naming the
+offending parameter.
+"""
+
+from __future__ import annotations
+
+from numbers import Integral, Real
+
+from repro.errors import ConfigurationError
+
+
+def check_positive_int(value, name: str) -> int:
+    """Validate that ``value`` is an integer > 0 and return it as ``int``."""
+    if not isinstance(value, Integral) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value}")
+    return int(value)
+
+
+def check_positive(value, name: str) -> float:
+    """Validate that ``value`` is a real number > 0 and return it as float."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a number, got {value!r}")
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value}")
+    return float(value)
+
+
+def check_probability(value, name: str) -> float:
+    """Validate ``0 <= value <= 1``."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a number, got {value!r}")
+    if not (0.0 <= value <= 1.0):
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+    return float(value)
+
+
+def check_fraction(value, name: str, *, open_left: bool = False, open_right: bool = False) -> float:
+    """Validate a fraction in [0, 1] with optionally open endpoints."""
+    v = check_probability(value, name)
+    if open_left and v == 0.0:
+        raise ConfigurationError(f"{name} must be > 0, got {value}")
+    if open_right and v == 1.0:
+        raise ConfigurationError(f"{name} must be < 1, got {value}")
+    return v

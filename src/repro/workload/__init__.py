@@ -1,0 +1,63 @@
+"""Workload substrate.
+
+The paper drives the DRP with access logs from the Soccer World Cup 1998
+web site: 25,000 objects common to thirteen Friday logs, the top 500
+clients, 1–2 million requests per instance, object sizes with measured
+mean/variance, and a random 1-M client→server mapping.
+
+The real trace is not redistributable, so this package provides:
+
+* :mod:`repro.workload.zipf` — Zipf popularity sampling (web object
+  popularity is classically Zipf-like),
+* :mod:`repro.workload.worldcup` — a synthetic common-log-format
+  generator matching the trace's aggregate statistics **and** a parser
+  that ingests real logs when available,
+* :mod:`repro.workload.clients` — the 1-M client→server random mapping,
+* :mod:`repro.workload.synthetic` — direct read/write matrix synthesis
+  with R/W-ratio and update-ratio controls,
+* :mod:`repro.workload.stats` — aggregation of request streams into the
+  (reads, writes, sizes) matrices the DRP consumes.
+"""
+
+from repro.workload.zipf import zipf_weights, sample_zipf
+from repro.workload.trace import Request, Trace, ObjectCatalog
+from repro.workload.clients import map_clients_to_servers
+from repro.workload.worldcup import (
+    WorldCupLogGenerator,
+    parse_common_log_line,
+    parse_common_log,
+    parse_common_log_file,
+)
+from repro.workload.stats import aggregate_trace, trace_to_matrices
+from repro.workload.synthetic import SyntheticWorkload, synthesize_workload
+from repro.workload.drift import WorkloadEpoch, drifting_workloads, rank_displacement
+from repro.workload.flashcrowd import (
+    FlashCrowd,
+    flash_crowd_workloads,
+    crowd_traffic_share,
+)
+from repro.workload.epochs import epochs_from_trace
+
+__all__ = [
+    "zipf_weights",
+    "sample_zipf",
+    "Request",
+    "Trace",
+    "ObjectCatalog",
+    "map_clients_to_servers",
+    "WorldCupLogGenerator",
+    "parse_common_log_line",
+    "parse_common_log",
+    "parse_common_log_file",
+    "aggregate_trace",
+    "trace_to_matrices",
+    "SyntheticWorkload",
+    "synthesize_workload",
+    "WorkloadEpoch",
+    "drifting_workloads",
+    "rank_displacement",
+    "FlashCrowd",
+    "flash_crowd_workloads",
+    "crowd_traffic_share",
+    "epochs_from_trace",
+]

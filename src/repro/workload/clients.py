@@ -1,0 +1,49 @@
+"""Client → server mapping.
+
+The paper: "A random mapping was then performed of the clients to the
+nodes of the topologies.  Note that this mapping is not 1-1, rather 1-M" —
+i.e. each client is attached to exactly one server but a server may host
+many clients, producing the skew that makes replica placement non-trivial.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive, check_positive_int
+
+
+def map_clients_to_servers(
+    n_clients: int,
+    n_servers: int,
+    *,
+    skew: float = 1.0,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Assign each client to one server.
+
+    Parameters
+    ----------
+    skew:
+        Concentration of the server-popularity distribution used for the
+        assignment.  ``skew == 0`` gives a uniform mapping; larger values
+        sample server weights from ``Dirichlet(1/(1+skew))`` making a few
+        servers host most clients — the "enough skewed workload to mimic
+        real world scenarios" the paper wants.
+
+    Returns
+    -------
+    numpy.ndarray
+        int array of shape (n_clients,) with values in [0, n_servers).
+    """
+    n_clients = check_positive_int(n_clients, "n_clients")
+    n_servers = check_positive_int(n_servers, "n_servers")
+    if skew < 0:
+        raise ValueError(f"skew must be >= 0, got {skew}")
+    rng = as_generator(seed)
+    if skew == 0:
+        return rng.integers(0, n_servers, size=n_clients)
+    concentration = 1.0 / (1.0 + check_positive(skew, "skew"))
+    weights = rng.dirichlet(np.full(n_servers, concentration))
+    return rng.choice(n_servers, size=n_clients, p=weights)

@@ -1,0 +1,119 @@
+"""Workload drift: epoch sequences with shifting object popularity.
+
+The paper frames AGT-RAM as "a protocol for automatic replication and
+migration of objects in response to demand changes".  To exercise that,
+this module produces a sequence of workload epochs whose Zipf popularity
+ranking rotates gradually — yesterday's hot match report cools down,
+today's heats up — while sizes and totals stay fixed, so any OTC change
+across epochs is attributable to demand movement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator, spawn_children
+from repro.utils.validation import check_fraction, check_positive_int
+from repro.workload.synthetic import SyntheticWorkload
+from repro.workload.zipf import zipf_weights
+
+
+@dataclass(frozen=True)
+class WorkloadEpoch:
+    """One epoch: the workload plus the popularity permutation used."""
+
+    index: int
+    workload: SyntheticWorkload
+    popularity_rank: np.ndarray  # rank position of each object (0 = hottest)
+
+
+def drifting_workloads(
+    n_servers: int,
+    n_objects: int,
+    n_epochs: int,
+    *,
+    total_requests: int = 50_000,
+    rw_ratio: float = 0.9,
+    popularity_alpha: float = 0.85,
+    server_skew: float = 1.2,
+    drift_fraction: float = 0.2,
+    mean_object_size: float = 12.0,
+    size_cv: float = 1.0,
+    seed: SeedLike = None,
+) -> list[WorkloadEpoch]:
+    """Generate ``n_epochs`` workloads with rotating popularity.
+
+    Between consecutive epochs, ``drift_fraction`` of the objects swap
+    popularity ranks with random partners; object sizes are sampled once
+    and shared by every epoch (the catalog itself does not change).
+    """
+    check_positive_int(n_epochs, "n_epochs")
+    check_fraction(drift_fraction, "drift_fraction")
+    rng_sizes, rng_perm, rng_counts = spawn_children(as_generator(seed), 3)
+
+    # One catalog of sizes for all epochs.
+    base = _sizes(n_objects, mean_object_size, size_cv, rng_sizes)
+    pop = zipf_weights(n_objects, popularity_alpha)
+    act = zipf_weights(n_servers, server_skew) if server_skew > 0 else (
+        np.full(n_servers, 1.0 / n_servers)
+    )
+    act = act[rng_perm.permutation(n_servers)]
+
+    # rank_of_object[k] = popularity rank of object k this epoch.
+    rank_of_object = rng_perm.permutation(n_objects)
+    epochs: list[WorkloadEpoch] = []
+    n_swaps = max(1, int(drift_fraction * n_objects / 2))
+    for e in range(n_epochs):
+        if e > 0:
+            for _ in range(n_swaps):
+                a, b = rng_perm.integers(0, n_objects, size=2)
+                rank_of_object[a], rank_of_object[b] = (
+                    rank_of_object[b],
+                    rank_of_object[a],
+                )
+        obj_weights = pop[rank_of_object]
+        mean = total_requests * np.outer(act, obj_weights)
+        counts = rng_counts.poisson(mean)
+        reads = rng_counts.binomial(counts, rw_ratio)
+        writes = counts - reads
+        epochs.append(
+            WorkloadEpoch(
+                index=e,
+                workload=SyntheticWorkload(
+                    reads=reads.astype(np.int64),
+                    writes=writes.astype(np.int64),
+                    sizes=base,
+                    rw_ratio=rw_ratio,
+                ),
+                popularity_rank=rank_of_object.copy(),
+            )
+        )
+    return epochs
+
+
+def _sizes(
+    n_objects: int, mean: float, cv: float, rng: np.random.Generator
+) -> np.ndarray:
+    import math
+
+    if cv < 0:
+        raise ConfigurationError("size_cv must be >= 0")
+    if cv == 0:
+        return np.full(n_objects, round(mean), dtype=np.int64)
+    sigma2 = math.log(1.0 + cv**2)
+    mu = math.log(mean) - sigma2 / 2.0
+    return np.maximum(
+        1, np.round(rng.lognormal(mu, math.sqrt(sigma2), size=n_objects))
+    ).astype(np.int64)
+
+
+def rank_displacement(epochs: list[WorkloadEpoch]) -> list[float]:
+    """Mean |rank shift| between consecutive epochs — a drift magnitude
+    diagnostic for experiments."""
+    out = []
+    for a, b in zip(epochs, epochs[1:]):
+        out.append(float(np.abs(a.popularity_rank - b.popularity_rank).mean()))
+    return out

@@ -1,0 +1,146 @@
+"""Flash-crowd workload epochs.
+
+The WorldCup'98 trace is the canonical flash-crowd dataset: when a
+match kicks off, a handful of pages absorb orders of magnitude more
+traffic within minutes.  This module injects that behaviour into epoch
+sequences so the adaptive protocol can be stressed with the workload's
+hardest feature: demand that *concentrates suddenly* rather than
+drifting smoothly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator, spawn_children
+from repro.utils.validation import check_fraction, check_positive, check_positive_int
+from repro.workload.drift import WorkloadEpoch
+from repro.workload.synthetic import SyntheticWorkload
+from repro.workload.zipf import zipf_weights
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """One flash-crowd event: objects, onset epoch, duration, intensity."""
+
+    objects: tuple[int, ...]
+    onset: int
+    duration: int
+    intensity: float
+
+
+def flash_crowd_workloads(
+    n_servers: int,
+    n_objects: int,
+    n_epochs: int,
+    *,
+    total_requests: int = 50_000,
+    rw_ratio: float = 0.95,
+    popularity_alpha: float = 0.85,
+    server_skew: float = 1.2,
+    n_crowds: int = 2,
+    crowd_size: int = 3,
+    crowd_intensity: float = 20.0,
+    crowd_duration: int = 2,
+    mean_object_size: float = 12.0,
+    size_cv: float = 1.0,
+    seed: SeedLike = None,
+) -> tuple[list[WorkloadEpoch], list[FlashCrowd]]:
+    """Generate epochs with superimposed flash-crowd events.
+
+    Each crowd multiplies the request weight of ``crowd_size`` randomly
+    chosen (previously unremarkable) objects by ``crowd_intensity`` for
+    ``crowd_duration`` consecutive epochs starting at a random onset.
+    The per-epoch request budget is fixed, so a crowd *redistributes*
+    traffic — the baseline objects cool correspondingly, exactly as a
+    real trace's share-of-traffic plot shows.
+
+    Returns the epoch list plus the injected crowd events (ground truth
+    for tests and examples).
+    """
+    check_positive_int(n_epochs, "n_epochs")
+    check_positive_int(crowd_size, "crowd_size")
+    check_positive(crowd_intensity, "crowd_intensity")
+    check_positive_int(crowd_duration, "crowd_duration")
+    check_fraction(rw_ratio, "rw_ratio")
+    if n_crowds < 0:
+        raise ConfigurationError("n_crowds must be >= 0")
+    if crowd_size > n_objects:
+        raise ConfigurationError("crowd_size cannot exceed n_objects")
+
+    rng_sizes, rng_struct, rng_counts = spawn_children(as_generator(seed), 3)
+
+    from repro.workload.drift import _sizes
+
+    sizes = _sizes(n_objects, mean_object_size, size_cv, rng_sizes)
+    base_pop = zipf_weights(n_objects, popularity_alpha)
+    base_pop = base_pop[rng_struct.permutation(n_objects)]
+    act = zipf_weights(n_servers, server_skew) if server_skew > 0 else (
+        np.full(n_servers, 1.0 / n_servers)
+    )
+    act = act[rng_struct.permutation(n_servers)]
+
+    # Crowds target objects from the cold tail (below-median popularity),
+    # which is what makes them disruptive to a placed scheme.
+    cold = np.flatnonzero(base_pop < np.median(base_pop))
+    crowds: list[FlashCrowd] = []
+    for _ in range(n_crowds):
+        chosen = rng_struct.choice(
+            cold if len(cold) >= crowd_size else n_objects,
+            size=crowd_size,
+            replace=False,
+        )
+        onset = int(rng_struct.integers(0, max(1, n_epochs - crowd_duration + 1)))
+        crowds.append(
+            FlashCrowd(
+                objects=tuple(int(o) for o in chosen),
+                onset=onset,
+                duration=crowd_duration,
+                intensity=crowd_intensity,
+            )
+        )
+
+    epochs: list[WorkloadEpoch] = []
+    for e in range(n_epochs):
+        weights = base_pop.copy()
+        for crowd in crowds:
+            if crowd.onset <= e < crowd.onset + crowd.duration:
+                weights[list(crowd.objects)] *= crowd.intensity
+        weights = weights / weights.sum()
+        mean = total_requests * np.outer(act, weights)
+        counts = rng_counts.poisson(mean)
+        reads = rng_counts.binomial(counts, rw_ratio)
+        writes = counts - reads
+        # rank positions for diagnostics (0 = hottest this epoch).
+        rank = np.empty(n_objects, dtype=np.int64)
+        rank[np.argsort(-weights)] = np.arange(n_objects)
+        epochs.append(
+            WorkloadEpoch(
+                index=e,
+                workload=SyntheticWorkload(
+                    reads=reads.astype(np.int64),
+                    writes=writes.astype(np.int64),
+                    sizes=sizes,
+                    rw_ratio=rw_ratio,
+                ),
+                popularity_rank=rank,
+            )
+        )
+    return epochs, crowds
+
+
+def crowd_traffic_share(
+    epochs: list[WorkloadEpoch], crowd: FlashCrowd
+) -> list[float]:
+    """Per-epoch share of total traffic absorbed by a crowd's objects."""
+    out = []
+    for e in epochs:
+        w = e.workload
+        total = w.reads.sum() + w.writes.sum()
+        objs = list(crowd.objects)
+        hot = w.reads[:, objs].sum() + w.writes[:, objs].sum()
+        out.append(float(hot / total) if total else 0.0)
+    return out

@@ -1,0 +1,87 @@
+"""Aggregation of request streams into DRP matrices.
+
+The DRP consumes per-*server* per-object read and write counts.  The
+pipeline is: trace (per-client requests) → client→server mapping →
+(M, N) integer matrices r and w.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workload.trace import Trace
+
+
+@dataclass(frozen=True)
+class TraceAggregates:
+    """Per-client aggregates of a trace.
+
+    ``reads`` / ``writes`` have shape (n_clients, n_objects).
+    """
+
+    reads: np.ndarray
+    writes: np.ndarray
+
+    @property
+    def n_clients(self) -> int:
+        return self.reads.shape[0]
+
+    @property
+    def n_objects(self) -> int:
+        return self.reads.shape[1]
+
+    def total_requests(self) -> int:
+        return int(self.reads.sum() + self.writes.sum())
+
+
+def aggregate_trace(trace: Trace) -> TraceAggregates:
+    """Count reads/writes per (client, object) with vectorized bincount."""
+    n_c, n_o = trace.n_clients, trace.catalog.n_objects
+    if n_c == 0:
+        raise ConfigurationError("trace has no clients")
+    reads = np.zeros((n_c, n_o), dtype=np.int64)
+    writes = np.zeros((n_c, n_o), dtype=np.int64)
+    if trace.requests:
+        clients = np.fromiter((r.client for r in trace.requests), dtype=np.int64)
+        objs = np.fromiter((r.obj for r in trace.requests), dtype=np.int64)
+        is_read = np.fromiter(
+            (r.kind == "read" for r in trace.requests), dtype=bool
+        )
+        flat = clients * n_o + objs
+        reads.ravel()[:] = np.bincount(flat[is_read], minlength=n_c * n_o)
+        writes.ravel()[:] = np.bincount(flat[~is_read], minlength=n_c * n_o)
+    return TraceAggregates(reads=reads, writes=writes)
+
+
+def trace_to_matrices(
+    trace: Trace,
+    client_to_server: np.ndarray,
+    n_servers: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fold per-client aggregates onto servers through the 1-M mapping.
+
+    Returns
+    -------
+    (reads, writes):
+        Two (n_servers, n_objects) int matrices; entry [i, k] counts the
+        requests of all clients attached to server i for object k.
+    """
+    client_to_server = np.asarray(client_to_server, dtype=np.int64)
+    if client_to_server.shape != (trace.n_clients,):
+        raise ConfigurationError(
+            f"mapping has shape {client_to_server.shape}, "
+            f"expected ({trace.n_clients},)"
+        )
+    if len(client_to_server) and (
+        client_to_server.min() < 0 or client_to_server.max() >= n_servers
+    ):
+        raise ConfigurationError("client mapping references server out of range")
+    agg = aggregate_trace(trace)
+    reads = np.zeros((n_servers, agg.n_objects), dtype=np.int64)
+    writes = np.zeros((n_servers, agg.n_objects), dtype=np.int64)
+    np.add.at(reads, client_to_server, agg.reads)
+    np.add.at(writes, client_to_server, agg.writes)
+    return reads, writes

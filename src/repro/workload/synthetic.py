@@ -1,0 +1,130 @@
+"""Direct synthesis of DRP read/write matrices.
+
+For parameter sweeps it is cheaper to synthesize the (M, N) matrices
+directly than to sample and aggregate millions of individual requests.
+:func:`synthesize_workload` produces matrices with the same statistical
+character as the trace pipeline — Zipf object popularity, skewed server
+activity, controllable R/W ratio — and is what the experiment harness
+uses for Figures 3–4 and Tables 1–2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator, spawn_children
+from repro.utils.validation import check_fraction, check_positive, check_positive_int
+from repro.workload.zipf import zipf_weights
+
+
+@dataclass(frozen=True)
+class SyntheticWorkload:
+    """Bundle of synthesized DRP inputs.
+
+    Attributes
+    ----------
+    reads, writes:
+        (M, N) integer request-count matrices.
+    sizes:
+        (N,) positive integer object sizes in data units.
+    rw_ratio:
+        The requested fraction of reads among all requests.
+    """
+
+    reads: np.ndarray
+    writes: np.ndarray
+    sizes: np.ndarray
+    rw_ratio: float
+
+    @property
+    def n_servers(self) -> int:
+        return self.reads.shape[0]
+
+    @property
+    def n_objects(self) -> int:
+        return self.reads.shape[1]
+
+    def total_requests(self) -> int:
+        return int(self.reads.sum() + self.writes.sum())
+
+    def realized_rw_ratio(self) -> float:
+        total = self.total_requests()
+        if total == 0:
+            raise ConfigurationError("empty workload has no R/W ratio")
+        return float(self.reads.sum() / total)
+
+
+def synthesize_workload(
+    n_servers: int,
+    n_objects: int,
+    *,
+    total_requests: int = 100_000,
+    rw_ratio: float = 0.75,
+    popularity_alpha: float = 0.85,
+    server_skew: float = 0.6,
+    mean_object_size: float = 12.0,
+    size_cv: float = 1.0,
+    seed: SeedLike = None,
+) -> SyntheticWorkload:
+    """Synthesize (reads, writes, sizes) for a DRP instance.
+
+    The expected request mass for cell (i, k) factorizes as
+    ``total * server_activity[i] * object_popularity[k]``; actual counts
+    are Poisson around that mean, then split read/write by ``rw_ratio``
+    (binomially, so the realized ratio concentrates on the requested one).
+
+    Parameters
+    ----------
+    rw_ratio:
+        Fraction of requests that are reads — the paper's R/W knob
+        (R/W = 0.95 means a 95%-read workload).
+    server_skew:
+        Zipf exponent of per-server activity; 0 gives uniform servers.
+    """
+    n_servers = check_positive_int(n_servers, "n_servers")
+    n_objects = check_positive_int(n_objects, "n_objects")
+    if total_requests < 0:
+        raise ConfigurationError("total_requests must be >= 0")
+    check_fraction(rw_ratio, "rw_ratio")
+    check_positive(popularity_alpha, "popularity_alpha")
+    if server_skew < 0:
+        raise ConfigurationError("server_skew must be >= 0")
+    check_positive(mean_object_size, "mean_object_size")
+    if size_cv < 0:
+        raise ConfigurationError("size_cv must be >= 0")
+
+    rng_sizes, rng_counts, rng_split, rng_perm = spawn_children(
+        as_generator(seed), 4
+    )
+
+    pop = zipf_weights(n_objects, popularity_alpha)
+    pop = pop[rng_perm.permutation(n_objects)]
+    if server_skew == 0:
+        act = np.full(n_servers, 1.0 / n_servers)
+    else:
+        act = zipf_weights(n_servers, server_skew)
+        act = act[rng_perm.permutation(n_servers)]
+
+    mean = total_requests * np.outer(act, pop)
+    counts = rng_counts.poisson(mean)
+    reads = rng_split.binomial(counts, rw_ratio)
+    writes = counts - reads
+
+    if size_cv == 0:
+        sizes = np.full(n_objects, round(mean_object_size))
+    else:
+        sigma2 = math.log(1.0 + size_cv**2)
+        mu = math.log(mean_object_size) - sigma2 / 2.0
+        sizes = np.round(rng_sizes.lognormal(mu, math.sqrt(sigma2), size=n_objects))
+    sizes = np.maximum(1, sizes).astype(np.int64)
+
+    return SyntheticWorkload(
+        reads=reads.astype(np.int64),
+        writes=writes.astype(np.int64),
+        sizes=sizes,
+        rw_ratio=rw_ratio,
+    )

@@ -1,0 +1,120 @@
+"""Request-trace data structures.
+
+A :class:`Trace` is an ordered sequence of :class:`Request` records plus an
+:class:`ObjectCatalog` describing the objects the requests touch.  The DRP
+only consumes aggregates (per-client per-object read/write counts and
+object sizes); keeping the raw stream around lets tests check the
+aggregation pipeline and lets examples replay traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Literal
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+RequestKind = Literal["read", "write"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One access: ``client`` reads or writes ``obj`` at ``timestamp``."""
+
+    client: int
+    obj: int
+    kind: RequestKind
+    timestamp: float = 0.0
+    size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("read", "write"):
+            raise ConfigurationError(f"kind must be 'read' or 'write', got {self.kind!r}")
+        if self.client < 0 or self.obj < 0:
+            raise ConfigurationError("client and obj ids must be non-negative")
+
+
+@dataclass
+class ObjectCatalog:
+    """Object identities and sizes (the paper's O_k / o_k).
+
+    Sizes are in "simple data units" (the paper used blocks; 1 unit = 1 kB
+    in its cost mapping).
+    """
+
+    sizes: np.ndarray
+    names: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.sizes = np.asarray(self.sizes, dtype=np.int64)
+        if self.sizes.ndim != 1 or len(self.sizes) == 0:
+            raise ConfigurationError("sizes must be a non-empty 1-D array")
+        if np.any(self.sizes <= 0):
+            raise ConfigurationError("object sizes must be positive")
+        if self.names and len(self.names) != len(self.sizes):
+            raise ConfigurationError(
+                f"{len(self.names)} names for {len(self.sizes)} objects"
+            )
+        if not self.names:
+            self.names = [f"object-{k}" for k in range(len(self.sizes))]
+
+    @property
+    def n_objects(self) -> int:
+        return len(self.sizes)
+
+    def total_size(self) -> int:
+        return int(self.sizes.sum())
+
+
+@dataclass
+class Trace:
+    """An ordered request stream over a catalog."""
+
+    catalog: ObjectCatalog
+    requests: list[Request] = field(default_factory=list)
+    n_clients: int = 0
+
+    def __post_init__(self) -> None:
+        max_client = -1
+        for r in self.requests:
+            if r.obj >= self.catalog.n_objects:
+                raise ConfigurationError(
+                    f"request references object {r.obj} outside catalog "
+                    f"of {self.catalog.n_objects}"
+                )
+            max_client = max(max_client, r.client)
+        if self.n_clients == 0:
+            self.n_clients = max_client + 1
+        elif max_client >= self.n_clients:
+            raise ConfigurationError(
+                f"request references client {max_client} but n_clients={self.n_clients}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self.requests)
+
+    def extend(self, requests: Iterable[Request]) -> None:
+        for r in requests:
+            if r.obj >= self.catalog.n_objects:
+                raise ConfigurationError(
+                    f"request references object {r.obj} outside catalog"
+                )
+            self.requests.append(r)
+            self.n_clients = max(self.n_clients, r.client + 1)
+
+    def n_reads(self) -> int:
+        return sum(1 for r in self.requests if r.kind == "read")
+
+    def n_writes(self) -> int:
+        return len(self.requests) - self.n_reads()
+
+    def read_write_ratio(self) -> float:
+        """Fraction of requests that are reads (the paper's R/W knob)."""
+        if not self.requests:
+            raise ConfigurationError("empty trace has no read/write ratio")
+        return self.n_reads() / len(self.requests)

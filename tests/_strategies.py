@@ -1,0 +1,36 @@
+"""Shared hypothesis strategies for the property-based test suites."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.drp.instance import DRPInstance
+
+
+@st.composite
+def drp_instances(draw):
+    """Random small DRP instances with a metric-like random cost matrix."""
+    m = draw(st.integers(min_value=2, max_value=8))
+    n = draw(st.integers(min_value=1, max_value=10))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    # Random symmetric cost with zero diagonal.
+    raw = rng.uniform(1.0, 10.0, size=(m, m))
+    cost = np.triu(raw, 1)
+    cost = cost + cost.T
+    reads = rng.integers(0, 20, size=(m, n))
+    writes = rng.integers(0, 6, size=(m, n))
+    sizes = rng.integers(1, 4, size=n)
+    primaries = rng.integers(0, m, size=n)
+    primary_load = np.zeros(m, dtype=np.int64)
+    np.add.at(primary_load, primaries, sizes)
+    headroom = rng.integers(0, 2 + int(sizes.sum()), size=m)
+    return DRPInstance(
+        cost=cost,
+        reads=reads,
+        writes=writes,
+        sizes=sizes,
+        capacities=primary_load + headroom,
+        primaries=primaries,
+    )

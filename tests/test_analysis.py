@@ -1,0 +1,88 @@
+"""Tests for the analysis package."""
+
+import pytest
+
+from repro.analysis.compare import (
+    PERFORMANCE_TIERS,
+    classify_performance,
+    rank_by_runtime,
+    rank_by_savings,
+)
+from repro.analysis.metrics import summarize_results
+from repro.core.agt_ram import run_agt_ram
+
+
+class TestSummarize:
+    def test_single_run(self, tiny_instance):
+        res = run_agt_ram(tiny_instance)
+        s = summarize_results([res])
+        assert s.n_runs == 1
+        assert s.savings_mean == pytest.approx(res.savings_percent)
+        assert s.savings_std == 0.0
+
+    def test_multiple_runs(self, tiny_instance):
+        runs = [run_agt_ram(tiny_instance) for _ in range(3)]
+        s = summarize_results(runs)
+        assert s.n_runs == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_results([])
+
+    def test_mixed_algorithms_rejected(self, tiny_instance):
+        from repro.baselines.greedy import GreedyPlacer
+
+        a = run_agt_ram(tiny_instance)
+        b = GreedyPlacer().place(tiny_instance)
+        with pytest.raises(ValueError):
+            summarize_results([a, b])
+
+    def test_str(self, tiny_instance):
+        s = summarize_results([run_agt_ram(tiny_instance)])
+        assert "AGT-RAM" in str(s)
+
+
+class TestCompare:
+    @pytest.fixture(scope="class")
+    def results(self, read_heavy_instance):
+        from repro.experiments.runner import run_algorithms
+
+        return run_algorithms(
+            read_heavy_instance,
+            ("AGT-RAM", "Greedy", "GRA"),
+            placer_kwargs={"GRA": {"population_size": 6, "generations": 3}},
+        )
+
+    def test_rank_by_savings(self, results):
+        order = rank_by_savings(results)
+        savings = [results[a].savings_percent for a in order]
+        assert savings == sorted(savings, reverse=True)
+
+    def test_rank_by_runtime(self, results):
+        order = rank_by_runtime(results)
+        times = [results[a].runtime_s for a in order]
+        assert times == sorted(times)
+
+    def test_classification_buckets(self, results):
+        tiers = classify_performance(results)
+        assert set(tiers) == set(results)
+        best = rank_by_savings(results)[0]
+        assert tiers[best] == "High"
+
+    def test_classification_empty(self):
+        assert classify_performance({}) == {}
+
+    def test_paper_tiers_documented(self):
+        assert PERFORMANCE_TIERS["AGT-RAM"] == "High"
+        assert PERFORMANCE_TIERS["GRA"] == "Low"
+
+
+class TestPlacementResult:
+    def test_repr(self, tiny_instance):
+        res = run_agt_ram(tiny_instance)
+        text = repr(res)
+        assert "AGT-RAM" in text and "savings" in text
+
+    def test_replicas_property(self, tiny_instance):
+        res = run_agt_ram(tiny_instance)
+        assert res.replicas_allocated == res.state.total_replicas()

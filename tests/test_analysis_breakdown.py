@@ -1,0 +1,95 @@
+"""Tests for per-object/per-server cost decomposition and attribution."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.breakdown import (
+    concentration,
+    object_attribution,
+    server_attribution,
+)
+from repro.core.agt_ram import run_agt_ram
+from repro.drp.cost import otc_by_object, otc_by_server, total_otc
+from repro.drp.state import ReplicationState
+
+
+class TestDecompositionExactness:
+    def test_by_object_sums_to_total(self, tiny_instance, rng):
+        st = ReplicationState.primaries_only(tiny_instance)
+        for _ in range(15):
+            i = int(rng.integers(tiny_instance.n_servers))
+            k = int(rng.integers(tiny_instance.n_objects))
+            if st.can_host(i, k):
+                st.add_replica(i, k)
+        assert otc_by_object(st).sum() == pytest.approx(total_otc(st))
+
+    def test_by_server_sums_to_total(self, tiny_instance, rng):
+        st = ReplicationState.primaries_only(tiny_instance)
+        for _ in range(15):
+            i = int(rng.integers(tiny_instance.n_servers))
+            k = int(rng.integers(tiny_instance.n_objects))
+            if st.can_host(i, k):
+                st.add_replica(i, k)
+        assert otc_by_server(st).sum() == pytest.approx(total_otc(st))
+
+    def test_line_instance_by_object(self, line_instance):
+        st = ReplicationState.primaries_only(line_instance)
+        per_obj = otc_by_object(st)
+        # From the hand-computed OTC: obj0 = 14 (reads only), obj1 = 11.
+        assert per_obj[0] == pytest.approx(14.0)
+        assert per_obj[1] == pytest.approx(11.0)
+
+    def test_line_instance_by_server(self, line_instance):
+        st = ReplicationState.primaries_only(line_instance)
+        per_server = otc_by_server(st)
+        # server0: reads obj1 4*2=8; server1: reads 2+2 + write obj1 to P: 1
+        # server2: reads obj0 12 + write obj1 local 0.
+        assert per_server[0] == pytest.approx(8.0)
+        assert per_server[1] == pytest.approx(5.0)
+        assert per_server[2] == pytest.approx(12.0)
+
+    def test_nonnegative(self, read_heavy_instance):
+        res = run_agt_ram(read_heavy_instance)
+        assert (otc_by_object(res.state) >= -1e-9).all()
+        assert (otc_by_server(res.state) >= -1e-9).all()
+
+
+class TestAttribution:
+    def test_savings_sum_matches(self, read_heavy_instance):
+        baseline = ReplicationState.primaries_only(read_heavy_instance)
+        res = run_agt_ram(read_heavy_instance)
+        rows = object_attribution(baseline, res.state)
+        total_saved = sum(r.saved for r in rows)
+        assert total_saved == pytest.approx(
+            total_otc(baseline) - res.otc, rel=1e-9
+        )
+
+    def test_sorted_descending(self, read_heavy_instance):
+        baseline = ReplicationState.primaries_only(read_heavy_instance)
+        res = run_agt_ram(read_heavy_instance)
+        rows = server_attribution(baseline, res.state)
+        saved = [r.saved for r in rows]
+        assert saved == sorted(saved, reverse=True)
+
+    def test_mismatched_instances_rejected(self, tiny_instance, read_heavy_instance):
+        a = ReplicationState.primaries_only(tiny_instance)
+        b = ReplicationState.primaries_only(read_heavy_instance)
+        with pytest.raises(ValueError):
+            object_attribution(a, b)
+
+    def test_concentration(self, read_heavy_instance):
+        baseline = ReplicationState.primaries_only(read_heavy_instance)
+        res = run_agt_ram(read_heavy_instance)
+        rows = object_attribution(baseline, res.state)
+        n80 = concentration(rows, 0.8)
+        # Zipf workloads concentrate savings in a minority of objects.
+        assert 0 < n80 < 0.5 * len(rows)
+
+    def test_concentration_nothing_saved(self, tiny_instance):
+        st = ReplicationState.primaries_only(tiny_instance)
+        rows = object_attribution(st, st.copy())
+        assert concentration(rows) == 0
+
+    def test_concentration_validation(self):
+        with pytest.raises(ValueError):
+            concentration([], fraction=0.0)

@@ -1,0 +1,64 @@
+"""Tests for the read-latency analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.latency import latency_improvement, read_latency_report
+from repro.core.agt_ram import run_agt_ram
+from repro.drp.state import ReplicationState
+
+
+class TestReadLatencyReport:
+    def test_replication_cuts_latency(self, read_heavy_instance):
+        before = ReplicationState.primaries_only(read_heavy_instance)
+        res = run_agt_ram(read_heavy_instance)
+        a = read_latency_report(before)
+        b = read_latency_report(res.state)
+        assert b.mean_s < a.mean_s
+        assert b.local_fraction > a.local_fraction
+
+    def test_percentiles_ordered(self, read_heavy_instance):
+        rep = read_latency_report(
+            ReplicationState.primaries_only(read_heavy_instance)
+        )
+        assert 0.0 <= rep.mean_s
+        assert rep.p95_s <= rep.worst_s
+
+    def test_line_instance_hand_values(self, line_instance):
+        # Primaries only: reads at distances weighted by counts.
+        # obj0 at P=0: r=[0,2,6] dist [0,1,2]; obj1 at P=2: r=[4,2,0]
+        # dist [2,1,0].  Weighted mean distance = (2*1+6*2+4*2+2*1)/14.
+        rep = read_latency_report(
+            ReplicationState.primaries_only(line_instance),
+            meters_per_cost_unit=1.0,
+            speed_m_per_s=1.0,
+        )
+        assert rep.mean_s == pytest.approx((2 + 12 + 8 + 2) / 14)
+        assert rep.local_fraction == pytest.approx(0.0)
+        assert rep.worst_s == pytest.approx(2.0)
+
+    def test_zero_reads(self, line_instance):
+        from repro.drp.instance import DRPInstance
+
+        inst = DRPInstance(
+            cost=line_instance.cost,
+            reads=np.zeros_like(line_instance.reads),
+            writes=line_instance.writes,
+            sizes=line_instance.sizes,
+            capacities=line_instance.capacities,
+            primaries=line_instance.primaries,
+        )
+        rep = read_latency_report(ReplicationState.primaries_only(inst))
+        assert rep.mean_s == 0.0 and rep.local_fraction == 1.0
+
+    def test_improvement_fraction(self, read_heavy_instance):
+        before = ReplicationState.primaries_only(read_heavy_instance)
+        res = run_agt_ram(read_heavy_instance)
+        imp = latency_improvement(before, res.state)
+        assert 0.0 < imp < 1.0
+
+    def test_str(self, read_heavy_instance):
+        rep = read_latency_report(
+            ReplicationState.primaries_only(read_heavy_instance)
+        )
+        assert "ms" in str(rep)

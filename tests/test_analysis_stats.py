@@ -1,0 +1,99 @@
+"""Tests for bootstrap statistics and paired comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import BootstrapCI, bootstrap_ci, paired_comparison
+
+
+class TestBootstrapCI:
+    def test_contains_true_mean(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(10.0, 2.0, size=200)
+        ci = bootstrap_ci(x, seed=1)
+        assert ci.contains(10.0)
+        assert ci.lo < ci.mean < ci.hi
+
+    def test_tightens_with_samples(self):
+        rng = np.random.default_rng(1)
+        small = bootstrap_ci(rng.normal(0, 1, 20), seed=2)
+        large = bootstrap_ci(rng.normal(0, 1, 2000), seed=2)
+        assert (large.hi - large.lo) < (small.hi - small.lo)
+
+    def test_constant_sample(self):
+        ci = bootstrap_ci([5.0, 5.0, 5.0], seed=3)
+        assert ci.lo == ci.hi == ci.mean == 5.0
+
+    def test_deterministic_with_seed(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        a, b = bootstrap_ci(x, seed=7), bootstrap_ci(x, seed=7)
+        assert (a.lo, a.hi) == (b.lo, b.hi)
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"confidence": 0.0}, {"confidence": 1.0}, {"n_resamples": 0}]
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], **kwargs)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_str(self):
+        assert "@95%" in str(BootstrapCI(mean=1.0, lo=0.5, hi=1.5, confidence=0.95))
+
+
+class TestPairedComparison:
+    def test_clear_winner(self):
+        a = [10.0, 11.0, 12.0, 13.0, 14.0, 15.0]
+        b = [5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+        cmp = paired_comparison("A", a, "B", b, seed=0)
+        assert cmp.wins_a == 6 and cmp.wins_b == 0
+        assert cmp.a_significantly_better
+        assert not cmp.b_significantly_better
+        assert cmp.mean_diff == pytest.approx(5.0)
+
+    def test_symmetric(self):
+        a = [1.0, 2.0, 3.0]
+        b = [3.0, 2.0, 1.0]
+        cmp = paired_comparison("A", a, "B", b, seed=1)
+        assert cmp.wins_a == cmp.wins_b == 1
+        assert cmp.ties == 1
+        assert not cmp.a_significantly_better
+
+    def test_ties_counted(self):
+        cmp = paired_comparison("A", [1.0, 1.0], "B", [1.0, 1.0], seed=2)
+        assert cmp.ties == 2
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            paired_comparison("A", [1.0], "B", [1.0, 2.0])
+
+    def test_on_real_replications(self):
+        """Greedy beats AGT-RAM pairwise with a CI excluding zero."""
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.replication import replicate_comparison
+
+        base = ExperimentConfig(
+            n_servers=12,
+            n_objects=40,
+            total_requests=6_000,
+            rw_ratio=0.95,
+            capacity_fraction=0.45,
+            seed=80,
+            name="stats-test",
+        )
+        # Gather paired savings directly.
+        from repro.experiments.instances import paper_instance
+        from repro.experiments.runner import run_algorithms
+
+        greedy_vals, agt_vals = [], []
+        for r in range(5):
+            inst = paper_instance(base.with_(seed=base.seed + r))
+            res = run_algorithms(inst, ("Greedy", "AGT-RAM"))
+            greedy_vals.append(res["Greedy"].savings_percent)
+            agt_vals.append(res["AGT-RAM"].savings_percent)
+        cmp = paired_comparison("Greedy", greedy_vals, "AGT-RAM", agt_vals, seed=3)
+        assert cmp.wins_a >= 4
+        assert cmp.mean_diff > 0

@@ -1,0 +1,74 @@
+"""Tests for convergence-trajectory analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.trajectory import (
+    marginal_gains,
+    rounds_to_fraction,
+    savings_trajectory,
+)
+from repro.core.agt_ram import run_agt_ram
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def audited(read_heavy_instance):
+    return run_agt_ram(read_heavy_instance, record_audit=True)
+
+
+class TestSavingsTrajectory:
+    def test_starts_at_zero(self, read_heavy_instance, audited):
+        traj = savings_trajectory(read_heavy_instance, audited)
+        assert traj[0] == (0, 0.0)
+
+    def test_ends_at_final_savings(self, read_heavy_instance, audited):
+        traj = savings_trajectory(read_heavy_instance, audited)
+        assert traj[-1][1] == pytest.approx(audited.savings_percent)
+        assert traj[-1][0] == audited.rounds
+
+    def test_monotone_increasing(self, read_heavy_instance, audited):
+        traj = savings_trajectory(read_heavy_instance, audited)
+        vals = [s for _, s in traj]
+        assert all(b >= a - 1e-9 for a, b in zip(vals, vals[1:]))
+
+    def test_requires_audit(self, read_heavy_instance):
+        res = run_agt_ram(read_heavy_instance)
+        with pytest.raises(ReproError):
+            savings_trajectory(read_heavy_instance, res)
+
+
+class TestRoundsToFraction:
+    def test_front_loaded(self, read_heavy_instance, audited):
+        # The paper: "immediate initial increase ... afterward near
+        # constant performance" — 90% of savings in well under 90% of
+        # the rounds.
+        traj = savings_trajectory(read_heavy_instance, audited)
+        r90 = rounds_to_fraction(traj, 0.9)
+        assert r90 < 0.9 * audited.rounds
+
+    def test_full_fraction(self, read_heavy_instance, audited):
+        traj = savings_trajectory(read_heavy_instance, audited)
+        assert rounds_to_fraction(traj, 1.0) <= audited.rounds
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rounds_to_fraction([], 0.9)
+        with pytest.raises(ValueError):
+            rounds_to_fraction([(0, 0.0)], 1.5)
+
+    def test_zero_savings(self):
+        assert rounds_to_fraction([(0, 0.0), (1, 0.0)], 0.9) == 0
+
+
+class TestMarginalGains:
+    def test_diminishing_on_average(self, read_heavy_instance, audited):
+        traj = savings_trajectory(read_heavy_instance, audited)
+        gains = marginal_gains(traj)
+        third = len(gains) // 3
+        if third >= 2:
+            assert gains[:third].mean() > gains[-third:].mean()
+
+    def test_nonnegative(self, read_heavy_instance, audited):
+        traj = savings_trajectory(read_heavy_instance, audited)
+        assert (marginal_gains(traj) >= -1e-9).all()

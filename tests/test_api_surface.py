@@ -1,0 +1,101 @@
+"""Top-level API surface and error-hierarchy tests."""
+
+import inspect
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestPublicAPI:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing {name!r}"
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    @pytest.mark.parametrize(
+        "subpackage",
+        ["topology", "workload", "drp", "core", "baselines", "runtime",
+         "experiments", "analysis", "utils"],
+    )
+    def test_subpackage_all_resolves(self, subpackage):
+        import importlib
+
+        mod = importlib.import_module(f"repro.{subpackage}")
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"repro.{subpackage}.{name} missing"
+
+    def test_quickstart_docstring_flow(self):
+        # The module docstring promises this exact flow works.
+        from repro import ExperimentConfig, paper_instance, run_agt_ram
+
+        instance = paper_instance(
+            ExperimentConfig(n_servers=10, n_objects=30, total_requests=3_000)
+        )
+        assert run_agt_ram(instance).savings_percent >= 0.0
+
+    def test_public_items_documented(self):
+        undocumented = []
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ or "").strip():
+                    undocumented.append(name)
+        assert not undocumented, f"undocumented public items: {undocumented}"
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if (
+                inspect.isclass(obj)
+                and issubclass(obj, Exception)
+                and obj is not errors.ReproError
+                and obj.__module__ == "repro.errors"
+            ):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_configuration_error_is_value_error(self):
+        assert issubclass(errors.ConfigurationError, ValueError)
+
+    def test_single_catch_covers_library(self):
+        from repro import ExperimentConfig
+
+        with pytest.raises(errors.ReproError):
+            ExperimentConfig(n_servers=-1)
+
+    def test_capacity_error_catchable_specifically(self, line_instance):
+        from repro.drp.state import ReplicationState
+        from repro.drp.instance import DRPInstance
+        import numpy as np
+
+        inst = DRPInstance(
+            cost=line_instance.cost,
+            reads=line_instance.reads,
+            writes=line_instance.writes,
+            sizes=np.array([1, 9]),
+            capacities=np.array([3, 2, 9]),
+            primaries=np.array([0, 2]),
+        )
+        st = ReplicationState.primaries_only(inst)
+        with pytest.raises(errors.CapacityError):
+            st.add_replica(1, 1)
+
+
+class TestResultRecord:
+    def test_repr_fields(self, tiny_instance):
+        from repro import run_agt_ram
+
+        r = repr(run_agt_ram(tiny_instance))
+        for needle in ("AGT-RAM", "otc=", "savings=", "replicas="):
+            assert needle in r
+
+    def test_extra_defaults_to_dict(self, tiny_instance):
+        from repro.baselines.greedy import GreedyPlacer
+
+        res = GreedyPlacer().place(tiny_instance)
+        assert isinstance(res.extra, dict)

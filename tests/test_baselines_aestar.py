@@ -1,0 +1,61 @@
+"""Tests for the Aε-Star branch-and-bound placer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.aestar import AEStarPlacer
+from repro.drp.cost import primary_only_otc
+from repro.drp.feasibility import check_state
+
+
+class TestAEStar:
+    def test_reduces_otc(self, read_heavy_instance):
+        res = AEStarPlacer(node_budget=40).place(read_heavy_instance)
+        assert res.otc < primary_only_otc(read_heavy_instance)
+
+    def test_feasible(self, read_heavy_instance):
+        check_state(AEStarPlacer(node_budget=40).place(read_heavy_instance).state)
+
+    def test_line_instance_finds_best_first_move(self, line_instance):
+        res = AEStarPlacer(node_budget=10).place(line_instance)
+        assert res.state.x[2, 0]
+
+    def test_budget_bounds_expansions(self, read_heavy_instance):
+        res = AEStarPlacer(node_budget=15).place(read_heavy_instance)
+        assert res.extra["expansions"] <= 15
+
+    def test_deterministic(self, tiny_instance):
+        a = AEStarPlacer(node_budget=30).place(tiny_instance)
+        b = AEStarPlacer(node_budget=30).place(tiny_instance)
+        assert np.array_equal(a.state.x, b.state.x)
+
+    def test_quality_near_greedy(self, read_heavy_instance):
+        from repro.baselines.greedy import GreedyPlacer
+
+        ae = AEStarPlacer(node_budget=60).place(read_heavy_instance)
+        greedy = GreedyPlacer().place(read_heavy_instance)
+        # Within 25% of greedy's savings (the paper's "Medium" tier).
+        assert ae.savings_percent > 0.75 * greedy.savings_percent
+
+    def test_larger_budget_no_worse(self, tiny_instance):
+        small = AEStarPlacer(node_budget=5).place(tiny_instance)
+        large = AEStarPlacer(node_budget=80).place(tiny_instance)
+        assert large.otc <= small.otc * 1.05  # search is heuristic; allow slack
+
+    def test_no_gain_instance_terminates(self, write_heavy_instance):
+        res = AEStarPlacer(node_budget=20).place(write_heavy_instance)
+        baseline = primary_only_otc(write_heavy_instance)
+        assert res.otc <= baseline or res.otc == pytest.approx(baseline)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epsilon": -0.1},
+            {"branching": 0},
+            {"node_budget": 0},
+            {"candidate_pool": 1, "branching": 3},
+        ],
+    )
+    def test_bad_params(self, kwargs):
+        with pytest.raises(ValueError):
+            AEStarPlacer(**kwargs)

@@ -1,0 +1,106 @@
+"""Tests for the genetic replication algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gra import GRAPlacer
+from repro.drp.cost import primary_only_otc
+from repro.drp.feasibility import check_state
+
+
+def small_gra(**kw):
+    defaults = dict(population_size=8, generations=6, seed=0)
+    defaults.update(kw)
+    return GRAPlacer(**defaults)
+
+
+class TestGRA:
+    def test_feasible(self, tiny_instance):
+        check_state(small_gra().place(tiny_instance).state)
+
+    def test_improves_on_primaries(self, read_heavy_instance):
+        res = small_gra(generations=10).place(read_heavy_instance)
+        assert res.otc < primary_only_otc(read_heavy_instance)
+
+    def test_deterministic_with_seed(self, tiny_instance):
+        a = small_gra(seed=3).place(tiny_instance)
+        b = small_gra(seed=3).place(tiny_instance)
+        assert np.array_equal(a.state.x, b.state.x)
+
+    def test_different_seeds_differ(self, tiny_instance):
+        a = small_gra(seed=1).place(tiny_instance)
+        b = small_gra(seed=2).place(tiny_instance)
+        # Stochastic search: schemes should differ (not a hard guarantee,
+        # but overwhelmingly likely on this instance).
+        assert not np.array_equal(a.state.x, b.state.x)
+
+    def test_more_generations_no_worse(self, tiny_instance):
+        short = small_gra(generations=2, seed=5).place(tiny_instance)
+        long_ = small_gra(generations=20, seed=5).place(tiny_instance)
+        # Elitism makes best-so-far monotone in generations.
+        assert long_.otc <= short.otc + 1e-9
+
+    def test_trails_greedy(self, read_heavy_instance):
+        from repro.baselines.greedy import GreedyPlacer
+
+        gra = small_gra().place(read_heavy_instance)
+        greedy = GreedyPlacer().place(read_heavy_instance)
+        assert gra.savings_percent < greedy.savings_percent
+
+    def test_rounds_is_generations(self, tiny_instance):
+        assert small_gra(generations=4).place(tiny_instance).rounds == 4
+
+    def test_evaluation_cache_reported(self, tiny_instance):
+        res = small_gra().place(tiny_instance)
+        assert res.extra["evaluations"] > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"population_size": 1},
+            {"generations": 0},
+            {"crossover_rate": 1.5},
+            {"mutation_flips": -1},
+            {"elitism": 8, "population_size": 8},
+            {"tournament": 0},
+        ],
+    )
+    def test_bad_params(self, kwargs):
+        with pytest.raises(ValueError):
+            GRAPlacer(**kwargs)
+
+
+class TestGRAOperators:
+    def test_repair_restores_feasibility(self, tiny_instance, rng):
+        placer = small_gra()
+        x = placer._random_chromosome(tiny_instance, rng, density=0.5)
+        # Overload: flip on everything for one server.
+        x[3, :] = True
+        x[tiny_instance.primaries, np.arange(tiny_instance.n_objects)] = True
+        placer._repair(tiny_instance, x, rng)
+        used = x @ tiny_instance.sizes
+        assert (used <= tiny_instance.capacities).all()
+        assert x[tiny_instance.primaries, np.arange(tiny_instance.n_objects)].all()
+
+    def test_crossover_columns_from_parents(self, tiny_instance, rng):
+        placer = small_gra()
+        a = placer._random_chromosome(tiny_instance, rng, 0.3)
+        b = placer._random_chromosome(tiny_instance, rng, 0.3)
+        child = placer._crossover(a, b, rng)
+        for k in range(tiny_instance.n_objects):
+            col = child[:, k]
+            assert np.array_equal(col, a[:, k]) or np.array_equal(col, b[:, k])
+
+    def test_mutation_never_flips_primary(self, tiny_instance, rng):
+        placer = small_gra(mutation_flips=200.0)
+        x = np.zeros((tiny_instance.n_servers, tiny_instance.n_objects), dtype=bool)
+        cols = np.arange(tiny_instance.n_objects)
+        x[tiny_instance.primaries, cols] = True
+        placer._mutate(tiny_instance, x, rng)
+        assert x[tiny_instance.primaries, cols].all()
+
+    def test_random_chromosome_feasible(self, tiny_instance, rng):
+        placer = small_gra()
+        x = placer._random_chromosome(tiny_instance, rng, density=0.8)
+        used = x @ tiny_instance.sizes
+        assert (used <= tiny_instance.capacities).all()

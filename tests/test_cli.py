@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+FAST = ["--servers", "12", "--objects", "40", "--requests", "4000", "--seed", "3"]
+
+
+class TestGenerate:
+    def test_writes_instance(self, tmp_path, capsys):
+        out = tmp_path / "inst.npz"
+        rc = main(["generate", *FAST, "-o", str(out)])
+        assert rc == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_roundtrip_through_run(self, tmp_path, capsys):
+        out = tmp_path / "inst.npz"
+        main(["generate", *FAST, "-o", str(out)])
+        rc = main(["run", "--instance", str(out), "-a", "AGT-RAM"])
+        assert rc == 0
+        assert "AGT-RAM" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_default_algorithm(self, capsys):
+        rc = main(["run", *FAST])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "savings" in out
+
+    def test_save_result(self, tmp_path, capsys):
+        rc = main(["run", *FAST, "-o", str(tmp_path / "res")])
+        assert rc == 0
+        assert (tmp_path / "res.json").exists()
+        assert (tmp_path / "res.npz").exists()
+
+    @pytest.mark.parametrize("alg", ["Greedy", "DA"])
+    def test_other_algorithms(self, alg, capsys):
+        rc = main(["run", *FAST, "-a", alg])
+        assert rc == 0
+        assert alg in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_subset(self, capsys):
+        rc = main(["compare", *FAST, "--algorithms", "AGT-RAM", "Greedy"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "AGT-RAM" in out and "Greedy" in out
+
+
+class TestSweep:
+    def test_capacity_sweep(self, capsys):
+        rc = main(
+            ["sweep", *FAST, "--param", "capacity", "--values", "0.1", "0.3",
+             "--algorithms", "AGT-RAM", "--no-chart"]
+        )
+        assert rc == 0
+        assert "capacity" in capsys.readouterr().out
+
+    def test_rw_sweep_with_chart(self, capsys):
+        rc = main(
+            ["sweep", *FAST, "--param", "rw", "--values", "0.6", "0.95",
+             "--algorithms", "AGT-RAM", "Greedy"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "o = AGT-RAM" in out  # chart legend
+
+
+class TestAxioms:
+    def test_all_pass(self, capsys):
+        rc = main(["axioms", *FAST])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("PASS") == 6
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "-a", "Magic"])
+
+
+class TestReproduce:
+    def test_fig3_only(self, capsys):
+        rc = main(["reproduce", "--scale", "tiny", "--targets", "fig3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out and "AGT-RAM" in out
+
+    def test_tables(self, capsys):
+        rc = main(["reproduce", "--scale", "tiny", "--targets", "table2"])
+        assert rc == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["reproduce", "--targets", "fig9"])
+
+
+class TestSweepCsv:
+    def test_csv_written(self, tmp_path, capsys):
+        out = tmp_path / "rows.csv"
+        rc = main(
+            ["sweep", *FAST, "--param", "capacity", "--values", "0.2",
+             "--algorithms", "AGT-RAM", "--no-chart", "--csv", str(out)]
+        )
+        assert rc == 0
+        assert out.exists()
+        text = out.read_text()
+        assert "AGT-RAM" in text and "savings_percent" in text

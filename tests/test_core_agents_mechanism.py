@@ -1,0 +1,107 @@
+"""Tests for ReplicaAgent and the Mechanism/audit abstractions."""
+
+import numpy as np
+import pytest
+
+from repro.core.agents import Bid, ReplicaAgent
+from repro.core.mechanism import MechanismAudit, RoundRecord
+from repro.core.strategies import OverProjection, UnderProjection
+from repro.drp.benefit import BenefitEngine
+from repro.drp.state import ReplicationState
+from repro.errors import MechanismProtocolError
+
+
+@pytest.fixture()
+def engine(line_instance):
+    state = ReplicationState.primaries_only(line_instance)
+    return BenefitEngine(line_instance, state)
+
+
+class TestReplicaAgent:
+    def test_truthful_bid_is_argmax(self, engine):
+        agent = ReplicaAgent(server=2)
+        bid = agent.make_bid(engine)
+        assert isinstance(bid, Bid)
+        assert bid.obj == 0 and bid.value == pytest.approx(10.0)
+
+    def test_true_valuations_copy(self, engine):
+        agent = ReplicaAgent(server=1)
+        v = agent.true_valuations(engine)
+        v[:] = 0  # mutating the copy must not corrupt the engine
+        assert engine.matrix[1, 0] != 0
+
+    def test_strategy_scales_report(self, engine):
+        agent = ReplicaAgent(server=2, strategy=OverProjection(2.0))
+        bid = agent.make_bid(engine)
+        assert bid.value == pytest.approx(20.0)
+
+    def test_abstains_when_no_eligible(self, line_instance):
+        state = ReplicationState.primaries_only(line_instance)
+        state.add_replica(1, 0)
+        state.add_replica(1, 1)  # server 1 full
+        engine = BenefitEngine(line_instance, state)
+        agent = ReplicaAgent(server=1)
+        assert agent.make_bid(engine) is None
+
+    def test_award_bookkeeping(self):
+        agent = ReplicaAgent(server=0)
+        agent.award(obj=3, payment=4.0, true_value=9.0)
+        assert agent.payments_received == 4.0
+        assert agent.utility == 5.0
+        assert agent.objects_won == [3]
+
+    def test_award_ineligible_rejected(self):
+        agent = ReplicaAgent(server=0)
+        with pytest.raises(MechanismProtocolError):
+            agent.award(obj=1, payment=0.0, true_value=-np.inf)
+
+
+class TestMechanismAudit:
+    def make_audit(self):
+        audit = MechanismAudit()
+        audit.append(
+            RoundRecord(
+                reported=np.array([1.0, 5.0]),
+                objects=np.array([0, 1]),
+                winner=1,
+                obj=1,
+                payment=1.0,
+                true_value=5.0,
+            )
+        )
+        audit.append(
+            RoundRecord(
+                reported=np.array([2.0, -np.inf]),
+                objects=np.array([0, -1]),
+                winner=0,
+                obj=0,
+                payment=0.0,
+                true_value=2.0,
+            )
+        )
+        audit.append(
+            RoundRecord(
+                reported=np.array([-np.inf, -np.inf]),
+                objects=np.array([-1, -1]),
+                winner=-1,
+                obj=-1,
+                payment=0.0,
+                true_value=0.0,
+            )
+        )
+        return audit
+
+    def test_len(self):
+        assert len(self.make_audit()) == 3
+
+    def test_total_payments_skips_terminal(self):
+        assert self.make_audit().total_payments() == 1.0
+
+    def test_payments_by_agent(self):
+        p = self.make_audit().payments_by_agent(2)
+        assert np.array_equal(p, [0.0, 1.0])
+
+    def test_utilities_by_agent(self):
+        u = self.make_audit().utilities_by_agent(2)
+        assert u[1] == pytest.approx(4.0)
+        assert u[0] == pytest.approx(2.0)

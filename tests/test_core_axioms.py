@@ -1,0 +1,116 @@
+"""Tests for the six-axiom verification harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.agt_ram import run_agt_ram
+from repro.core.axioms import AXIOM_NAMES, verify_axioms
+from repro.core.mechanism import RoundRecord
+from repro.core.strategies import OverProjection
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def audited(tiny_instance):
+    return run_agt_ram(tiny_instance, record_audit=True)
+
+
+class TestVerifyAxioms:
+    def test_all_pass_for_honest_run(self, tiny_instance, audited):
+        checks = verify_axioms(tiny_instance, audited)
+        assert set(checks) == set(AXIOM_NAMES)
+        for name, check in checks.items():
+            assert check.passed, f"{name}: {check.detail}"
+
+    def test_requires_audit(self, tiny_instance):
+        res = run_agt_ram(tiny_instance, record_audit=False)
+        with pytest.raises(ReproError, match="audit"):
+            verify_axioms(tiny_instance, res)
+
+    def test_axioms_hold_under_deviation(self, tiny_instance):
+        # Axioms are properties of the *mechanism*, not of agent honesty:
+        # they must hold even when an agent deviates.
+        res = run_agt_ram(
+            tiny_instance,
+            strategies={0: OverProjection(2.0)},
+            record_audit=True,
+        )
+        checks = verify_axioms(tiny_instance, res)
+        for name in (
+            "axiom1_ingredients",
+            "axiom3_truthful",
+            "axiom4_utilitarian",
+            "axiom5_motivation",
+            "axiom6_algorithmic_output",
+        ):
+            assert checks[name].passed, checks[name].detail
+
+    def test_first_price_breaks_axiom3(self, tiny_instance):
+        res = run_agt_ram(
+            tiny_instance, payment_rule="first_price", record_audit=True
+        )
+        checks = verify_axioms(tiny_instance, res)
+        # With any competition, paying your own bid != second-best.
+        assert not checks["axiom3_truthful"].passed
+
+    def test_global_valuation_breaks_axiom2(self, read_heavy_instance):
+        # The ablation oracle uses system-wide data an agent cannot
+        # privately hold -> agent-disposition axiom fails by design.
+        res = run_agt_ram(
+            read_heavy_instance, valuation="global", record_audit=True
+        )
+        checks = verify_axioms(read_heavy_instance, res)
+        assert not checks["axiom2_agent_disposition"].passed
+
+
+class TestTamperedAudits:
+    def _tamper(self, audited, **overrides):
+        import copy
+
+        res = copy.copy(audited)
+        res.extra = dict(audited.extra)
+        audit = copy.deepcopy(audited.extra["audit"])
+        rec = audit.rounds[0]
+        fields = {
+            "reported": rec.reported,
+            "objects": rec.objects,
+            "winner": rec.winner,
+            "obj": rec.obj,
+            "payment": rec.payment,
+            "true_value": rec.true_value,
+        }
+        fields.update(overrides)
+        audit.rounds[0] = RoundRecord(**fields)
+        res.extra["audit"] = audit
+        return res
+
+    def test_wrong_payment_detected(self, tiny_instance, audited):
+        bad = self._tamper(audited, payment=audited.extra["audit"].rounds[0].payment + 1)
+        checks = verify_axioms(tiny_instance, bad)
+        assert not checks["axiom3_truthful"].passed
+
+    def test_non_argmax_winner_detected(self, tiny_instance, audited):
+        rec = audited.extra["audit"].rounds[0]
+        loser = int(np.argmin(np.where(np.isfinite(rec.reported), rec.reported, np.inf)))
+        if loser == rec.winner:
+            pytest.skip("degenerate round")
+        bad = self._tamper(audited, winner=loser)
+        checks = verify_axioms(tiny_instance, bad)
+        assert not (
+            checks["axiom4_utilitarian"].passed
+            and checks["axiom2_agent_disposition"].passed
+        )
+
+    def test_wrong_true_value_detected(self, tiny_instance, audited):
+        bad = self._tamper(
+            audited, true_value=audited.extra["audit"].rounds[0].true_value * 2 + 1
+        )
+        checks = verify_axioms(tiny_instance, bad)
+        assert not checks["axiom2_agent_disposition"].passed
+
+    def test_award_mismatch_detected(self, tiny_instance, audited):
+        rec = audited.extra["audit"].rounds[0]
+        other_obj = (rec.obj + 1) % tiny_instance.n_objects
+        bad = self._tamper(audited, obj=other_obj)
+        checks = verify_axioms(tiny_instance, bad)
+        assert not checks["axiom6_algorithmic_output"].passed

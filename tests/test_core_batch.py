@@ -1,0 +1,53 @@
+"""Tests for the batched-round AGT-RAM variant."""
+
+import numpy as np
+import pytest
+
+from repro.core.agt_ram import AGTRam, run_agt_ram
+from repro.drp.feasibility import check_state
+from repro.errors import ConfigurationError
+
+
+class TestBatchedRounds:
+    def test_batch_one_identical_to_default(self, tiny_instance):
+        a = AGTRam(batch_size=1).run(tiny_instance)
+        b = run_agt_ram(tiny_instance)
+        assert np.array_equal(a.state.x, b.state.x)
+
+    def test_fewer_rounds(self, read_heavy_instance):
+        single = run_agt_ram(read_heavy_instance)
+        batched = AGTRam(batch_size=8).run(read_heavy_instance)
+        assert batched.rounds < single.rounds
+        # Roughly B-fold fewer (not exact: tail rounds have < B bidders).
+        assert batched.rounds <= single.rounds // 2
+
+    def test_quality_close(self, read_heavy_instance):
+        single = run_agt_ram(read_heavy_instance)
+        batched = AGTRam(batch_size=8).run(read_heavy_instance)
+        assert batched.savings_percent > 0.9 * single.savings_percent
+
+    def test_feasible(self, read_heavy_instance):
+        check_state(AGTRam(batch_size=8).run(read_heavy_instance).state)
+
+    def test_positive_savings(self, read_heavy_instance):
+        res = AGTRam(batch_size=4).run(read_heavy_instance)
+        assert res.savings_percent > 0
+
+    def test_uniform_price_below_winner_values(self, read_heavy_instance):
+        # The clearing price is the best rejected report, so every
+        # winner's per-award utility is >= 0 under truthful play.
+        res = AGTRam(batch_size=4).run(read_heavy_instance)
+        assert (res.extra["utilities"] >= -1e-9).all()
+
+    def test_audit_records_batch_members(self, tiny_instance):
+        res = AGTRam(batch_size=4).run(tiny_instance, record_audit=True)
+        allocs = [r for r in res.extra["audit"].rounds if r.winner >= 0]
+        assert len(allocs) == res.replicas_allocated
+
+    def test_batch_larger_than_agents(self, line_instance):
+        res = AGTRam(batch_size=100).run(line_instance)
+        check_state(res.state)
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ConfigurationError):
+            AGTRam(batch_size=0)

@@ -1,0 +1,86 @@
+"""Tests for the empirical truthfulness harness."""
+
+import pytest
+
+from repro.core.equilibrium import (
+    full_run_utilities,
+    one_shot_utilities,
+    truthfulness_gap,
+)
+from repro.core.strategies import (
+    OverProjection,
+    RandomProjection,
+    UnderProjection,
+)
+
+
+class TestOneShot:
+    @pytest.mark.parametrize(
+        "strategy",
+        [OverProjection(2.0), OverProjection(10.0), UnderProjection(0.2)],
+    )
+    def test_second_price_dominance_exact(self, read_heavy_instance, strategy):
+        # One-shot second-price: deviating can never beat truthful.
+        for agent in range(read_heavy_instance.n_servers):
+            comp = one_shot_utilities(read_heavy_instance, agent, strategy)
+            assert comp.deviating <= comp.truthful + 1e-9
+
+    def test_random_projection_dominance(self, read_heavy_instance):
+        for agent in range(0, read_heavy_instance.n_servers, 3):
+            comp = one_shot_utilities(
+                read_heavy_instance, agent, RandomProjection(1.0, seed=agent)
+            )
+            assert comp.deviating <= comp.truthful + 1e-9
+
+    def test_first_price_can_reward_deviation(self, read_heavy_instance):
+        # Under pay-your-bid, shading the bid below the true value is
+        # profitable for the would-be winner: find at least one agent
+        # that strictly gains.
+        gains = []
+        for agent in range(read_heavy_instance.n_servers):
+            comp = one_shot_utilities(
+                read_heavy_instance,
+                agent,
+                UnderProjection(0.6),
+                payment_rule="first_price",
+            )
+            gains.append(comp.gain_from_deviation)
+        assert max(gains) > 0.0
+
+    def test_gain_property(self, read_heavy_instance):
+        comp = one_shot_utilities(read_heavy_instance, 0, OverProjection(2.0))
+        assert comp.gain_from_deviation == comp.deviating - comp.truthful
+
+
+class TestFullRun:
+    def test_returns_both_utilities(self, tiny_instance):
+        comp = full_run_utilities(tiny_instance, 0, OverProjection(2.0))
+        assert comp.agent == 0
+        assert comp.truthful >= 0.0
+
+    def test_aggregate_deviation_unprofitable(self, tiny_instance):
+        # Empirical check over several agents (per-round dominance makes
+        # profitable full-run deviations vanishingly unlikely).
+        comps = truthfulness_gap(
+            tiny_instance,
+            lambda: OverProjection(3.0),
+            n_agents=6,
+            one_shot=False,
+            seed=0,
+        )
+        assert all(c.gain_from_deviation <= 1e-6 for c in comps)
+
+
+class TestTruthfulnessGap:
+    def test_samples_requested_agents(self, tiny_instance):
+        comps = truthfulness_gap(
+            tiny_instance, lambda: UnderProjection(0.5), n_agents=5, seed=1
+        )
+        assert len(comps) == 5
+        assert len({c.agent for c in comps}) == 5
+
+    def test_caps_at_population(self, line_instance):
+        comps = truthfulness_gap(
+            line_instance, lambda: OverProjection(2.0), n_agents=50, seed=2
+        )
+        assert len(comps) == 3

@@ -1,0 +1,162 @@
+"""Tests for the hierarchical/regional mechanism (paper §7 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.agt_ram import run_agt_ram
+from repro.core.hierarchical import HierarchicalAGTRam, partition_by_proximity
+from repro.drp.feasibility import check_state
+from repro.errors import ConfigurationError
+
+
+class TestPartition:
+    def test_shape_and_range(self, tiny_instance):
+        part = partition_by_proximity(tiny_instance, 4, seed=0)
+        assert part.shape == (tiny_instance.n_servers,)
+        assert set(np.unique(part)) <= set(range(4))
+
+    def test_all_regions_populated(self, tiny_instance):
+        part = partition_by_proximity(tiny_instance, 4, seed=0)
+        assert len(np.unique(part)) == 4
+
+    def test_single_region(self, tiny_instance):
+        part = partition_by_proximity(tiny_instance, 1, seed=0)
+        assert (part == 0).all()
+
+    def test_n_regions_equals_servers(self, tiny_instance):
+        m = tiny_instance.n_servers
+        part = partition_by_proximity(tiny_instance, m, seed=0)
+        assert len(np.unique(part)) == m
+
+    def test_too_many_regions(self, tiny_instance):
+        with pytest.raises(ConfigurationError):
+            partition_by_proximity(tiny_instance, tiny_instance.n_servers + 1)
+
+    def test_deterministic(self, tiny_instance):
+        a = partition_by_proximity(tiny_instance, 3, seed=5)
+        b = partition_by_proximity(tiny_instance, 3, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_proximity_property(self, tiny_instance):
+        # Every server is closer to some member of its own region's seed
+        # set than... we verify weak coherence: mean intra-region cost is
+        # below mean inter-region cost.
+        part = partition_by_proximity(tiny_instance, 4, seed=1)
+        c = tiny_instance.cost
+        same = part[:, None] == part[None, :]
+        off_diag = ~np.eye(len(part), dtype=bool)
+        intra = c[same & off_diag].mean()
+        inter = c[~same].mean()
+        assert intra < inter
+
+
+class TestSequentialMode:
+    def test_identical_to_flat(self, read_heavy_instance):
+        # One allocation per global round, root picks the global max —
+        # the allocation sequence must match flat AGT-RAM exactly.
+        flat = run_agt_ram(read_heavy_instance)
+        seq = HierarchicalAGTRam(n_regions=4, mode="sequential", seed=0).run(
+            read_heavy_instance
+        )
+        assert np.array_equal(flat.state.x, seq.state.x)
+        assert flat.rounds == seq.rounds
+
+    def test_payments_at_least_flat(self, read_heavy_instance):
+        # The hierarchical price is max(regional, root) second price, so
+        # total payments can only rise relative to flat.
+        flat = run_agt_ram(read_heavy_instance)
+        seq = HierarchicalAGTRam(n_regions=4, mode="sequential", seed=0).run(
+            read_heavy_instance
+        )
+        assert seq.extra["payments"].sum() >= flat.extra["payments"].sum() - 1e-6
+
+    def test_state_feasible(self, read_heavy_instance):
+        res = HierarchicalAGTRam(n_regions=3, mode="sequential", seed=1).run(
+            read_heavy_instance
+        )
+        check_state(res.state)
+
+
+class TestConcurrentMode:
+    def test_fewer_rounds_than_flat(self, read_heavy_instance):
+        flat = run_agt_ram(read_heavy_instance)
+        con = HierarchicalAGTRam(n_regions=4, mode="concurrent", seed=0).run(
+            read_heavy_instance
+        )
+        assert con.rounds < flat.rounds
+
+    def test_quality_close_to_flat(self, read_heavy_instance):
+        flat = run_agt_ram(read_heavy_instance)
+        con = HierarchicalAGTRam(n_regions=4, mode="concurrent", seed=0).run(
+            read_heavy_instance
+        )
+        assert con.savings_percent > 0.85 * flat.savings_percent
+
+    def test_state_feasible(self, read_heavy_instance):
+        res = HierarchicalAGTRam(n_regions=4, mode="concurrent", seed=0).run(
+            read_heavy_instance
+        )
+        check_state(res.state)
+
+    def test_region_stats_sum_to_total(self, read_heavy_instance):
+        res = HierarchicalAGTRam(n_regions=4, mode="concurrent", seed=0).run(
+            read_heavy_instance
+        )
+        stats = res.extra["region_stats"]
+        assert sum(s.allocations for s in stats.values()) == (
+            res.replicas_allocated
+        )
+        assert sum(s.servers for s in stats.values()) == (
+            read_heavy_instance.n_servers
+        )
+
+
+class TestFailureResilience:
+    def test_failed_region_abstains(self, read_heavy_instance):
+        res = HierarchicalAGTRam(
+            n_regions=4, mode="concurrent", seed=0, failed_regions=[0]
+        ).run(read_heavy_instance)
+        part = res.extra["partition"]
+        dead_servers = np.flatnonzero(part == 0)
+        # No replica beyond the primaries was placed in the dead region.
+        extra = res.state.x.copy()
+        extra[read_heavy_instance.primaries, np.arange(read_heavy_instance.n_objects)] = False
+        assert not extra[dead_servers].any()
+
+    def test_degrades_gracefully(self, read_heavy_instance):
+        healthy = HierarchicalAGTRam(n_regions=4, mode="concurrent", seed=0).run(
+            read_heavy_instance
+        )
+        degraded = HierarchicalAGTRam(
+            n_regions=4, mode="concurrent", seed=0, failed_regions=[0]
+        ).run(read_heavy_instance)
+        assert 0.0 < degraded.savings_percent <= healthy.savings_percent + 1e-9
+
+    def test_all_regions_failed(self, read_heavy_instance):
+        res = HierarchicalAGTRam(
+            n_regions=2, mode="concurrent", seed=0, failed_regions=[0, 1]
+        ).run(read_heavy_instance)
+        assert res.replicas_allocated == 0
+
+
+class TestConfiguration:
+    def test_bad_mode(self):
+        with pytest.raises(ConfigurationError):
+            HierarchicalAGTRam(mode="federated")
+
+    def test_explicit_partition(self, tiny_instance):
+        part = np.arange(tiny_instance.n_servers) % 2
+        res = HierarchicalAGTRam(partition=part, mode="concurrent").run(
+            tiny_instance
+        )
+        assert np.array_equal(res.extra["partition"], part)
+
+    def test_bad_partition_shape(self, tiny_instance):
+        with pytest.raises(ConfigurationError):
+            HierarchicalAGTRam(partition=np.zeros(3, dtype=int)).run(tiny_instance)
+
+    def test_max_rounds(self, read_heavy_instance):
+        res = HierarchicalAGTRam(
+            n_regions=4, mode="concurrent", seed=0, max_rounds=3
+        ).run(read_heavy_instance)
+        assert res.rounds == 3

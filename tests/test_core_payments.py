@@ -1,0 +1,77 @@
+"""Tests for the payment rules (Axiom 5 / Theorem 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.payments import (
+    PAYMENT_RULES,
+    first_price_payment,
+    second_best_payment,
+    winner_utility,
+)
+
+
+class TestSecondBestPayment:
+    def test_basic(self):
+        assert second_best_payment([3.0, 7.0, 5.0], 1) == 5.0
+
+    def test_ignores_winner_bid(self):
+        # The winner's own report must not influence the price.
+        assert second_best_payment([3.0, 100.0, 5.0], 1) == second_best_payment(
+            [3.0, 7.0, 5.0], 1
+        )
+
+    def test_sole_bidder_pays_zero(self):
+        assert second_best_payment([-np.inf, 4.0, -np.inf], 1) == 0.0
+
+    def test_single_agent(self):
+        assert second_best_payment([9.0], 0) == 0.0
+
+    def test_negative_second_clamped(self):
+        assert second_best_payment([-2.0, 4.0], 1) == 0.0
+
+    def test_winner_not_max_still_prices_others(self):
+        # Pricing works even for a non-argmax winner (protocol tolerance).
+        assert second_best_payment([3.0, 1.0, 2.0], 1) == 3.0
+
+    def test_bad_index(self):
+        with pytest.raises(IndexError):
+            second_best_payment([1.0], 3)
+
+
+class TestFirstPricePayment:
+    def test_pays_own_bid(self):
+        assert first_price_payment([3.0, 7.0], 1) == 7.0
+
+    def test_depends_on_own_bid(self):
+        assert first_price_payment([3.0, 100.0], 1) != first_price_payment(
+            [3.0, 7.0], 1
+        )
+
+    def test_infinite_bid_rejected(self):
+        with pytest.raises(ValueError):
+            first_price_payment([-np.inf], 0)
+
+    def test_negative_clamped(self):
+        assert first_price_payment([-1.0, -5.0], 0) == 0.0
+
+
+class TestRegistryAndUtility:
+    def test_registry_complete(self):
+        assert set(PAYMENT_RULES) == {"second_price", "first_price"}
+
+    def test_winner_utility(self):
+        assert winner_utility(10.0, 7.0) == 3.0
+
+    def test_second_price_truthful_utility_nonnegative(self):
+        # A truthful winner's utility is always >= 0: it won, so its true
+        # value is the max, hence >= the second best it pays.
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            bids = rng.uniform(0, 10, size=6)
+            winner = int(np.argmax(bids))
+            pay = second_best_payment(bids, winner)
+            assert winner_utility(bids[winner], pay) >= 0.0
+
+    def test_first_price_truthful_utility_zero(self):
+        assert winner_utility(5.0, first_price_payment([1.0, 5.0], 1)) == 0.0

@@ -1,0 +1,101 @@
+"""Tests for agent reporting strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import (
+    OverProjection,
+    RandomProjection,
+    TruthfulStrategy,
+    UnderProjection,
+)
+from repro.errors import ConfigurationError
+
+
+def vec():
+    return np.array([2.0, -1.0, -np.inf, 5.0])
+
+
+class TestTruthful:
+    def test_identity(self):
+        assert np.array_equal(TruthfulStrategy().report(vec()), vec())
+
+
+class TestOverProjection:
+    def test_inflates_positive(self):
+        out = OverProjection(2.0).report(vec())
+        assert out[0] == 4.0 and out[3] == 10.0
+
+    def test_raises_negative_toward_zero(self):
+        out = OverProjection(2.0).report(vec())
+        assert out[1] == -0.5  # -1/2: pushed *up*
+
+    def test_preserves_ineligible(self):
+        assert OverProjection(1.5).report(vec())[2] == -np.inf
+
+    def test_factor_validation(self):
+        with pytest.raises(ConfigurationError):
+            OverProjection(1.0)
+        with pytest.raises(ConfigurationError):
+            OverProjection(0.5)
+
+    def test_argmax_unchanged(self):
+        # Monotone inflation never changes which object is reported.
+        v = np.array([1.0, 3.0, 2.0])
+        assert np.argmax(OverProjection(3.0).report(v)) == np.argmax(v)
+
+
+class TestUnderProjection:
+    def test_deflates_positive(self):
+        out = UnderProjection(0.5).report(vec())
+        assert out[0] == 1.0 and out[3] == 2.5
+
+    def test_pushes_negative_down(self):
+        out = UnderProjection(0.5).report(vec())
+        assert out[1] == -2.0
+
+    def test_factor_validation(self):
+        with pytest.raises(ConfigurationError):
+            UnderProjection(1.0)
+        with pytest.raises(ConfigurationError):
+            UnderProjection(0.0)
+
+
+class TestRandomProjection:
+    def test_preserves_ineligible(self):
+        out = RandomProjection(0.8, seed=0).report(vec())
+        assert out[2] == -np.inf
+
+    def test_perturbs_values(self):
+        out = RandomProjection(0.8, seed=0).report(vec())
+        assert not np.array_equal(out[[0, 1, 3]], vec()[[0, 1, 3]])
+
+    def test_sign_preserved(self):
+        # Lognormal noise is positive, so signs survive.
+        out = RandomProjection(1.0, seed=1).report(vec())
+        assert out[0] > 0 and out[1] < 0
+
+    def test_deterministic_with_seed(self):
+        a = RandomProjection(0.5, seed=7).report(vec())
+        b = RandomProjection(0.5, seed=7).report(vec())
+        assert np.array_equal(a, b)
+
+    def test_bad_sigma(self):
+        with pytest.raises(ConfigurationError):
+            RandomProjection(0.0)
+
+
+class TestReportContract:
+    def test_all_infinite_input(self):
+        v = np.full(3, -np.inf)
+        out = OverProjection(2.0).report(v)
+        assert np.all(out == -np.inf)
+
+    def test_shape_preserved(self):
+        for s in (TruthfulStrategy(), OverProjection(2.0), UnderProjection(0.5)):
+            assert s.report(vec()).shape == vec().shape
+
+    def test_input_not_mutated(self):
+        v = vec()
+        OverProjection(2.0).report(v)
+        assert np.array_equal(v, vec())

@@ -1,0 +1,67 @@
+"""Tests for the Theorem 3 (VCG ≡ second price) identity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.payments import second_best_payment
+from repro.core.theorem3 import (
+    clarke_pivot_h,
+    vcg_payment,
+    verify_theorem3,
+)
+
+bids = st.lists(
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    min_size=1,
+    max_size=15,
+)
+
+
+class TestIdentity:
+    @given(bids)
+    @settings(max_examples=150, deadline=None)
+    def test_vcg_equals_second_price(self, reported):
+        winner = int(np.argmax(reported))
+        assert vcg_payment(reported, winner) == pytest.approx(
+            second_best_payment(reported, winner)
+        )
+
+    @given(bids)
+    @settings(max_examples=100, deadline=None)
+    def test_verify_helper(self, reported):
+        assert verify_theorem3(reported, int(np.argmax(reported)))
+
+    def test_on_real_mechanism_rounds(self, tiny_instance):
+        from repro.core.agt_ram import run_agt_ram
+
+        res = run_agt_ram(tiny_instance, record_audit=True)
+        for rec in res.extra["audit"].rounds:
+            if rec.winner >= 0:
+                assert verify_theorem3(rec.reported, rec.winner)
+
+
+class TestClarkePivot:
+    def test_basic(self):
+        assert clarke_pivot_h([3.0, 9.0, 5.0], 1) == 5.0
+
+    def test_sole_agent(self):
+        assert clarke_pivot_h([7.0], 0) == 0.0
+
+    def test_ignores_own_bid(self):
+        assert clarke_pivot_h([3.0, 9.0, 5.0], 1) == clarke_pivot_h(
+            [3.0, 1e9, 5.0], 1
+        )
+
+    def test_reserve_floor(self):
+        assert clarke_pivot_h([-5.0, 4.0], 1) == 0.0
+
+    def test_infinite_competitors_ignored(self):
+        assert clarke_pivot_h([-np.inf, 4.0, 2.0], 1) == 2.0
+
+    def test_bad_index(self):
+        with pytest.raises(IndexError):
+            clarke_pivot_h([1.0], 5)
+        with pytest.raises(IndexError):
+            vcg_payment([1.0], 5)

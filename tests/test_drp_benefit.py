@@ -1,0 +1,124 @@
+"""Tests for local CoR (Eq. 5) and global ΔOTC benefits."""
+
+import numpy as np
+import pytest
+
+from repro.drp.benefit import (
+    BenefitEngine,
+    global_benefit,
+    global_benefit_column,
+    local_benefit_matrix,
+)
+from repro.drp.cost import total_otc
+from repro.drp.state import ReplicationState
+
+
+class TestLocalBenefit:
+    def test_hand_computed(self, line_instance):
+        st = ReplicationState.primaries_only(line_instance)
+        engine = BenefitEngine(line_instance, st)
+        # Server 2, object 0: r=6 at d=2; writes of others W-w = 1; c(P,2)=2
+        # b = 6*1*2 - 1*2*1 = 10
+        assert engine.local_benefit(2, 0) == pytest.approx(10.0)
+        # Server 1, object 0: r=2 at d=1; b = 2 - 1*1 = 1
+        assert engine.local_benefit(1, 0) == pytest.approx(1.0)
+
+    def test_ineligible_cells_masked(self, line_instance):
+        st = ReplicationState.primaries_only(line_instance)
+        m = local_benefit_matrix(line_instance, st)
+        assert m[0, 0] == -np.inf  # primary host
+        assert np.isfinite(m[1, 0])
+
+    def test_capacity_masks(self, line_instance):
+        st = ReplicationState.primaries_only(line_instance)
+        engine = BenefitEngine(line_instance, st)
+        st.add_replica(1, 0)
+        st.add_replica(1, 1)
+        engine.refresh_server(1)
+        assert not np.isfinite(engine.matrix[1]).any()
+
+    def test_local_is_lower_bound_on_global(self, tiny_instance):
+        st = ReplicationState.primaries_only(tiny_instance)
+        engine = BenefitEngine(tiny_instance, st)
+        for i in range(tiny_instance.n_servers):
+            for k in range(0, tiny_instance.n_objects, 7):
+                if np.isfinite(engine.matrix[i, k]):
+                    g = global_benefit(tiny_instance, st, i, k)
+                    assert g >= engine.matrix[i, k] - 1e-9
+
+    def test_incremental_matches_fresh(self, tiny_instance):
+        st = ReplicationState.primaries_only(tiny_instance)
+        engine = BenefitEngine(tiny_instance, st)
+        rng = np.random.default_rng(1)
+        for _ in range(15):
+            i = int(rng.integers(tiny_instance.n_servers))
+            k = int(rng.integers(tiny_instance.n_objects))
+            if st.can_host(i, k):
+                st.add_replica(i, k)
+                engine.notify_allocation(i, k)
+        fresh = local_benefit_matrix(tiny_instance, st)
+        assert np.array_equal(engine.matrix, fresh)
+
+    def test_best_per_server(self, line_instance):
+        st = ReplicationState.primaries_only(line_instance)
+        engine = BenefitEngine(line_instance, st)
+        vals, objs = engine.best_per_server()
+        assert vals[2] == pytest.approx(10.0)
+        assert objs[2] == 0
+
+    def test_foreign_state_rejected(self, line_instance, tiny_instance):
+        st = ReplicationState.primaries_only(tiny_instance)
+        with pytest.raises(ValueError):
+            BenefitEngine(line_instance, st)
+
+
+class TestGlobalBenefit:
+    def test_equals_exact_delta_otc(self, tiny_instance, rng):
+        st = ReplicationState.primaries_only(tiny_instance)
+        checked = 0
+        while checked < 25:
+            i = int(rng.integers(tiny_instance.n_servers))
+            k = int(rng.integers(tiny_instance.n_objects))
+            if not st.can_host(i, k):
+                continue
+            g = global_benefit(tiny_instance, st, i, k)
+            before = total_otc(st)
+            probe = st.copy()
+            probe.add_replica(i, k)
+            assert before - total_otc(probe) == pytest.approx(g, rel=1e-9, abs=1e-7)
+            # Occasionally commit so deltas are tested on evolving schemes.
+            if checked % 3 == 0:
+                st = probe
+            checked += 1
+
+    def test_column_matches_scalar(self, tiny_instance):
+        st = ReplicationState.primaries_only(tiny_instance)
+        for k in range(0, tiny_instance.n_objects, 11):
+            col = global_benefit_column(tiny_instance, st, k)
+            for i in range(tiny_instance.n_servers):
+                if np.isfinite(col[i]):
+                    assert col[i] == pytest.approx(
+                        global_benefit(tiny_instance, st, i, k)
+                    )
+
+    def test_column_masks_ineligible(self, line_instance):
+        st = ReplicationState.primaries_only(line_instance)
+        col = global_benefit_column(line_instance, st, 0)
+        assert col[0] == -np.inf  # primary
+        assert np.isfinite(col[1]) and np.isfinite(col[2])
+
+    def test_hand_computed(self, line_instance):
+        st = ReplicationState.primaries_only(line_instance)
+        # Replica of obj 0 at server 2: read gains 6*2 (server 2 local)
+        # + server 1 unchanged (c(1,2)=1 == current d=1) -> 12.
+        # Update cost: (W-w)=1 writes over c(P,2)=2 -> 2.  g = 10.
+        assert global_benefit(line_instance, st, 2, 0) == pytest.approx(10.0)
+
+    def test_can_be_negative(self, write_heavy_instance):
+        st = ReplicationState.primaries_only(write_heavy_instance)
+        cols = [
+            global_benefit_column(write_heavy_instance, st, k)
+            for k in range(write_heavy_instance.n_objects)
+        ]
+        finite = np.concatenate([c[np.isfinite(c)] for c in cols])
+        assert (finite < 0).any()

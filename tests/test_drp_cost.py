@@ -1,0 +1,118 @@
+"""Tests for the OTC cost model (Equations 1-4)."""
+
+import numpy as np
+import pytest
+
+from repro.drp.cost import (
+    otc_breakdown,
+    otc_of_matrix,
+    primary_only_otc,
+    total_otc,
+)
+from repro.drp.state import ReplicationState
+
+
+class TestPrimaryOnlyOTC:
+    def test_hand_computed(self, line_instance):
+        # reads: obj0: r=[0,2,6] at dist [0,1,2] -> 0+2+12 = 14 (o=1)
+        #        obj1: r=[4,2,0] at dist [2,1,0] -> 8+2+0 = 10
+        # writes: obj0: w=[1,0,0] at dist [0,..] -> 0
+        #         obj1: w=[0,1,1] at dist to P=2: [.,1,0] -> 1
+        expected = 14 + 10 + 0 + 1
+        assert primary_only_otc(line_instance) == pytest.approx(expected)
+
+    def test_equals_state_total(self, line_instance, tiny_instance):
+        for inst in (line_instance, tiny_instance):
+            st = ReplicationState.primaries_only(inst)
+            assert total_otc(st) == pytest.approx(primary_only_otc(inst))
+
+    def test_nonnegative(self, tiny_instance):
+        assert primary_only_otc(tiny_instance) >= 0
+
+
+class TestOTCBreakdown:
+    def test_components_sum(self, tiny_instance):
+        st = ReplicationState.primaries_only(tiny_instance)
+        b = otc_breakdown(st)
+        assert b.total == pytest.approx(b.read_cost + b.write_cost)
+
+    def test_replica_zeroes_local_reads(self, line_instance):
+        st = ReplicationState.primaries_only(line_instance)
+        before = otc_breakdown(st)
+        st.add_replica(2, 0)  # server 2's 6 reads at dist 2 -> 0
+        after = otc_breakdown(st)
+        assert after.read_cost == pytest.approx(before.read_cost - 12.0)
+
+    def test_replica_adds_broadcast_cost(self, line_instance):
+        st = ReplicationState.primaries_only(line_instance)
+        before = otc_breakdown(st)
+        # Object 0 has 1 write from server 0 (the primary itself).
+        # Adding a replica at server 2 makes that write broadcast over
+        # c(P_0=0, 2) = 2, so write cost grows by 1*1*2 = 2.
+        st.add_replica(2, 0)
+        after = otc_breakdown(st)
+        assert after.write_cost == pytest.approx(before.write_cost + 2.0)
+
+    def test_writer_own_copy_no_selfbroadcast(self, line_instance):
+        st = ReplicationState.primaries_only(line_instance)
+        # Object 1 (primary at 2) written by servers 1 and 2.
+        # Give server 1 a replica: its own write should NOT pay the
+        # broadcast leg back to itself.
+        st.add_replica(1, 1)
+        b = otc_breakdown(st)
+        # writes obj1: server1: c(1,P=2)=1 + broadcast to {1}\{1} = 0 -> 1
+        #              server2(=P): c=0 + broadcast to {1} = c(2,1)=1 -> 1
+        #        obj0: only writer is its own primary -> 0
+        # reads obj1: server0 dist min(c(0,2)=2, c(0,1)=1)=1, r=4 -> 4
+        # reads obj0: server1 r=2 at dist 1 -> 2; server2 r=6 at dist 2 -> 12
+        assert b.write_cost == pytest.approx(2.0)
+        assert b.read_cost == pytest.approx(4.0 + 14.0)
+
+    def test_object_size_scales_cost(self, line_instance):
+        # Doubling all sizes doubles OTC (per-unit costs scale linearly).
+        from repro.drp.instance import DRPInstance
+
+        inst2 = DRPInstance(
+            cost=line_instance.cost,
+            reads=line_instance.reads,
+            writes=line_instance.writes,
+            sizes=line_instance.sizes * 2,
+            capacities=line_instance.capacities * 2,
+            primaries=line_instance.primaries,
+        )
+        assert primary_only_otc(inst2) == pytest.approx(
+            2 * primary_only_otc(line_instance)
+        )
+
+
+class TestOTCOfMatrix:
+    def test_matches_state_computation(self, tiny_instance, rng):
+        st = ReplicationState.primaries_only(tiny_instance)
+        for _ in range(25):
+            i = int(rng.integers(tiny_instance.n_servers))
+            k = int(rng.integers(tiny_instance.n_objects))
+            if st.can_host(i, k):
+                st.add_replica(i, k)
+        assert otc_of_matrix(tiny_instance, st.x) == pytest.approx(total_otc(st))
+
+    def test_primaries_only_matrix(self, tiny_instance):
+        st = ReplicationState.primaries_only(tiny_instance)
+        assert otc_of_matrix(tiny_instance, st.x) == pytest.approx(
+            primary_only_otc(tiny_instance)
+        )
+
+    def test_missing_primary_rejected(self, line_instance):
+        x = np.zeros((3, 2), dtype=bool)
+        with pytest.raises(ValueError):
+            otc_of_matrix(line_instance, x)
+
+    def test_wrong_shape_rejected(self, line_instance):
+        with pytest.raises(ValueError):
+            otc_of_matrix(line_instance, np.zeros((5, 5), dtype=bool))
+
+    def test_full_replication_kills_read_cost(self, line_instance):
+        x = np.ones((3, 2), dtype=bool)
+        st = ReplicationState.from_matrix(line_instance, x)
+        b = otc_breakdown(st)
+        assert b.read_cost == 0.0
+        assert b.write_cost > 0.0

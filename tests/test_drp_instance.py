@@ -1,0 +1,155 @@
+"""Tests for repro.drp.instance."""
+
+import numpy as np
+import pytest
+
+from repro.drp.instance import DRPInstance, build_instance
+from repro.errors import ConfigurationError, InfeasibleInstanceError
+from repro.topology import random_graph
+from repro.workload.synthetic import synthesize_workload
+
+
+def valid_kwargs():
+    cost = np.array([[0.0, 1.0], [1.0, 0.0]])
+    return dict(
+        cost=cost,
+        reads=np.array([[1, 2], [3, 4]]),
+        writes=np.array([[0, 1], [1, 0]]),
+        sizes=np.array([1, 2]),
+        capacities=np.array([3, 3]),
+        primaries=np.array([0, 1]),
+    )
+
+
+class TestDRPInstanceValidation:
+    def test_valid(self):
+        inst = DRPInstance(**valid_kwargs())
+        assert inst.n_servers == 2 and inst.n_objects == 2
+
+    def test_non_square_cost(self):
+        kw = valid_kwargs()
+        kw["cost"] = np.zeros((2, 3))
+        with pytest.raises(ConfigurationError):
+            DRPInstance(**kw)
+
+    def test_asymmetric_cost(self):
+        kw = valid_kwargs()
+        kw["cost"] = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(ConfigurationError, match="symmetric"):
+            DRPInstance(**kw)
+
+    def test_nonzero_diagonal(self):
+        kw = valid_kwargs()
+        kw["cost"] = np.array([[1.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(ConfigurationError, match="diagonal"):
+            DRPInstance(**kw)
+
+    def test_negative_cost(self):
+        kw = valid_kwargs()
+        kw["cost"] = np.array([[0.0, -1.0], [-1.0, 0.0]])
+        with pytest.raises(ConfigurationError):
+            DRPInstance(**kw)
+
+    def test_infinite_cost(self):
+        kw = valid_kwargs()
+        kw["cost"] = np.array([[0.0, np.inf], [np.inf, 0.0]])
+        with pytest.raises(ConfigurationError):
+            DRPInstance(**kw)
+
+    def test_negative_reads(self):
+        kw = valid_kwargs()
+        kw["reads"] = np.array([[-1, 0], [0, 0]])
+        with pytest.raises(ConfigurationError):
+            DRPInstance(**kw)
+
+    def test_zero_size_object(self):
+        kw = valid_kwargs()
+        kw["sizes"] = np.array([0, 1])
+        with pytest.raises(ConfigurationError):
+            DRPInstance(**kw)
+
+    def test_primary_out_of_range(self):
+        kw = valid_kwargs()
+        kw["primaries"] = np.array([0, 5])
+        with pytest.raises(ConfigurationError):
+            DRPInstance(**kw)
+
+    def test_primary_overload(self):
+        kw = valid_kwargs()
+        kw["primaries"] = np.array([0, 0])  # server 0 must hold sizes 1+2=3
+        kw["capacities"] = np.array([2, 3])
+        with pytest.raises(InfeasibleInstanceError, match="server 0"):
+            DRPInstance(**kw)
+
+    def test_shape_mismatch_reads(self):
+        kw = valid_kwargs()
+        kw["reads"] = np.zeros((3, 2), dtype=int)
+        with pytest.raises(ConfigurationError):
+            DRPInstance(**kw)
+
+
+class TestDerivedViews:
+    def test_primary_load(self):
+        inst = DRPInstance(**valid_kwargs())
+        assert np.array_equal(inst.primary_load, [1, 2])
+
+    def test_replica_headroom(self):
+        inst = DRPInstance(**valid_kwargs())
+        assert np.array_equal(inst.replica_headroom(), [2, 1])
+
+    def test_primary_cost_rows(self):
+        inst = DRPInstance(**valid_kwargs())
+        cp = inst.primary_cost_rows()
+        assert cp.shape == (2, 2)
+        assert cp[0, 1] == 1.0  # c(P_0=0, server 1)
+        assert cp[1, 1] == 0.0  # c(P_1=1, server 1)
+
+    def test_total_write_counts(self):
+        inst = DRPInstance(**valid_kwargs())
+        assert np.array_equal(inst.total_write_counts(), [1, 1])
+
+    def test_total_requests(self):
+        assert DRPInstance(**valid_kwargs()).total_requests() == 12
+
+
+class TestBuildInstance:
+    def test_basic(self):
+        topo = random_graph(12, 0.5, seed=0)
+        w = synthesize_workload(12, 30, total_requests=4000, seed=1)
+        inst = build_instance(topo, w, capacity_fraction=0.2, seed=2)
+        assert inst.n_servers == 12 and inst.n_objects == 30
+
+    def test_feasible_by_construction(self):
+        topo = random_graph(10, 0.4, seed=3)
+        w = synthesize_workload(10, 25, total_requests=2000, seed=4)
+        # Even a zero capacity_fraction instance is feasible (primaries fit).
+        inst = build_instance(topo, w, capacity_fraction=0.0, seed=5)
+        assert (inst.capacities >= inst.primary_load).all()
+
+    def test_capacity_fraction_scales_headroom(self):
+        topo = random_graph(10, 0.4, seed=6)
+        w = synthesize_workload(10, 25, total_requests=2000, seed=7)
+        lo = build_instance(topo, w, capacity_fraction=0.1, seed=8)
+        hi = build_instance(topo, w, capacity_fraction=0.4, seed=8)
+        assert hi.replica_headroom().sum() > 2 * lo.replica_headroom().sum()
+
+    def test_explicit_primaries(self):
+        topo = random_graph(8, 0.5, seed=9)
+        w = synthesize_workload(8, 16, total_requests=1000, seed=10)
+        primaries = np.zeros(16, dtype=int)
+        inst = build_instance(topo, w, primaries=primaries, seed=11)
+        assert (inst.primaries == 0).all()
+
+    def test_size_mismatch_rejected(self):
+        topo = random_graph(8, 0.5, seed=12)
+        w = synthesize_workload(9, 16, total_requests=1000, seed=13)
+        with pytest.raises(ConfigurationError):
+            build_instance(topo, w)
+
+    def test_deterministic(self):
+        topo = random_graph(8, 0.5, seed=14)
+        w = synthesize_workload(8, 16, total_requests=1000, seed=15)
+        a = build_instance(topo, w, seed=16)
+        b = build_instance(topo, w, seed=16)
+        assert np.array_equal(a.capacities, b.capacities)
+        assert np.array_equal(a.primaries, b.primaries)

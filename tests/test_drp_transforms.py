@@ -1,0 +1,94 @@
+"""Tests for instance transforms (partial updates, request scaling)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.greedy import GreedyPlacer
+from repro.core.agt_ram import run_agt_ram
+from repro.drp.cost import primary_only_otc, total_otc
+from repro.drp.state import ReplicationState
+from repro.drp.transforms import (
+    delta_update_instance,
+    read_only_instance,
+    scaled_request_instance,
+)
+from repro.errors import ConfigurationError
+
+
+class TestDeltaUpdates:
+    def test_delta_one_is_identity(self, tiny_instance):
+        inst = delta_update_instance(tiny_instance, 1.0)
+        assert np.array_equal(inst.writes, tiny_instance.writes)
+        assert primary_only_otc(inst) == pytest.approx(
+            primary_only_otc(tiny_instance)
+        )
+
+    def test_write_cost_scales_exactly(self, tiny_instance):
+        from repro.drp.cost import otc_breakdown
+
+        half = delta_update_instance(tiny_instance, 0.5)
+        full_state = ReplicationState.primaries_only(tiny_instance)
+        half_state = ReplicationState.primaries_only(half)
+        b_full = otc_breakdown(full_state)
+        b_half = otc_breakdown(half_state)
+        assert b_half.read_cost == pytest.approx(b_full.read_cost)
+        assert b_half.write_cost == pytest.approx(0.5 * b_full.write_cost)
+
+    def test_smaller_delta_more_replication(self, write_heavy_instance):
+        # Partial updates make replication cheaper to maintain, so the
+        # mechanism allocates at least as many replicas.
+        full = run_agt_ram(write_heavy_instance)
+        partial = run_agt_ram(delta_update_instance(write_heavy_instance, 0.1))
+        assert partial.replicas_allocated >= full.replicas_allocated
+
+    def test_smaller_delta_higher_savings(self, write_heavy_instance):
+        full = GreedyPlacer().place(write_heavy_instance)
+        partial = GreedyPlacer().place(
+            delta_update_instance(write_heavy_instance, 0.1)
+        )
+        assert partial.savings_percent >= full.savings_percent - 1e-9
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_bad_delta(self, tiny_instance, bad):
+        with pytest.raises(ConfigurationError):
+            delta_update_instance(tiny_instance, bad)
+
+    def test_name_tagged(self, tiny_instance):
+        assert "delta=0.25" in delta_update_instance(tiny_instance, 0.25).name
+
+
+class TestScaledRequests:
+    def test_savings_invariant(self, read_heavy_instance):
+        # Scaling all requests leaves savings-% invariant up to greedy
+        # tie-breaks shifting under float rounding of near-equal gains.
+        base = GreedyPlacer().place(read_heavy_instance)
+        scaled = GreedyPlacer().place(
+            scaled_request_instance(read_heavy_instance, 3.0)
+        )
+        assert scaled.savings_percent == pytest.approx(
+            base.savings_percent, abs=0.1
+        )
+
+    def test_otc_scales_linearly(self, tiny_instance):
+        st = ReplicationState.primaries_only(tiny_instance)
+        scaled = scaled_request_instance(tiny_instance, 2.5)
+        st2 = ReplicationState.primaries_only(scaled)
+        assert total_otc(st2) == pytest.approx(2.5 * total_otc(st))
+
+    def test_bad_factor(self, tiny_instance):
+        with pytest.raises(ConfigurationError):
+            scaled_request_instance(tiny_instance, 0.0)
+
+
+class TestReadOnly:
+    def test_no_writes(self, tiny_instance):
+        inst = read_only_instance(tiny_instance)
+        assert inst.writes.sum() == 0
+
+    def test_replication_always_helps(self, tiny_instance):
+        # With zero writes every positive-read replica is free to keep,
+        # so greedy fills capacity aggressively.
+        base = GreedyPlacer().place(tiny_instance)
+        ro = GreedyPlacer().place(read_only_instance(tiny_instance))
+        assert ro.replicas_allocated >= base.replicas_allocated
+        assert ro.savings_percent >= base.savings_percent - 1e-9

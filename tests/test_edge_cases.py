@@ -1,0 +1,158 @@
+"""Extreme-shape edge cases across the whole pipeline.
+
+Degenerate instances — one server, one object, zero traffic, objects as
+big as a server — are where index arithmetic and argmax defaults break;
+each case here runs the full mechanism and checks soundness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.greedy import GreedyPlacer
+from repro.core.agt_ram import run_agt_ram
+from repro.drp.cost import primary_only_otc, total_otc
+from repro.drp.feasibility import check_state
+from repro.drp.instance import DRPInstance
+from repro.drp.state import ReplicationState
+
+
+def make(cost, reads, writes, sizes, capacities, primaries):
+    return DRPInstance(
+        cost=np.asarray(cost, dtype=float),
+        reads=np.asarray(reads),
+        writes=np.asarray(writes),
+        sizes=np.asarray(sizes),
+        capacities=np.asarray(capacities),
+        primaries=np.asarray(primaries),
+        name="edge",
+    )
+
+
+class TestSingleServer:
+    def inst(self):
+        return make([[0.0]], [[5]], [[2]], [3], [10], [0])
+
+    def test_otc_zero(self):
+        # Everything is local: no transfer cost at all.
+        assert primary_only_otc(self.inst()) == 0.0
+
+    def test_mechanism_no_moves(self):
+        res = run_agt_ram(self.inst())
+        assert res.replicas_allocated == 0
+        assert res.savings_percent == 0.0
+
+    def test_greedy_no_moves(self):
+        assert GreedyPlacer().place(self.inst()).replicas_allocated == 0
+
+
+class TestSingleObject:
+    def inst(self):
+        cost = [[0.0, 2.0], [2.0, 0.0]]
+        return make(cost, [[0], [10]], [[0], [0]], [1], [1, 1], [0])
+
+    def test_mechanism_replicates_once(self):
+        res = run_agt_ram(self.inst())
+        assert res.replicas_allocated == 1
+        assert res.state.x[1, 0]
+        assert res.otc == 0.0
+
+
+class TestZeroTraffic:
+    def inst(self):
+        cost = [[0.0, 1.0], [1.0, 0.0]]
+        return make(cost, [[0, 0], [0, 0]], [[0, 0], [0, 0]], [1, 1], [5, 5], [0, 1])
+
+    def test_everything_is_noop(self):
+        inst = self.inst()
+        assert primary_only_otc(inst) == 0.0
+        res = run_agt_ram(inst)
+        assert res.replicas_allocated == 0
+        assert res.savings_percent == 0.0
+        check_state(res.state)
+
+
+class TestObjectFillsServer:
+    def inst(self):
+        # Object 1 exactly fills any server's headroom.
+        cost = [[0.0, 3.0, 6.0], [3.0, 0.0, 3.0], [6.0, 3.0, 0.0]]
+        return make(
+            cost,
+            [[0, 9], [0, 9], [0, 0]],
+            [[0, 0], [0, 0], [0, 0]],
+            [1, 4],
+            [1, 4, 5],
+            [0, 2],
+        )
+
+    def test_capacity_exact_fit(self):
+        inst = self.inst()
+        res = run_agt_ram(inst)
+        check_state(res.state)
+        # Server 1's headroom (4) exactly fits object 1: it should host.
+        assert res.state.x[1, 1]
+
+    def test_object_too_big_is_masked(self):
+        inst = self.inst()
+        st = ReplicationState.primaries_only(inst)
+        # Server 0 has headroom 0: nothing fits.
+        from repro.drp.benefit import BenefitEngine
+
+        engine = BenefitEngine(inst, st)
+        assert not np.isfinite(engine.matrix[0]).any()
+
+
+class TestManyObjectsOneHotspot:
+    def test_hotspot_monopolizes(self):
+        # One server produces all reads; objects should flow to it until
+        # capacity runs out, never elsewhere.
+        m, n = 4, 8
+        cost = np.full((m, m), 5.0)
+        np.fill_diagonal(cost, 0.0)
+        reads = np.zeros((m, n), dtype=int)
+        reads[1, :] = 50
+        inst = make(
+            cost,
+            reads,
+            np.zeros((m, n), dtype=int),
+            np.ones(n, dtype=int),
+            [n, 3, n, n],
+            np.zeros(n, dtype=int),
+        )
+        res = run_agt_ram(inst)
+        extra = res.state.x.copy()
+        extra[inst.primaries, np.arange(n)] = False
+        assert extra[1].sum() == 3  # filled its headroom exactly
+        assert extra[0].sum() == extra[2].sum() == extra[3].sum() == 0
+
+
+class TestIdenticalEverything:
+    def test_symmetric_ties_resolve_deterministically(self):
+        # Fully symmetric instance: ties everywhere; two runs must agree.
+        m, n = 3, 3
+        cost = np.full((m, m), 2.0)
+        np.fill_diagonal(cost, 0.0)
+        inst = make(
+            cost,
+            np.full((m, n), 4),
+            np.ones((m, n), dtype=int),
+            np.ones(n, dtype=int),
+            np.full(m, 6),
+            [0, 1, 2],
+        )
+        a = run_agt_ram(inst)
+        b = run_agt_ram(inst)
+        assert np.array_equal(a.state.x, b.state.x)
+        check_state(a.state)
+
+
+class TestFloatRequestMatrices:
+    def test_fractional_writes_accepted(self):
+        cost = np.array([[0.0, 1.0], [1.0, 0.0]])
+        inst = make(cost, [[0.0, 2.5], [3.5, 0.0]], [[0.25, 0.0], [0.0, 0.75]],
+                    [1, 1], [4, 4], [0, 1])
+        st = ReplicationState.primaries_only(inst)
+        # Reads: 2.5 and 3.5 at distance 1; writes are issued by their
+        # own primaries, so they cost nothing.
+        assert total_otc(st) == pytest.approx(2.5 + 3.5)
+        res = run_agt_ram(inst)
+        check_state(res.state)

@@ -1,0 +1,51 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples rot silently when APIs move; running them under pytest keeps
+the documentation executable.  Each example is imported and executed in
+its own module namespace with argv cleared.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "cdn_scenario.py",
+    "truthfulness_demo.py",
+    "semi_distributed_protocol.py",
+    "hierarchical_regions.py",
+    "adaptive_demand.py",
+    "convergence_study.py",
+    "worldcup_replay.py",
+]
+
+SLOW_EXAMPLES = ["as_level_scale.py"]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} missing"
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_all_examples_listed():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(FAST_EXAMPLES) | set(SLOW_EXAMPLES)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script", SLOW_EXAMPLES)
+def test_slow_example_runs(script, capsys, monkeypatch):
+    path = EXAMPLES_DIR / script
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    assert capsys.readouterr().out.strip()

@@ -1,0 +1,106 @@
+"""Tests for experiment configuration and instance builders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import SCALES, ExperimentConfig
+from repro.experiments.instances import paper_instance, worldcup_instance
+
+
+class TestExperimentConfig:
+    def test_defaults_valid(self):
+        cfg = ExperimentConfig()
+        assert cfg.n_servers > 0
+
+    def test_with_override(self):
+        cfg = ExperimentConfig().with_(rw_ratio=0.5)
+        assert cfg.rw_ratio == 0.5
+        assert ExperimentConfig().rw_ratio != 0.5 or True  # original frozen
+
+    def test_frozen(self):
+        cfg = ExperimentConfig()
+        with pytest.raises(Exception):
+            cfg.rw_ratio = 0.1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_servers": 0},
+            {"rw_ratio": 1.5},
+            {"capacity_fraction": -0.1},
+            {"total_requests": -1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(**kwargs)
+
+    def test_scales_increasing(self):
+        assert (
+            SCALES["tiny"].n_servers
+            < SCALES["small"].n_servers
+            < SCALES["medium"].n_servers
+        )
+
+
+class TestPaperInstance:
+    def test_dimensions(self):
+        cfg = ExperimentConfig(n_servers=12, n_objects=30, total_requests=3000)
+        inst = paper_instance(cfg)
+        assert inst.n_servers == 12 and inst.n_objects == 30
+
+    def test_deterministic(self):
+        cfg = ExperimentConfig(n_servers=10, n_objects=20, total_requests=2000, seed=5)
+        a, b = paper_instance(cfg), paper_instance(cfg)
+        assert np.array_equal(a.cost, b.cost)
+        assert np.array_equal(a.reads, b.reads)
+        assert np.array_equal(a.primaries, b.primaries)
+
+    def test_seed_changes_instance(self):
+        base = ExperimentConfig(n_servers=10, n_objects=20, total_requests=2000)
+        a = paper_instance(base.with_(seed=1))
+        b = paper_instance(base.with_(seed=2))
+        assert not np.array_equal(a.reads, b.reads)
+
+    def test_rw_ratio_realized(self):
+        cfg = ExperimentConfig(
+            n_servers=15, n_objects=50, total_requests=40_000, rw_ratio=0.9
+        )
+        inst = paper_instance(cfg)
+        realized = inst.reads.sum() / (inst.reads.sum() + inst.writes.sum())
+        assert realized == pytest.approx(0.9, abs=0.02)
+
+    def test_topology_choice(self):
+        cfg = ExperimentConfig(
+            n_servers=12, n_objects=20, topology="waxman", topology_params={}
+        )
+        inst = paper_instance(cfg)
+        assert inst.n_servers == 12
+
+
+class TestWorldcupInstance:
+    def test_full_pipeline(self):
+        cfg = ExperimentConfig(
+            n_servers=10, n_objects=40, total_requests=5_000, seed=3
+        )
+        inst = worldcup_instance(cfg, n_clients=25)
+        assert inst.n_servers == 10
+        # The parser may drop objects never requested; sizes positive.
+        assert inst.n_objects <= 40
+        assert inst.total_requests() > 0
+
+    def test_usable_by_algorithms(self):
+        from repro.core.agt_ram import run_agt_ram
+
+        cfg = ExperimentConfig(
+            n_servers=10,
+            n_objects=40,
+            total_requests=8_000,
+            rw_ratio=0.95,
+            capacity_fraction=0.4,
+            seed=4,
+        )
+        inst = worldcup_instance(cfg, n_clients=25)
+        res = run_agt_ram(inst)
+        assert res.savings_percent >= 0.0

@@ -1,0 +1,52 @@
+"""Tests for CSV export of experiment results."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.export import read_csv_rows, sweep_to_csv, table_to_csv
+from repro.experiments.sweeps import capacity_sweep
+from repro.experiments.tables import table2_quality
+
+TINY = ExperimentConfig(
+    n_servers=10, n_objects=30, total_requests=3_000, seed=90, name="csv-test"
+)
+
+
+class TestSweepExport:
+    def test_roundtrip(self, tmp_path):
+        rows = capacity_sweep(TINY, capacities=(0.1, 0.3), algorithms=("AGT-RAM",))
+        path = sweep_to_csv(rows, tmp_path / "sweep.csv")
+        back = read_csv_rows(path)
+        assert len(back) == len(rows)
+        assert back[0]["algorithm"] == "AGT-RAM"
+        assert float(back[0]["savings_percent"]) == pytest.approx(
+            rows[0].savings_percent, abs=1e-5
+        )
+
+    def test_header(self, tmp_path):
+        rows = capacity_sweep(TINY, capacities=(0.2,), algorithms=("AGT-RAM",))
+        path = sweep_to_csv(rows, tmp_path / "sweep.csv")
+        header = path.read_text().splitlines()[0]
+        assert header.startswith("sweep_param,sweep_value,algorithm")
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            sweep_to_csv([], tmp_path / "x.csv")
+
+
+class TestTableExport:
+    def test_roundtrip(self, tmp_path):
+        rows = table2_quality(
+            TINY, specs=[(8, 24, 0.2, 0.9)], algorithms=("AGT-RAM", "Greedy")
+        )
+        path = table_to_csv(rows, tmp_path / "table.csv")
+        back = read_csv_rows(path)
+        assert len(back) == 1
+        assert "AGT-RAM" in back[0]
+        assert float(back[0]["agt_ram_improvement_percent"]) == pytest.approx(
+            rows[0].improvement_percent, abs=1e-5
+        )
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            table_to_csv([], tmp_path / "x.csv")

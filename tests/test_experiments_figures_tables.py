@@ -1,0 +1,112 @@
+"""Tests for the figure/table drivers and report formatting."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import (
+    figure3_capacity_sweep,
+    figure4_rw_sweep,
+    replica_growth,
+)
+from repro.experiments.report import format_series, format_sweep, format_table_rows
+from repro.experiments.sweeps import capacity_sweep
+from repro.experiments.tables import (
+    TableRow,
+    _improvement,
+    table1_running_time,
+    table2_quality,
+)
+
+TINY = ExperimentConfig(
+    n_servers=12, n_objects=40, total_requests=6_000, seed=31, name="fig-test"
+)
+ALGS = ("AGT-RAM", "Greedy")
+
+
+class TestFigureDrivers:
+    def test_figure3_series_structure(self):
+        series = figure3_capacity_sweep(
+            base=TINY, algorithms=ALGS, capacities=(0.1, 0.3)
+        )
+        assert set(series) == set(ALGS)
+        for pts in series.values():
+            assert [x for x, _ in pts] == [0.1, 0.3]
+
+    def test_figure4_series_structure(self):
+        series = figure4_rw_sweep(base=TINY, algorithms=ALGS, ratios=(0.5, 0.95))
+        assert set(series) == set(ALGS)
+
+    def test_figure4_read_heavy_saves_more(self):
+        series = figure4_rw_sweep(
+            base=TINY, algorithms=("Greedy",), ratios=(0.3, 0.95)
+        )
+        pts = dict(series["Greedy"])
+        assert pts[0.95] > pts[0.3]
+
+    def test_replica_growth_positive(self):
+        growth = replica_growth(
+            base=TINY.with_(capacity_fraction=0.1),
+            algorithms=("Greedy",),
+            capacities=(0.10, 0.30),
+        )
+        assert growth["Greedy"] > 1.0
+
+
+class TestTableDrivers:
+    def test_table1_structure(self):
+        rows = table1_running_time(
+            TINY, grid=[(8, 20), (10, 30)], algorithms=ALGS
+        )
+        assert len(rows) == 2
+        assert set(rows[0].values) == set(ALGS)
+
+    def test_table2_structure(self):
+        rows = table2_quality(
+            TINY, specs=[(10, 30, 0.2, 0.9), (12, 40, 0.3, 0.8)], algorithms=ALGS
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert all(v <= 100.0 for v in row.values.values())
+
+    def test_improvement_runtime_direction(self):
+        # AGT-RAM faster than best other -> positive improvement.
+        assert _improvement(
+            {"AGT-RAM": 1.0, "Greedy": 2.0, "GRA": 4.0}, higher_is_better=False
+        ) == pytest.approx(50.0)
+
+    def test_improvement_savings_direction(self):
+        assert _improvement(
+            {"AGT-RAM": 80.0, "Greedy": 75.0}, higher_is_better=True
+        ) == pytest.approx(100.0 * 5.0 / 75.0)
+
+    def test_improvement_negative_when_worse(self):
+        assert (
+            _improvement({"AGT-RAM": 70.0, "Greedy": 75.0}, higher_is_better=True) < 0
+        )
+
+    def test_improvement_solo(self):
+        assert _improvement({"AGT-RAM": 70.0}, higher_is_better=True) == 0.0
+
+
+class TestReportFormatting:
+    def test_format_series(self):
+        series = {"A": [(0.1, 10.0), (0.2, 20.0)], "B": [(0.1, 5.0), (0.2, 8.0)]}
+        out = format_series(series, x_label="C")
+        assert "10.00" in out and "8.00" in out
+        assert out.splitlines()[1].split("|")[0].strip() == "C"
+
+    def test_format_sweep(self):
+        rows = capacity_sweep(TINY, capacities=(0.2,), algorithms=("AGT-RAM",))
+        out = format_sweep(rows, title="test sweep")
+        assert "AGT-RAM" in out and "test sweep" in out
+
+    def test_format_table_rows(self):
+        rows = [
+            TableRow(label="r1", values={"AGT-RAM": 1.0, "Greedy": 2.0},
+                     improvement_percent=50.0)
+        ]
+        out = format_table_rows(rows, metric_label="Runtime (s)")
+        assert "Runtime (s)" in out and "50.00" in out
+
+    def test_format_table_rows_empty(self):
+        assert "empty" in format_table_rows([], metric_label="x")

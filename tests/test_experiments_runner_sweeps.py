@@ -1,0 +1,86 @@
+"""Tests for the algorithm runner and sweep drivers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.instances import paper_instance
+from repro.experiments.runner import PAPER_ALGORITHMS, run_algorithms
+from repro.experiments.sweeps import (
+    capacity_sweep,
+    rw_ratio_sweep,
+    size_grid,
+    update_ratio_sweep,
+)
+
+FAST_KW = {"GRA": {"population_size": 6, "generations": 3}}
+TINY = ExperimentConfig(
+    n_servers=12, n_objects=40, total_requests=4_000, seed=21, name="sweep-test"
+)
+
+
+class TestRunAlgorithms:
+    def test_all_paper_algorithms(self, tiny_instance):
+        results = run_algorithms(
+            tiny_instance, PAPER_ALGORITHMS, placer_kwargs=FAST_KW
+        )
+        assert set(results) == set(PAPER_ALGORITHMS)
+        for res in results.values():
+            assert res.otc > 0
+
+    def test_subset(self, tiny_instance):
+        results = run_algorithms(tiny_instance, ["AGT-RAM", "Greedy"])
+        assert list(results) == ["AGT-RAM", "Greedy"]
+
+    def test_seeded_stochastic_reproducible(self, tiny_instance):
+        a = run_algorithms(tiny_instance, ["DA"], seed=5)["DA"]
+        b = run_algorithms(tiny_instance, ["DA"], seed=5)["DA"]
+        assert a.otc == b.otc
+
+    def test_unknown_algorithm(self, tiny_instance):
+        with pytest.raises(ConfigurationError):
+            run_algorithms(tiny_instance, ["Oracle"])
+
+
+class TestSweeps:
+    def test_capacity_sweep_rows(self):
+        rows = capacity_sweep(
+            TINY, capacities=(0.1, 0.3), algorithms=("AGT-RAM", "Greedy"),
+        )
+        assert len(rows) == 4
+        assert {r.sweep_value for r in rows} == {0.1, 0.3}
+
+    def test_capacity_monotone_savings(self):
+        rows = capacity_sweep(
+            TINY.with_(rw_ratio=0.95),
+            capacities=(0.05, 0.45),
+            algorithms=("Greedy",),
+        )
+        by_cap = {r.sweep_value: r.savings_percent for r in rows}
+        assert by_cap[0.45] >= by_cap[0.05]
+
+    def test_rw_sweep_monotone(self):
+        rows = rw_ratio_sweep(
+            TINY.with_(capacity_fraction=0.45),
+            ratios=(0.2, 0.95),
+            algorithms=("Greedy",),
+        )
+        by_rw = {r.sweep_value: r.savings_percent for r in rows}
+        assert by_rw[0.95] > by_rw[0.2]
+
+    def test_update_ratio_sweep_maps_to_rw(self):
+        rows = update_ratio_sweep(
+            TINY, update_ratios=(0.1,), algorithms=("AGT-RAM",)
+        )
+        assert rows[0].sweep_value == pytest.approx(0.9)
+
+    def test_size_grid_scales_requests(self):
+        rows = size_grid(
+            TINY, grid=[(8, 20), (16, 40)], algorithms=("AGT-RAM",)
+        )
+        assert len(rows) == 2
+        assert rows[0].sweep_value == (8, 20)
+
+    def test_runtime_recorded(self):
+        rows = capacity_sweep(TINY, capacities=(0.2,), algorithms=("AGT-RAM",))
+        assert rows[0].runtime_s >= 0.0

@@ -1,0 +1,53 @@
+"""Tests for the sensitivity-study driver."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sensitivity import SensitivityRow, sensitivity_study
+
+BASE = ExperimentConfig(
+    n_servers=12,
+    n_objects=40,
+    total_requests=6_000,
+    rw_ratio=0.95,
+    capacity_fraction=0.45,
+    seed=70,
+    name="sens-test",
+)
+
+FAST = {"GRA": {"population_size": 6, "generations": 4}}
+
+
+class TestSensitivityStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return sensitivity_study(
+            BASE,
+            topology_kinds=("random", "waxman"),
+            popularity_alphas=(0.85,),
+            server_skews=(1.2,),
+            placer_kwargs=FAST,
+        )
+
+    def test_row_count(self, rows):
+        assert len(rows) == 4  # 2 topologies + 1 alpha + 1 skew
+
+    def test_row_structure(self, rows):
+        for r in rows:
+            assert isinstance(r, SensitivityRow)
+            assert set(r.savings) == {"Greedy", "AGT-RAM", "GRA"}
+
+    def test_knobs_labelled(self, rows):
+        knobs = [r.knob for r in rows]
+        assert knobs.count("topology") == 2
+        assert "popularity_alpha" in knobs and "server_skew" in knobs
+
+    def test_ordering_holds_at_default_regime(self, rows):
+        # At the headline regime (read-heavy, generous capacity), the
+        # ordering should survive every tested knob.
+        assert all(r.ordering_holds for r in rows)
+
+    def test_savings_positive(self, rows):
+        for r in rows:
+            for alg, s in r.savings.items():
+                assert s > 0.0, (r.knob, r.value, alg)

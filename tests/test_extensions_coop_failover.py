@@ -1,0 +1,146 @@
+"""Tests for the cooperative regional game and central-body failover."""
+
+import numpy as np
+import pytest
+
+from repro.core.agt_ram import run_agt_ram
+from repro.core.hierarchical import HierarchicalAGTRam
+from repro.drp.feasibility import check_state
+from repro.drp.global_engine import RegionalBenefitEngine
+from repro.drp.state import ReplicationState
+from repro.errors import ConfigurationError
+from repro.runtime.simulator import SemiDistributedSimulator
+
+
+class TestRegionalBenefitEngine:
+    def test_single_region_equals_global(self, tiny_instance):
+        from repro.drp.global_engine import GlobalBenefitEngine
+
+        st1 = ReplicationState.primaries_only(tiny_instance)
+        st2 = ReplicationState.primaries_only(tiny_instance)
+        regions = np.zeros(tiny_instance.n_servers, dtype=int)
+        regional = RegionalBenefitEngine(tiny_instance, st1, regions)
+        global_ = GlobalBenefitEngine(tiny_instance, st2)
+        assert np.array_equal(regional.matrix, global_.matrix)
+
+    def test_singleton_regions_equal_local(self, tiny_instance):
+        from repro.drp.benefit import BenefitEngine
+
+        st1 = ReplicationState.primaries_only(tiny_instance)
+        st2 = ReplicationState.primaries_only(tiny_instance)
+        regions = np.arange(tiny_instance.n_servers)
+        regional = RegionalBenefitEngine(tiny_instance, st1, regions)
+        local = BenefitEngine(tiny_instance, st2)
+        assert np.allclose(
+            np.where(np.isfinite(regional.matrix), regional.matrix, -1),
+            np.where(np.isfinite(local.matrix), local.matrix, -1),
+        )
+
+    def test_between_local_and_global(self, tiny_instance, rng):
+        from repro.drp.benefit import BenefitEngine
+        from repro.drp.global_engine import GlobalBenefitEngine
+
+        st = ReplicationState.primaries_only(tiny_instance)
+        regions = rng.integers(0, 3, size=tiny_instance.n_servers)
+        regional = RegionalBenefitEngine(tiny_instance, st.copy(), regions)
+        local = BenefitEngine(tiny_instance, st.copy())
+        global_ = GlobalBenefitEngine(tiny_instance, st.copy())
+        finite = np.isfinite(local.matrix)
+        assert (regional.matrix[finite] >= local.matrix[finite] - 1e-9).all()
+        assert (regional.matrix[finite] <= global_.matrix[finite] + 1e-9).all()
+
+    def test_incremental_matches_fresh(self, tiny_instance, rng):
+        st = ReplicationState.primaries_only(tiny_instance)
+        regions = rng.integers(0, 3, size=tiny_instance.n_servers)
+        engine = RegionalBenefitEngine(tiny_instance, st, regions)
+        added = 0
+        while added < 8:
+            i = int(rng.integers(tiny_instance.n_servers))
+            k = int(rng.integers(tiny_instance.n_objects))
+            if st.can_host(i, k):
+                st.add_replica(i, k)
+                engine.notify_allocation(i, k)
+                added += 1
+        fresh = RegionalBenefitEngine(tiny_instance, st, regions)
+        feasible = np.isfinite(fresh.matrix)
+        assert np.allclose(engine.matrix[feasible], fresh.matrix[feasible])
+
+    def test_bad_regions_shape(self, tiny_instance):
+        st = ReplicationState.primaries_only(tiny_instance)
+        with pytest.raises(ValueError):
+            RegionalBenefitEngine(tiny_instance, st, np.zeros(3, dtype=int))
+
+
+class TestCooperativeRegionalGame:
+    def test_feasible(self, read_heavy_instance):
+        res = HierarchicalAGTRam(
+            n_regions=4, mode="concurrent", regional_game="cooperative", seed=0
+        ).run(read_heavy_instance)
+        check_state(res.state)
+
+    def test_beats_non_cooperative(self, read_heavy_instance):
+        # Pooling regional information can only widen what bids see, so
+        # cooperative regions capture at least roughly the
+        # non-cooperative savings (exact dominance is not guaranteed —
+        # allocation order changes — but the trend must hold).
+        coop = HierarchicalAGTRam(
+            n_regions=4, mode="concurrent", regional_game="cooperative", seed=0
+        ).run(read_heavy_instance)
+        solo = HierarchicalAGTRam(
+            n_regions=4, mode="concurrent", regional_game="non-cooperative", seed=0
+        ).run(read_heavy_instance)
+        assert coop.savings_percent > 0.9 * solo.savings_percent
+
+    def test_bounded_by_flat_oracle(self, read_heavy_instance):
+        coop = HierarchicalAGTRam(
+            n_regions=4, mode="sequential", regional_game="cooperative", seed=0
+        ).run(read_heavy_instance)
+        oracle = run_agt_ram(read_heavy_instance, valuation="global")
+        assert coop.savings_percent <= oracle.savings_percent + 1.0
+
+    def test_label(self, tiny_instance):
+        res = HierarchicalAGTRam(
+            n_regions=2, regional_game="cooperative", seed=0
+        ).run(tiny_instance)
+        assert "coop" in res.algorithm
+
+    def test_bad_game(self):
+        with pytest.raises(ConfigurationError):
+            HierarchicalAGTRam(regional_game="zero-sum")
+
+
+class TestCentralFailover:
+    def test_scheme_unchanged_by_failover(self, tiny_instance):
+        healthy = SemiDistributedSimulator().run(tiny_instance)
+        repaired = SemiDistributedSimulator(central_failure_round=3).run(
+            tiny_instance
+        )
+        assert np.array_equal(healthy.state.x, repaired.state.x)
+        assert repaired.otc == pytest.approx(healthy.otc)
+
+    def test_handover_recorded(self, tiny_instance):
+        res = SemiDistributedSimulator(central_failure_round=3).run(tiny_instance)
+        assert res.extra["central_handover_round"] == 3
+        assert res.extra["acting_central"] >= 0
+
+    def test_election_messages_logged(self, tiny_instance):
+        res = SemiDistributedSimulator(central_failure_round=0).run(tiny_instance)
+        counts = res.extra["metrics"].log.counts
+        m = tiny_instance.n_servers
+        assert counts["ElectionMessage"] == m * (m - 1)
+
+    def test_no_failure_no_election(self, tiny_instance):
+        res = SemiDistributedSimulator().run(tiny_instance)
+        assert "ElectionMessage" not in res.extra["metrics"].log.counts
+        assert res.extra["central_handover_round"] is None
+
+    def test_failover_with_dead_agents(self, tiny_instance):
+        res = SemiDistributedSimulator(
+            central_failure_round=1, failed_agents={0, 1}
+        ).run(tiny_instance)
+        # The acting central must be a live agent.
+        assert res.extra["acting_central"] not in {0, 1}
+
+    def test_bad_round(self):
+        with pytest.raises(ValueError):
+            SemiDistributedSimulator(central_failure_round=-1)

@@ -1,0 +1,67 @@
+"""Golden-value regression tests.
+
+These pin exact outputs for one fixed configuration so that silent
+semantic drift — a changed tie-break, a reordered RNG stream, an
+off-by-one in the cost model — fails loudly instead of shifting every
+benchmark by a fraction nobody notices.  If a change *intentionally*
+alters these values, update them in the same commit and say why.
+
+Environment note: the values depend on numpy's stable RNG streams
+(Philox/PCG64 output is specified and stable across numpy versions).
+"""
+
+import pytest
+
+from repro.baselines.dutch import DutchAuctionPlacer
+from repro.baselines.greedy import GreedyPlacer
+from repro.core.agt_ram import run_agt_ram
+from repro.drp.cost import primary_only_otc
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.instances import paper_instance
+
+GOLDEN_CFG = ExperimentConfig(
+    n_servers=18,
+    n_objects=70,
+    total_requests=9_000,
+    rw_ratio=0.9,
+    capacity_fraction=0.35,
+    seed=2026,
+    name="golden",
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return paper_instance(GOLDEN_CFG)
+
+
+class TestGoldenValues:
+    def test_instance_construction(self, instance):
+        assert int(instance.capacities.sum()) == 5272
+        assert int(instance.primary_load.sum()) == 824
+        assert float(instance.cost[0, 1]) == pytest.approx(
+            5.434202587015618, rel=1e-12
+        )
+
+    def test_primary_only_otc(self, instance):
+        assert primary_only_otc(instance) == pytest.approx(
+            2563095.8200557833, rel=1e-9
+        )
+
+    def test_agt_ram(self, instance):
+        res = run_agt_ram(instance)
+        assert res.rounds == 79
+        assert res.otc == pytest.approx(1457160.1979810924, rel=1e-9)
+        assert float(res.extra["payments"].sum()) == pytest.approx(
+            383103.7685156604, rel=1e-9
+        )
+
+    def test_greedy(self, instance):
+        res = GreedyPlacer().place(instance)
+        assert res.rounds == 168
+        assert res.otc == pytest.approx(1350946.2887703641, rel=1e-9)
+
+    def test_dutch_auction(self, instance):
+        res = DutchAuctionPlacer(seed=7).place(instance)
+        assert res.extra["sales"] == 63
+        assert res.otc == pytest.approx(1467295.888764033, rel=1e-9)

@@ -1,0 +1,172 @@
+"""Integration tests asserting the paper's qualitative findings.
+
+These are the claims the reproduction must preserve (DESIGN.md §4):
+
+* capacity sweep: savings rise then flatten (Figure 3),
+* R/W sweep: savings rise with the read share (Figure 4),
+* AGT-RAM and Greedy lead; GRA trails (Table 2's tiers),
+* AGT-RAM is the fastest of the quality methods, and far faster than
+  Greedy/Aε-Star/GRA (Table 1),
+* more capacity => more replicas (Section 5's 4x observation).
+
+Run at a reduced scale; absolute values differ from the paper (see
+EXPERIMENTS.md) but these orderings are scale-stable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.instances import paper_instance
+from repro.experiments.runner import run_algorithms
+
+FAST_GRA = {"GRA": {"population_size": 8, "generations": 6}}
+
+BASE = ExperimentConfig(
+    n_servers=30,
+    n_objects=120,
+    total_requests=25_000,
+    seed=77,
+    name="shapes",
+)
+
+
+@pytest.fixture(scope="module")
+def headline_results():
+    """All six methods on the paper's headline regime (R/W=.95, C=45%).
+
+    GRA runs at its default budget here so the runtime ordering claim is
+    tested against the configuration the benchmarks use.
+    """
+    inst = paper_instance(BASE.with_(rw_ratio=0.95, capacity_fraction=0.45))
+    return run_algorithms(inst, seed=5)
+
+
+class TestQualityOrdering:
+    def test_agt_ram_in_top_tier(self, headline_results):
+        savings = {a: r.savings_percent for a, r in headline_results.items()}
+        best = max(savings.values())
+        assert savings["AGT-RAM"] > 0.8 * best
+
+    def test_gra_trails_everyone(self, headline_results):
+        savings = {a: r.savings_percent for a, r in headline_results.items()}
+        assert savings["GRA"] == min(savings.values())
+
+    def test_auctions_below_agt_ram(self, headline_results):
+        s = {a: r.savings_percent for a, r in headline_results.items()}
+        assert s["DA"] <= s["AGT-RAM"] + 1e-9
+        assert s["EA"] <= s["AGT-RAM"] + 1e-9
+
+    def test_all_methods_save_substantially(self, headline_results):
+        for alg, res in headline_results.items():
+            assert res.savings_percent > 15.0, alg
+
+    def test_greedy_and_agt_ram_close(self, headline_results):
+        s = {a: r.savings_percent for a, r in headline_results.items()}
+        # The paper reports them within a few percent of each other.
+        assert s["AGT-RAM"] > 0.8 * s["Greedy"]
+
+
+class TestRuntimeOrdering:
+    @pytest.fixture(scope="class")
+    def median_times(self):
+        """Median-of-3 runtimes — single runs at millisecond scale are
+        too noisy for ordering assertions."""
+        import statistics
+
+        inst = paper_instance(BASE.with_(rw_ratio=0.95, capacity_fraction=0.45))
+        samples: dict[str, list[float]] = {}
+        for trial in range(3):
+            res = run_algorithms(inst, seed=trial)
+            for alg, r in res.items():
+                samples.setdefault(alg, []).append(r.runtime_s)
+        return {alg: statistics.median(v) for alg, v in samples.items()}
+
+    def test_agt_ram_faster_than_heavy_methods(self, median_times):
+        t = median_times
+        assert t["AGT-RAM"] < t["Greedy"]
+        assert t["AGT-RAM"] < t["Ae-Star"]
+        assert t["AGT-RAM"] < t["GRA"]
+
+    def test_gra_slowest(self, median_times):
+        t = median_times
+        assert t["GRA"] == max(t.values())
+
+
+class TestSweepShapes:
+    def test_capacity_monotone_then_flat(self):
+        from repro.experiments.sweeps import capacity_sweep
+
+        rows = capacity_sweep(
+            BASE.with_(rw_ratio=0.95),
+            capacities=(0.05, 0.20, 0.45),
+            algorithms=("AGT-RAM",),
+        )
+        s = {r.sweep_value: r.savings_percent for r in rows}
+        assert s[0.20] >= s[0.05]
+        assert s[0.45] >= s[0.20] - 1.0  # flat or rising at the top
+        # Diminishing returns: the first step gains more than the second.
+        assert (s[0.20] - s[0.05]) >= (s[0.45] - s[0.20]) - 1.0
+
+    def test_rw_sweep_monotone_for_all_methods(self):
+        from repro.experiments.sweeps import rw_ratio_sweep
+
+        rows = rw_ratio_sweep(
+            BASE.with_(capacity_fraction=0.45),
+            ratios=(0.3, 0.95),
+            algorithms=("AGT-RAM", "Greedy", "DA"),
+            placer_kwargs=FAST_GRA,
+        )
+        for alg in ("AGT-RAM", "Greedy", "DA"):
+            pts = {
+                r.sweep_value: r.savings_percent for r in rows if r.algorithm == alg
+            }
+            assert pts[0.95] > pts[0.3], alg
+
+    def test_replica_count_grows_with_capacity(self):
+        from repro.experiments.figures import replica_growth
+
+        growth = replica_growth(
+            base=BASE, algorithms=("AGT-RAM", "Greedy"), capacities=(0.10, 0.30)
+        )
+        assert growth["AGT-RAM"] > 1.5
+        assert growth["Greedy"] > 1.5
+
+
+class TestUpdateRatioRobustness:
+    def test_trends_similar_across_update_ratios(self):
+        # Section 5: 5/10/20% update ratios show similar trends — here:
+        # AGT-RAM stays within the top tier at each update ratio.
+        from repro.experiments.sweeps import update_ratio_sweep
+
+        rows = update_ratio_sweep(
+            BASE.with_(capacity_fraction=0.45),
+            update_ratios=(0.05, 0.20),
+            algorithms=("AGT-RAM", "Greedy", "EA"),
+        )
+        for u in (0.95, 0.80):  # rw values
+            s = {
+                r.algorithm: r.savings_percent
+                for r in rows
+                if r.sweep_value == pytest.approx(u)
+            }
+            assert s["AGT-RAM"] >= s["EA"] - 1e-9
+
+
+class TestScaleStability:
+    def test_ordering_stable_across_scales(self):
+        # The claimed shapes must not be an artifact of one size.
+        for m, n, reqs in ((16, 60, 8_000), (40, 160, 40_000)):
+            cfg = BASE.with_(
+                n_servers=m,
+                n_objects=n,
+                total_requests=reqs,
+                rw_ratio=0.95,
+                capacity_fraction=0.45,
+            )
+            inst = paper_instance(cfg)
+            res = run_algorithms(
+                inst, ("AGT-RAM", "Greedy", "GRA"), placer_kwargs=FAST_GRA
+            )
+            s = {a: r.savings_percent for a, r in res.items()}
+            assert s["GRA"] < s["AGT-RAM"] <= s["Greedy"] + 5.0

@@ -1,0 +1,94 @@
+"""Tests for instance/scheme/result serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.agt_ram import run_agt_ram
+from repro.drp.cost import total_otc
+from repro.drp.state import ReplicationState
+from repro.errors import ConfigurationError
+from repro.io import (
+    load_instance,
+    load_result_summary,
+    load_scheme,
+    save_instance,
+    save_result,
+    save_scheme,
+)
+
+
+class TestInstanceRoundtrip:
+    def test_roundtrip(self, tiny_instance, tmp_path):
+        path = save_instance(tiny_instance, tmp_path / "inst")
+        loaded = load_instance(path)
+        assert np.array_equal(loaded.cost, tiny_instance.cost)
+        assert np.array_equal(loaded.reads, tiny_instance.reads)
+        assert np.array_equal(loaded.writes, tiny_instance.writes)
+        assert np.array_equal(loaded.sizes, tiny_instance.sizes)
+        assert np.array_equal(loaded.capacities, tiny_instance.capacities)
+        assert np.array_equal(loaded.primaries, tiny_instance.primaries)
+        assert loaded.name == tiny_instance.name
+
+    def test_suffix_appended(self, tiny_instance, tmp_path):
+        path = save_instance(tiny_instance, tmp_path / "noext")
+        assert path.suffix == ".npz"
+
+    def test_wrong_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(ConfigurationError, match="missing"):
+            load_instance(path)
+
+    def test_loaded_instance_runs(self, tiny_instance, tmp_path):
+        path = save_instance(tiny_instance, tmp_path / "inst")
+        loaded = load_instance(path)
+        a = run_agt_ram(tiny_instance)
+        b = run_agt_ram(loaded)
+        assert a.otc == pytest.approx(b.otc)
+
+
+class TestSchemeRoundtrip:
+    def test_roundtrip(self, tiny_instance, tmp_path):
+        res = run_agt_ram(tiny_instance)
+        path = save_scheme(res.state, tmp_path / "scheme")
+        loaded = load_scheme(tiny_instance, path)
+        assert np.array_equal(loaded.x, res.state.x)
+        assert total_otc(loaded) == pytest.approx(res.otc)
+
+    def test_wrong_file_rejected(self, tiny_instance, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, y=np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            load_scheme(tiny_instance, path)
+
+    def test_scheme_validated_against_instance(self, tiny_instance, line_instance, tmp_path):
+        res = run_agt_ram(tiny_instance)
+        path = save_scheme(res.state, tmp_path / "scheme")
+        with pytest.raises(Exception):
+            load_scheme(line_instance, path)  # wrong dimensions
+
+
+class TestResultSummary:
+    def test_save_and_load(self, tiny_instance, tmp_path):
+        res = run_agt_ram(tiny_instance)
+        json_path = save_result(res, tmp_path / "result")
+        data = load_result_summary(json_path)
+        assert data["algorithm"] == "AGT-RAM"
+        assert data["savings_percent"] == pytest.approx(res.savings_percent)
+        # The scheme sits next to the summary.
+        scheme = load_scheme(tiny_instance, json_path.with_suffix(".npz"))
+        assert np.array_equal(scheme.x, res.state.x)
+
+    def test_summary_is_plain_json(self, tiny_instance, tmp_path):
+        res = run_agt_ram(tiny_instance)
+        json_path = save_result(res, tmp_path / "result")
+        parsed = json.loads(json_path.read_text())
+        assert isinstance(parsed["otc"], float)
+
+    def test_bad_summary_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(ConfigurationError):
+            load_result_summary(path)

@@ -1,0 +1,67 @@
+"""Property-based safety net over every baseline algorithm.
+
+Whatever a placement method does internally, four things must hold on
+*any* instance: the scheme is feasible, primaries survive, OTC never
+exceeds the primaries-only baseline by more than float noise (no method
+is allowed to actively hurt), and the result record is self-consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.aestar import AEStarPlacer
+from repro.baselines.dutch import DutchAuctionPlacer
+from repro.baselines.english import EnglishAuctionPlacer
+from repro.baselines.gra import GRAPlacer
+from repro.baselines.greedy import GreedyPlacer
+from repro.baselines.random_placement import RandomPlacer
+from repro.drp.cost import primary_only_otc, total_otc
+from repro.drp.feasibility import check_state
+
+from _strategies import drp_instances
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def make_placers(seed):
+    return [
+        GreedyPlacer(),
+        AEStarPlacer(node_budget=20),
+        GRAPlacer(population_size=6, generations=3, seed=seed),
+        DutchAuctionPlacer(seed=seed),
+        EnglishAuctionPlacer(seed=seed),
+    ]
+
+
+class TestBaselineSafetyNet:
+    @given(drp_instances(), seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_all_placers_produce_feasible_schemes(self, inst, seed):
+        for placer in make_placers(seed):
+            res = placer.place(inst)
+            check_state(res.state)
+
+    @given(drp_instances(), seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_no_placer_hurts_the_system(self, inst, seed):
+        baseline = primary_only_otc(inst)
+        # RandomPlacer is excluded: random fills may legitimately raise
+        # OTC on write-heavy instances (it is the sanity floor, not a
+        # real method).
+        for placer in make_placers(seed):
+            res = placer.place(inst)
+            assert res.otc <= baseline * (1 + 1e-9) + 1e-6, placer.name
+
+    @given(drp_instances(), seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_result_records_consistent(self, inst, seed):
+        for placer in make_placers(seed) + [RandomPlacer(seed=seed)]:
+            res = placer.place(inst)
+            assert res.algorithm == placer.name
+            assert res.otc == pytest.approx(total_otc(res.state))
+            assert res.replicas_allocated == res.state.total_replicas()
+            assert res.runtime_s >= 0.0

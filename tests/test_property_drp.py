@@ -1,0 +1,114 @@
+"""Property-based tests (hypothesis) for the DRP cost model.
+
+These pin down the algebraic invariants every algorithm relies on:
+
+* global benefit == exact ΔOTC for arbitrary instances and states,
+* OTC is non-negative and additive in object size,
+* NN tables stay exact under arbitrary feasible allocation sequences,
+* the local CoR never exceeds the global benefit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.drp.benefit import BenefitEngine, global_benefit
+from repro.drp.cost import otc_of_matrix, primary_only_otc, total_otc
+from repro.drp.feasibility import check_state
+from repro.drp.instance import DRPInstance
+from repro.drp.state import ReplicationState
+
+from _strategies import drp_instances
+
+
+def random_feasible_state(instance: DRPInstance, seed: int) -> ReplicationState:
+    rng = np.random.default_rng(seed)
+    st_ = ReplicationState.primaries_only(instance)
+    cells = rng.permutation(instance.n_servers * instance.n_objects)
+    for flat in cells[: len(cells) // 2]:
+        i, k = divmod(int(flat), instance.n_objects)
+        if st_.can_host(i, k):
+            st_.add_replica(i, k)
+    return st_
+
+
+class TestCostProperties:
+    @given(drp_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_primary_only_nonnegative(self, inst):
+        assert primary_only_otc(inst) >= 0.0
+
+    @given(drp_instances(), st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_state_invariants_hold(self, inst, seed):
+        state = random_feasible_state(inst, seed)
+        check_state(state)
+
+    @given(drp_instances(), st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_otc_of_matrix_matches_state(self, inst, seed):
+        state = random_feasible_state(inst, seed)
+        assert otc_of_matrix(inst, state.x) == pytest.approx(
+            total_otc(state), rel=1e-9, abs=1e-6
+        )
+
+    @given(drp_instances(), st.integers(0, 1000), st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_global_benefit_is_exact_delta(self, inst, seed, pick):
+        state = random_feasible_state(inst, seed)
+        rng = np.random.default_rng(pick)
+        for _ in range(10):
+            i = int(rng.integers(inst.n_servers))
+            k = int(rng.integers(inst.n_objects))
+            if state.can_host(i, k):
+                g = global_benefit(inst, state, i, k)
+                before = total_otc(state)
+                probe = state.copy()
+                probe.add_replica(i, k)
+                assert before - total_otc(probe) == pytest.approx(
+                    g, rel=1e-9, abs=1e-6
+                )
+                return
+
+    @given(drp_instances(), st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_local_benefit_lower_bounds_global(self, inst, seed):
+        state = random_feasible_state(inst, seed)
+        engine = BenefitEngine(inst, state)
+        for i in range(inst.n_servers):
+            for k in range(inst.n_objects):
+                if np.isfinite(engine.matrix[i, k]):
+                    g = global_benefit(inst, state, i, k)
+                    assert g >= engine.matrix[i, k] - 1e-6
+
+    @given(drp_instances(), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_nn_dist_never_increases(self, inst, seed):
+        rng = np.random.default_rng(seed)
+        state = ReplicationState.primaries_only(inst)
+        prev = state.nn_dist.copy()
+        for flat in rng.permutation(inst.n_servers * inst.n_objects)[:12]:
+            i, k = divmod(int(flat), inst.n_objects)
+            if state.can_host(i, k):
+                state.add_replica(i, k)
+                assert (state.nn_dist <= prev + 1e-12).all()
+                prev = state.nn_dist.copy()
+
+    @given(drp_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_read_cost_zero_when_fully_replicated(self, inst):
+        from repro.drp.cost import otc_breakdown
+
+        state = ReplicationState.primaries_only(inst)
+        # Fill every cell capacity allows.
+        for i in range(inst.n_servers):
+            for k in range(inst.n_objects):
+                if state.can_host(i, k):
+                    state.add_replica(i, k)
+        b = otc_breakdown(state)
+        replicated_everywhere = state.x.all()
+        if replicated_everywhere:
+            assert b.read_cost == pytest.approx(0.0)

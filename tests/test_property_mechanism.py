@@ -1,0 +1,97 @@
+"""Property-based tests for the mechanism layer.
+
+The payment rule's dominant-strategy property is checked on arbitrary
+bid vectors (not just ones arising from DRP instances), and the
+mechanism itself is run on random instances to confirm axioms and
+feasibility hold unconditionally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.agt_ram import run_agt_ram
+from repro.core.axioms import verify_axioms
+from repro.core.payments import second_best_payment
+from repro.drp.feasibility import check_state
+
+from _strategies import drp_instances
+
+finite_bids = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=2,
+    max_size=12,
+)
+
+
+class TestSecondPriceProperties:
+    @given(finite_bids)
+    @settings(max_examples=100, deadline=None)
+    def test_payment_independent_of_winner_bid(self, bids):
+        winner = int(np.argmax(bids))
+        p1 = second_best_payment(bids, winner)
+        inflated = list(bids)
+        inflated[winner] = inflated[winner] * 2 + 1
+        assert second_best_payment(inflated, winner) == p1
+
+    @given(finite_bids)
+    @settings(max_examples=100, deadline=None)
+    def test_truthful_winner_utility_nonnegative(self, bids):
+        winner = int(np.argmax(bids))
+        pay = second_best_payment(bids, winner)
+        assert bids[winner] - pay >= -1e-12
+
+    @given(finite_bids, st.floats(min_value=1.01, max_value=10.0))
+    @settings(max_examples=100, deadline=None)
+    def test_overbid_never_profits_one_shot(self, bids, factor):
+        """Classic one-shot Vickrey dominance on arbitrary bid vectors."""
+        bids = np.asarray(bids)
+        agent = 0
+        true_value = bids[agent]
+
+        def play(report: float) -> float:
+            declared = bids.copy()
+            declared[agent] = report
+            winner = int(np.argmax(declared))
+            if winner != agent:
+                return 0.0
+            return true_value - second_best_payment(declared, agent)
+
+        assert play(true_value * factor) <= play(true_value) + 1e-9
+
+
+class TestMechanismProperties:
+    @given(drp_instances())
+    @settings(max_examples=20, deadline=None)
+    def test_axioms_hold_on_random_instances(self, inst):
+        res = run_agt_ram(inst, record_audit=True)
+        checks = verify_axioms(inst, res)
+        for name, check in checks.items():
+            assert check.passed, f"{name}: {check.detail}"
+
+    @given(drp_instances())
+    @settings(max_examples=20, deadline=None)
+    def test_final_state_always_feasible(self, inst):
+        check_state(run_agt_ram(inst).state)
+
+    @given(drp_instances())
+    @settings(max_examples=20, deadline=None)
+    def test_savings_never_negative(self, inst):
+        # AGT-RAM only ever accepts positive-local-benefit moves, and
+        # local benefit lower-bounds ΔOTC, so savings are non-negative.
+        res = run_agt_ram(inst)
+        assert res.savings_percent >= -1e-9
+
+    @given(drp_instances())
+    @settings(max_examples=20, deadline=None)
+    def test_greedy_roughly_dominates_agt_ram(self, inst):
+        # Greedy sees exact ΔOTC and so (almost) dominates the local
+        # oracle; neither is optimal, so allow a small inversion margin.
+        from repro.baselines.greedy import GreedyPlacer
+
+        agt = run_agt_ram(inst)
+        greedy = GreedyPlacer().place(inst)
+        assert greedy.otc <= agt.otc * 1.05 + 1e-6

@@ -1,0 +1,98 @@
+"""Property-based tests for the topology and workload substrates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import cost_matrix, powerlaw_graph, random_graph, waxman_graph
+from repro.workload.stats import aggregate_trace, trace_to_matrices
+from repro.workload.synthetic import synthesize_workload
+from repro.workload.worldcup import WorldCupLogGenerator, parse_common_log
+from repro.workload.zipf import zipf_weights
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestTopologyProperties:
+    @given(st.integers(3, 30), st.floats(0.0, 1.0), seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_random_graph_always_connected(self, n, p, seed):
+        assert random_graph(n, p, seed=seed).is_connected()
+
+    @given(st.integers(3, 25), seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_waxman_always_connected(self, n, seed):
+        assert waxman_graph(n, seed=seed).is_connected()
+
+    @given(st.integers(4, 40), st.integers(1, 3), seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_powerlaw_always_connected(self, n, m, seed):
+        if n <= m:
+            return
+        assert powerlaw_graph(n, m, seed=seed).is_connected()
+
+    @given(st.integers(3, 20), st.floats(0.2, 0.9), seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_cost_matrix_is_metric(self, n, p, seed):
+        c = cost_matrix(random_graph(n, p, seed=seed))
+        assert np.array_equal(c, c.T)
+        assert (np.diag(c) == 0).all()
+        via = (c[:, :, None] + c[None, :, :]).min(axis=1)
+        assert np.all(c <= via + 1e-9)
+
+    @given(st.integers(3, 20), seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_cost_bounded_by_direct_link(self, n, seed):
+        topo = random_graph(n, 0.5, seed=seed)
+        c = cost_matrix(topo)
+        for u, v, w in topo.iter_edges():
+            assert c[u, v] <= w + 1e-9
+
+
+class TestWorkloadProperties:
+    @given(st.integers(1, 500), st.floats(0.1, 2.0))
+    @settings(max_examples=50, deadline=None)
+    def test_zipf_weights_valid_distribution(self, n, alpha):
+        w = zipf_weights(n, alpha)
+        assert w.sum() == pytest.approx(1.0)
+        assert (w > 0).all()
+        assert (np.diff(w) <= 1e-15).all()
+
+    @given(
+        st.integers(2, 15),
+        st.integers(2, 30),
+        st.integers(0, 20_000),
+        st.floats(0.0, 1.0),
+        seeds,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_synthetic_workload_well_formed(self, m, n, total, rw, seed):
+        w = synthesize_workload(m, n, total_requests=total, rw_ratio=rw, seed=seed)
+        assert (w.reads >= 0).all() and (w.writes >= 0).all()
+        assert (w.sizes >= 1).all()
+        assert w.reads.shape == (m, n)
+
+    @given(st.integers(1, 2000), seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_log_roundtrip_preserves_request_count(self, n_requests, seed):
+        gen = WorldCupLogGenerator(n_objects=30, n_clients=8, seed=seed)
+        lines = list(gen.generate_log(n_requests))
+        assert len(lines) == n_requests
+        if n_requests:
+            trace = parse_common_log(lines)
+            assert len(trace) == n_requests
+
+    @given(st.integers(1, 400), st.integers(2, 8), seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_aggregation_conserves_mass(self, n_requests, n_servers, seed):
+        gen = WorldCupLogGenerator(n_objects=20, n_clients=6, seed=seed)
+        trace = gen.sample_trace(n_requests)
+        agg = aggregate_trace(trace)
+        assert agg.total_requests() == n_requests
+        rng = np.random.default_rng(seed)
+        mapping = rng.integers(0, n_servers, size=trace.n_clients)
+        reads, writes = trace_to_matrices(trace, mapping, n_servers)
+        assert reads.sum() + writes.sum() == n_requests

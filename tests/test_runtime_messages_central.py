@@ -1,0 +1,103 @@
+"""Tests for the message protocol and the central decision body."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MechanismProtocolError
+from repro.runtime.central import CentralBody, Decision
+from repro.runtime.messages import (
+    AllocateMessage,
+    BidMessage,
+    MessageLog,
+    NNUpdateMessage,
+    PaymentMessage,
+)
+
+
+class TestWireBytes:
+    def test_bid_size(self):
+        assert BidMessage(sender=0, receiver=-1, obj=1, value=2.0).wire_bytes() == 21
+
+    def test_allocate_size(self):
+        assert AllocateMessage(sender=-1, receiver=0).wire_bytes() == 17
+
+    def test_payment_size(self):
+        assert PaymentMessage(sender=-1, receiver=0, amount=1.0).wire_bytes() == 17
+
+    def test_nn_update_size(self):
+        assert NNUpdateMessage(sender=0, receiver=0, obj=2).wire_bytes() == 13
+
+
+class TestMessageLog:
+    def test_counts_and_bytes(self):
+        log = MessageLog()
+        log.record(BidMessage(sender=0, receiver=-1, obj=1, value=2.0))
+        log.record(BidMessage(sender=1, receiver=-1, obj=2, value=3.0))
+        log.record(PaymentMessage(sender=-1, receiver=0, amount=2.0))
+        assert log.counts["BidMessage"] == 2
+        assert log.total_messages() == 3
+        assert log.bytes_total == 21 + 21 + 17
+
+    def test_keep_messages_flag(self):
+        log = MessageLog(keep_messages=True)
+        msg = BidMessage(sender=0, receiver=-1, obj=0, value=1.0)
+        log.record(msg)
+        assert log.messages == [msg]
+
+    def test_default_discards_stream(self):
+        log = MessageLog()
+        log.record(BidMessage(sender=0, receiver=-1, obj=0, value=1.0))
+        assert log.messages == []
+
+
+class TestCentralBody:
+    def bids(self, values):
+        return [
+            BidMessage(sender=i, receiver=-1, obj=i, value=v)
+            for i, v in enumerate(values)
+        ]
+
+    def test_picks_max(self):
+        out = CentralBody().decide(self.bids([1.0, 9.0, 4.0]), 3)
+        assert out.decision is Decision.REPLICATE
+        assert out.winner == 1 and out.obj == 1
+
+    def test_second_price(self):
+        out = CentralBody().decide(self.bids([1.0, 9.0, 4.0]), 3)
+        assert out.payment == 4.0
+
+    def test_first_price_rule(self):
+        out = CentralBody("first_price").decide(self.bids([1.0, 9.0]), 2)
+        assert out.payment == 9.0
+
+    def test_rejects_nonpositive_best(self):
+        out = CentralBody().decide(self.bids([-1.0, 0.0]), 2)
+        assert out.decision is Decision.DO_NOT_REPLICATE
+
+    def test_no_bids(self):
+        out = CentralBody().decide([], 3)
+        assert out.decision is Decision.DO_NOT_REPLICATE
+
+    def test_duplicate_bid_rejected(self):
+        bids = [
+            BidMessage(sender=0, receiver=-1, obj=0, value=1.0),
+            BidMessage(sender=0, receiver=-1, obj=1, value=2.0),
+        ]
+        with pytest.raises(MechanismProtocolError, match="two bids"):
+            CentralBody().decide(bids, 2)
+
+    def test_unknown_agent_rejected(self):
+        with pytest.raises(MechanismProtocolError, match="unknown"):
+            CentralBody().decide(
+                [BidMessage(sender=7, receiver=-1, obj=0, value=1.0)], 3
+            )
+
+    def test_bad_payment_rule(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            CentralBody("vcg-deluxe")
+
+    def test_binary_decision_vocabulary(self):
+        assert int(Decision.DO_NOT_REPLICATE) == 0
+        assert int(Decision.REPLICATE) == 1

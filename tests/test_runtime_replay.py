@@ -1,0 +1,125 @@
+"""Tests for the discrete request-replay verifier."""
+
+import numpy as np
+import pytest
+
+from repro.core.agt_ram import run_agt_ram
+from repro.drp.cost import otc_breakdown
+from repro.drp.instance import DRPInstance, build_instance
+from repro.drp.state import ReplicationState
+from repro.errors import ConfigurationError
+from repro.runtime.replay import replay_requests, replay_trace
+from repro.topology import random_graph
+from repro.workload.clients import map_clients_to_servers
+from repro.workload.stats import trace_to_matrices
+from repro.workload.synthetic import SyntheticWorkload
+from repro.workload.worldcup import WorldCupLogGenerator
+
+
+def matrices_to_requests(reads: np.ndarray, writes: np.ndarray):
+    """Expand count matrices into individual request arrays."""
+    servers, objects, kinds = [], [], []
+    m, n = reads.shape
+    for i in range(m):
+        for k in range(n):
+            servers.extend([i] * int(reads[i, k]))
+            objects.extend([k] * int(reads[i, k]))
+            kinds.extend([True] * int(reads[i, k]))
+            servers.extend([i] * int(writes[i, k]))
+            objects.extend([k] * int(writes[i, k]))
+            kinds.extend([False] * int(writes[i, k]))
+    return np.array(servers), np.array(objects), np.array(kinds, dtype=bool)
+
+
+@pytest.fixture(scope="module")
+def small_setup():
+    topo = random_graph(8, 0.5, seed=1)
+    w = SyntheticWorkload(
+        reads=np.random.default_rng(2).integers(0, 5, size=(8, 12)),
+        writes=np.random.default_rng(3).integers(0, 2, size=(8, 12)),
+        sizes=np.random.default_rng(4).integers(1, 4, size=12),
+        rw_ratio=0.7,
+    )
+    return build_instance(topo, w, capacity_fraction=0.5, seed=5)
+
+
+class TestReplayMatchesClosedForm:
+    def test_primaries_only(self, small_setup):
+        inst = small_setup
+        state = ReplicationState.primaries_only(inst)
+        s, o, r = matrices_to_requests(inst.reads, inst.writes)
+        realized = replay_requests(inst, state, s, o, r)
+        closed = otc_breakdown(state)
+        assert realized.read_cost == pytest.approx(closed.read_cost)
+        assert realized.write_cost == pytest.approx(closed.write_cost)
+
+    def test_after_mechanism(self, small_setup):
+        inst = small_setup
+        res = run_agt_ram(inst)
+        s, o, r = matrices_to_requests(inst.reads, inst.writes)
+        realized = replay_requests(inst, res.state, s, o, r)
+        assert realized.total == pytest.approx(res.otc)
+
+    def test_counts(self, small_setup):
+        inst = small_setup
+        state = ReplicationState.primaries_only(inst)
+        s, o, r = matrices_to_requests(inst.reads, inst.writes)
+        realized = replay_requests(inst, state, s, o, r)
+        assert realized.n_reads == int(inst.reads.sum())
+        assert realized.n_writes == int(inst.writes.sum())
+        assert realized.n_transfers >= realized.n_reads + realized.n_writes
+
+    def test_empty_replay(self, small_setup):
+        state = ReplicationState.primaries_only(small_setup)
+        realized = replay_requests(
+            small_setup, state, np.array([]), np.array([]), np.array([], dtype=bool)
+        )
+        assert realized.total == 0.0
+
+    def test_out_of_range_rejected(self, small_setup):
+        state = ReplicationState.primaries_only(small_setup)
+        with pytest.raises(ConfigurationError):
+            replay_requests(
+                small_setup, state, np.array([99]), np.array([0]), np.array([True])
+            )
+
+    def test_length_mismatch_rejected(self, small_setup):
+        state = ReplicationState.primaries_only(small_setup)
+        with pytest.raises(ConfigurationError):
+            replay_requests(
+                small_setup, state, np.array([0]), np.array([0, 1]),
+                np.array([True]),
+            )
+
+
+class TestTraceReplayPipeline:
+    def test_full_pipeline_consistency(self):
+        """trace -> aggregation -> instance -> closed-form OTC must equal
+        the same trace replayed request-by-request."""
+        gen = WorldCupLogGenerator(n_objects=25, n_clients=10, seed=7,
+                                   write_fraction=0.15)
+        trace = gen.sample_trace(1_200)
+        topo = random_graph(6, 0.5, seed=8)
+        mapping = map_clients_to_servers(trace.n_clients, 6, seed=9)
+        reads, writes = trace_to_matrices(trace, mapping, 6)
+        inst = build_instance(
+            topo,
+            SyntheticWorkload(
+                reads=reads,
+                writes=writes,
+                sizes=np.asarray(trace.catalog.sizes),
+                rw_ratio=trace.read_write_ratio(),
+            ),
+            capacity_fraction=0.4,
+            seed=10,
+        )
+        res = run_agt_ram(inst)
+        realized = replay_trace(inst, res.state, trace, mapping)
+        assert realized.total == pytest.approx(res.otc)
+
+    def test_mapping_shape_checked(self, small_setup):
+        gen = WorldCupLogGenerator(n_objects=10, n_clients=4, seed=1)
+        trace = gen.sample_trace(50)
+        state = ReplicationState.primaries_only(small_setup)
+        with pytest.raises(ConfigurationError):
+            replay_trace(small_setup, state, trace, np.array([0, 1]))

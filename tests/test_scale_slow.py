@@ -1,0 +1,50 @@
+"""Large-scale regression guards (slow; deselect with -m "not slow")."""
+
+import pytest
+
+from repro.core.agt_ram import run_agt_ram
+from repro.drp.feasibility import check_state
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.instances import paper_instance
+
+
+@pytest.mark.slow
+class TestLargeScale:
+    def test_quarter_paper_scale_runs_in_seconds(self):
+        """M=200 power-law nodes x N=1500 objects, 400k requests: the
+        mechanism must stay interactive (well under a minute) and sound."""
+        cfg = ExperimentConfig(
+            n_servers=200,
+            n_objects=1_500,
+            topology="powerlaw",
+            topology_params={"m": 2},
+            total_requests=400_000,
+            rw_ratio=0.95,
+            capacity_fraction=0.35,
+            server_skew=1.5,
+            seed=77,
+            name="scale-guard",
+        )
+        inst = paper_instance(cfg)
+        res = run_agt_ram(inst)
+        assert res.runtime_s < 30.0
+        assert res.savings_percent > 20.0
+        check_state(res.state)
+
+    def test_simulator_matches_engine_at_scale(self):
+        from repro.runtime.simulator import SemiDistributedSimulator
+        import numpy as np
+
+        cfg = ExperimentConfig(
+            n_servers=60,
+            n_objects=300,
+            total_requests=60_000,
+            rw_ratio=0.95,
+            capacity_fraction=0.35,
+            seed=78,
+            name="scale-sim",
+        )
+        inst = paper_instance(cfg)
+        eng = run_agt_ram(inst)
+        sim = SemiDistributedSimulator().run(inst)
+        assert np.array_equal(eng.state.x, sim.state.x)

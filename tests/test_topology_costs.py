@@ -1,0 +1,70 @@
+"""Tests for repro.topology.costs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InfeasibleInstanceError
+from repro.topology import Topology, cost_matrix, propagation_delays, random_graph
+from repro.topology.costs import COPPER_SPEED_M_PER_S
+
+
+class TestCostMatrix:
+    def test_line_graph_paths(self):
+        t = Topology(n_nodes=3, edges=[(0, 1), (1, 2)], weights=[2.0, 3.0])
+        c = cost_matrix(t)
+        assert c[0, 1] == 2.0
+        assert c[0, 2] == 5.0  # sum of the links on the path
+        assert c[2, 0] == 5.0
+
+    def test_shortcut_taken(self):
+        t = Topology(
+            n_nodes=3, edges=[(0, 1), (1, 2), (0, 2)], weights=[1.0, 1.0, 10.0]
+        )
+        c = cost_matrix(t)
+        assert c[0, 2] == 2.0  # the two-hop path beats the direct link
+
+    def test_symmetric_zero_diag(self):
+        t = random_graph(25, 0.3, seed=0)
+        c = cost_matrix(t)
+        assert np.array_equal(c, c.T)
+        assert np.all(np.diag(c) == 0.0)
+
+    def test_triangle_inequality(self):
+        c = cost_matrix(random_graph(20, 0.4, seed=1))
+        # Shortest-path closures satisfy c(i,k) <= c(i,j) + c(j,k).
+        via = (c[:, :, None] + c[None, :, :]).min(axis=1)  # min_j c(i,j)+c(j,k)
+        assert np.all(c <= via + 1e-9)
+
+    def test_disconnected_raises(self):
+        t = Topology(n_nodes=4, edges=[(0, 1), (2, 3)], weights=[1.0, 1.0])
+        with pytest.raises(InfeasibleInstanceError):
+            cost_matrix(t)
+
+    def test_disconnected_unvalidated(self):
+        t = Topology(n_nodes=4, edges=[(0, 1), (2, 3)], weights=[1.0, 1.0])
+        c = cost_matrix(t, validate=False)
+        assert np.isinf(c[0, 2])
+
+    def test_single_node(self):
+        t = Topology(n_nodes=1, edges=np.empty((0, 2)), weights=np.empty(0))
+        assert cost_matrix(t).shape == (1, 1)
+
+    def test_edgeless_multinode_raises(self):
+        t = Topology(n_nodes=2, edges=np.empty((0, 2)), weights=np.empty(0))
+        with pytest.raises(InfeasibleInstanceError):
+            cost_matrix(t)
+
+    def test_nonnegative(self):
+        c = cost_matrix(random_graph(15, 0.5, seed=2))
+        assert (c >= 0).all()
+
+
+class TestPropagationDelays:
+    def test_scaling(self):
+        c = np.array([[0.0, 2.0], [2.0, 0.0]])
+        d = propagation_delays(c, meters_per_cost_unit=1000.0)
+        assert d[0, 1] == pytest.approx(2000.0 / COPPER_SPEED_M_PER_S)
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            propagation_delays(np.zeros((2, 2)), meters_per_cost_unit=0.0)

@@ -1,0 +1,147 @@
+"""Tests for the four topology generators and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology import (
+    make_topology,
+    powerlaw_graph,
+    random_graph,
+    transit_stub_graph,
+    waxman_graph,
+)
+
+
+class TestRandomGraph:
+    def test_connected(self):
+        assert random_graph(30, 0.4, seed=0).is_connected()
+
+    def test_deterministic(self):
+        a = random_graph(20, 0.5, seed=1)
+        b = random_graph(20, 0.5, seed=1)
+        assert np.array_equal(a.edges, b.edges)
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_edge_probability_respected(self):
+        # With p=0.5 over 40 nodes, expect roughly 390 of 780 pairs.
+        t = random_graph(40, 0.5, seed=2)
+        assert 300 < t.n_edges < 480
+
+    def test_p_zero_still_connected(self):
+        t = random_graph(10, 0.0, seed=3)
+        assert t.is_connected()
+        assert t.n_edges == 9  # exactly the bridging chain
+
+    def test_p_one_complete(self):
+        t = random_graph(8, 1.0, seed=4)
+        assert t.n_edges == 8 * 7 // 2
+
+    def test_weight_range(self):
+        t = random_graph(15, 0.6, weight_range=(2.0, 3.0), seed=5)
+        assert t.weights.min() >= 2.0 and t.weights.max() <= 3.0
+
+    def test_bad_weight_range(self):
+        with pytest.raises(ValueError):
+            random_graph(5, 0.5, weight_range=(0.0, 1.0))
+
+    def test_bad_p(self):
+        with pytest.raises(ConfigurationError):
+            random_graph(5, 1.5)
+
+
+class TestWaxmanGraph:
+    def test_connected(self):
+        assert waxman_graph(30, seed=0).is_connected()
+
+    def test_positions_attached(self):
+        t = waxman_graph(12, seed=1)
+        assert t.positions is not None and t.positions.shape == (12, 2)
+
+    def test_costs_track_distance(self):
+        t = waxman_graph(40, seed=2, min_cost=0.01)
+        # Link cost must be proportional to plane distance (up to floor).
+        pos = t.positions
+        for (u, v), w in list(zip(t.edges, t.weights))[:20]:
+            d = np.linalg.norm(pos[u] - pos[v])
+            expected = max(0.01, 10.0 * d / np.sqrt(2))
+            assert w == pytest.approx(expected)
+
+    def test_locality_beta(self):
+        # Smaller beta should yield shorter links on average.
+        short = waxman_graph(60, beta=0.05, seed=3)
+        long_ = waxman_graph(60, beta=0.9, seed=3)
+        assert short.weights.mean() < long_.weights.mean()
+
+    def test_deterministic(self):
+        a, b = waxman_graph(15, seed=9), waxman_graph(15, seed=9)
+        assert np.array_equal(a.edges, b.edges)
+
+
+class TestTransitStub:
+    def test_node_count(self):
+        t = transit_stub_graph(2, 3, 2, 4, seed=0)
+        assert t.n_nodes == 2 * 3 * (1 + 2 * 4)
+
+    def test_connected(self):
+        assert transit_stub_graph(2, 4, 2, 4, seed=1).is_connected()
+
+    def test_no_stubs(self):
+        t = transit_stub_graph(1, 5, 0, 3, seed=2)
+        assert t.n_nodes == 5
+        assert t.is_connected()
+
+    def test_stub_links_cheaper_than_transit(self):
+        t = transit_stub_graph(2, 4, 2, 4, seed=3, jitter=0.0)
+        ws = sorted(t.weights)
+        # With jitter 0, exact cost classes appear: 2 (stub), 8 (ts), 20/30.
+        assert min(ws) == pytest.approx(2.0)
+        assert max(ws) >= 20.0
+
+    def test_deterministic(self):
+        a = transit_stub_graph(2, 3, 1, 3, seed=5)
+        b = transit_stub_graph(2, 3, 1, 3, seed=5)
+        assert np.array_equal(a.edges, b.edges)
+        assert np.array_equal(a.weights, b.weights)
+
+
+class TestPowerlawGraph:
+    def test_connected(self):
+        assert powerlaw_graph(50, 2, seed=0).is_connected()
+
+    def test_edge_count(self):
+        t = powerlaw_graph(50, m=2, seed=1)
+        # clique(3) + 2 per arriving node
+        assert t.n_edges == 3 + 2 * (50 - 3)
+
+    def test_heavy_tail(self):
+        t = powerlaw_graph(300, m=2, seed=2)
+        deg = t.degree()
+        assert deg.max() > 4 * np.median(deg)
+
+    def test_n_le_m_rejected(self):
+        with pytest.raises(ValueError):
+            powerlaw_graph(3, 3)
+
+    def test_deterministic(self):
+        a, b = powerlaw_graph(30, seed=7), powerlaw_graph(30, seed=7)
+        assert np.array_equal(a.edges, b.edges)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("kind", ["random", "waxman", "powerlaw"])
+    def test_make_exact_size(self, kind):
+        t = make_topology(kind, 25, seed=0)
+        assert t.n_nodes == 25
+
+    def test_transit_stub_at_least(self):
+        t = make_topology("transit-stub", 25, seed=0)
+        assert t.n_nodes >= 25
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="unknown topology"):
+            make_topology("hypercube", 8)
+
+    def test_kwargs_forwarded(self):
+        t = make_topology("random", 10, seed=0, p=1.0)
+        assert t.n_edges == 45

@@ -1,0 +1,103 @@
+"""Tests for repro.topology.graph."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology.graph import Topology, ensure_connected
+
+
+def triangle() -> Topology:
+    return Topology(
+        n_nodes=3, edges=[(0, 1), (1, 2), (0, 2)], weights=[1.0, 2.0, 3.0]
+    )
+
+
+class TestTopologyValidation:
+    def test_valid(self):
+        t = triangle()
+        assert t.n_edges == 3
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Topology(n_nodes=0, edges=np.empty((0, 2)), weights=np.empty(0))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError, match="weights"):
+            Topology(n_nodes=2, edges=[(0, 1)], weights=[1.0, 2.0])
+
+    def test_endpoint_out_of_range(self):
+        with pytest.raises(ConfigurationError, match="out of range"):
+            Topology(n_nodes=2, edges=[(0, 5)], weights=[1.0])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ConfigurationError, match="loops"):
+            Topology(n_nodes=2, edges=[(1, 1)], weights=[1.0])
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            Topology(n_nodes=2, edges=[(0, 1)], weights=[0.0])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            Topology(n_nodes=3, edges=[(0, 1), (1, 0)], weights=[1.0, 1.0])
+
+    def test_positions_shape_checked(self):
+        with pytest.raises(ConfigurationError, match="positions"):
+            Topology(
+                n_nodes=2,
+                edges=[(0, 1)],
+                weights=[1.0],
+                positions=np.zeros((3, 2)),
+            )
+
+
+class TestTopologyQueries:
+    def test_degree(self):
+        assert np.array_equal(triangle().degree(), [2, 2, 2])
+
+    def test_degree_isolated(self):
+        t = Topology(n_nodes=3, edges=[(0, 1)], weights=[1.0])
+        assert np.array_equal(t.degree(), [1, 1, 0])
+
+    def test_adjacency_symmetric(self):
+        a = triangle().adjacency()
+        assert np.array_equal(a, a.T)
+        assert a[0, 1] == 1.0 and a[0, 2] == 3.0
+
+    def test_iter_edges(self):
+        edges = list(triangle().iter_edges())
+        assert (0, 1, 1.0) in edges and len(edges) == 3
+
+    def test_is_connected_true(self):
+        assert triangle().is_connected()
+
+    def test_is_connected_false(self):
+        t = Topology(n_nodes=3, edges=[(0, 1)], weights=[1.0])
+        assert not t.is_connected()
+
+    def test_single_node_connected(self):
+        t = Topology(n_nodes=1, edges=np.empty((0, 2)), weights=np.empty(0))
+        assert t.is_connected()
+
+    def test_to_networkx(self):
+        g = triangle().to_networkx()
+        assert g.number_of_nodes() == 3
+        assert g[0][2]["weight"] == 3.0
+
+
+class TestEnsureConnected:
+    def test_already_connected_adds_nothing(self, rng):
+        added = ensure_connected([(0, 1), (1, 2)], 3, rng, lambda u, v: 1.0)
+        assert added == []
+
+    def test_bridges_components(self, rng):
+        added = ensure_connected([(0, 1), (2, 3)], 4, rng, lambda u, v: 5.0)
+        assert len(added) == 1
+        u, v, w = added[0]
+        assert w == 5.0
+        assert {u < 2, v < 2} == {True, False}
+
+    def test_all_isolated(self, rng):
+        added = ensure_connected([], 4, rng, lambda u, v: 1.0)
+        assert len(added) == 3  # chain of 4 singletons

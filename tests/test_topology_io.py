@@ -1,0 +1,93 @@
+"""Tests for topology edge-list file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology import random_graph, read_edge_list, write_edge_list
+from repro.topology.graph import Topology
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_graph(self, tmp_path):
+        topo = random_graph(20, 0.4, seed=1)
+        path = write_edge_list(topo, tmp_path / "g.txt")
+        loaded = read_edge_list(path)
+        assert loaded.n_nodes == topo.n_nodes
+        a = {(u, v): w for u, v, w in topo.iter_edges()}
+        b = {(u, v): w for u, v, w in loaded.iter_edges()}
+        assert a.keys() == b.keys()
+        for k in a:
+            assert a[k] == pytest.approx(b[k])
+
+    def test_roundtrip_cost_matrix_identical(self, tmp_path):
+        from repro.topology import cost_matrix
+
+        topo = random_graph(15, 0.5, seed=2)
+        loaded = read_edge_list(write_edge_list(topo, tmp_path / "g.txt"))
+        assert np.allclose(cost_matrix(topo), cost_matrix(loaded))
+
+    def test_name_from_stem(self, tmp_path):
+        topo = random_graph(5, 0.8, seed=3)
+        loaded = read_edge_list(write_edge_list(topo, tmp_path / "mynet.txt"))
+        assert loaded.name == "mynet"
+
+
+class TestParsing:
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# hello\n\nnodes 3\n0 1 1.5\n\n# bye\n1 2 2.0\n")
+        topo = read_edge_list(path)
+        assert topo.n_nodes == 3 and topo.n_edges == 2
+
+    def test_nodes_header_optional(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 1.0\n1 4 2.0\n")
+        assert read_edge_list(path).n_nodes == 5
+
+    def test_isolated_trailing_nodes_need_header(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("nodes 6\n0 1 1.0\n")
+        assert read_edge_list(path).n_nodes == 6
+
+    def test_malformed_edge_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(ConfigurationError, match=":1"):
+            read_edge_list(path)
+
+    def test_non_numeric_edge(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 one 1.0\n")
+        with pytest.raises(ConfigurationError):
+            read_edge_list(path)
+
+    def test_bad_nodes_header(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("nodes many\n0 1 1.0\n")
+        with pytest.raises(ConfigurationError):
+            read_edge_list(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(ConfigurationError):
+            read_edge_list(path)
+
+    def test_structural_validation_applies(self, tmp_path):
+        # Self-loops are rejected by the Topology constructor.
+        path = tmp_path / "g.txt"
+        path.write_text("0 0 1.0\n")
+        with pytest.raises(ConfigurationError):
+            read_edge_list(path)
+
+    def test_loaded_topology_usable_in_pipeline(self, tmp_path):
+        from repro.drp.instance import build_instance
+        from repro.workload.synthetic import synthesize_workload
+        from repro.core.agt_ram import run_agt_ram
+
+        topo = random_graph(10, 0.5, seed=4)
+        loaded = read_edge_list(write_edge_list(topo, tmp_path / "g.txt"))
+        w = synthesize_workload(10, 30, total_requests=3_000, seed=5)
+        inst = build_instance(loaded, w, capacity_fraction=0.3, seed=6)
+        assert run_agt_ram(inst).otc > 0

@@ -1,0 +1,79 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngFactory, as_generator, spawn_children
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(as_generator(1).random(5), as_generator(2).random(5))
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(7)
+        a = as_generator(ss).random(3)
+        b = as_generator(np.random.SeedSequence(7)).random(3)
+        assert np.array_equal(a, b)
+
+
+class TestSpawnChildren:
+    def test_count(self):
+        assert len(spawn_children(0, 5)) == 5
+
+    def test_zero_children(self):
+        assert spawn_children(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_children(0, -1)
+
+    def test_children_independent(self):
+        a, b = spawn_children(3, 2)
+        assert not np.array_equal(a.random(10), b.random(10))
+
+    def test_deterministic_from_int(self):
+        a1, b1 = spawn_children(9, 2)
+        a2, b2 = spawn_children(9, 2)
+        assert np.array_equal(a1.random(4), a2.random(4))
+        assert np.array_equal(b1.random(4), b2.random(4))
+
+    def test_spawn_from_generator(self):
+        g = np.random.default_rng(5)
+        kids = spawn_children(g, 3)
+        assert len(kids) == 3
+        vals = [k.random() for k in kids]
+        assert len(set(vals)) == 3
+
+
+class TestRngFactory:
+    def test_same_name_same_stream(self):
+        f1, f2 = RngFactory(11), RngFactory(11)
+        assert np.array_equal(f1.get("topology").random(4), f2.get("topology").random(4))
+
+    def test_order_independence(self):
+        f1, f2 = RngFactory(11), RngFactory(11)
+        f1.get("a")
+        x = f1.get("b").random(4)
+        y = f2.get("b").random(4)  # "b" requested first here
+        assert np.array_equal(x, y)
+
+    def test_distinct_names_distinct_streams(self):
+        f = RngFactory(11)
+        assert not np.array_equal(f.get("a").random(6), f.get("b").random(6))
+
+    def test_cached_instance(self):
+        f = RngFactory(11)
+        assert f.get("x") is f.get("x")

@@ -1,0 +1,35 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import render_table
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [30, 4.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "2.50" in lines[2]
+        assert "4.25" in lines[3]
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError, match="row 0"):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [[3.14159]])
+        assert "3.14" in out
+        assert "3.14159" not in out
+
+    def test_string_cells_pass_through(self):
+        out = render_table(["name"], [["M=50, N=300"]])
+        assert "M=50, N=300" in out

@@ -1,0 +1,66 @@
+"""Tests for repro.utils.timing."""
+
+import time
+
+import pytest
+
+from repro.utils.timing import Timer, format_seconds
+
+
+class TestTimer:
+    def test_context_manager_measures(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_accumulates_across_uses(self):
+        t = Timer()
+        with t:
+            time.sleep(0.005)
+        first = t.elapsed
+        with t:
+            time.sleep(0.005)
+        assert t.elapsed > first
+
+    def test_double_start_raises(self):
+        t = Timer()
+        t.start()
+        with pytest.raises(RuntimeError):
+            t.start()
+        t.stop()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+
+    def test_reset_while_running_raises(self):
+        t = Timer()
+        t.start()
+        with pytest.raises(RuntimeError):
+            t.reset()
+        t.stop()
+
+
+class TestFormatSeconds:
+    def test_microseconds(self):
+        assert format_seconds(5e-6) == "5.0 us"
+
+    def test_milliseconds(self):
+        assert format_seconds(0.0132) == "13.2 ms"
+
+    def test_seconds(self):
+        assert format_seconds(4.714) == "4.71 s"
+
+    def test_minutes(self):
+        assert format_seconds(123.0) == "2m 03s"
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            format_seconds(-1.0)

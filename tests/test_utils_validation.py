@@ -1,0 +1,61 @@
+"""Tests for repro.utils.validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts(self):
+        assert check_positive_int(3, "x") == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "3", True, None])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(bad, "x")
+
+    def test_message_names_param(self):
+        with pytest.raises(ConfigurationError, match="n_servers"):
+            check_positive_int(-2, "n_servers")
+
+
+class TestCheckPositive:
+    def test_accepts_float(self):
+        assert check_positive(0.5, "x") == 0.5
+
+    def test_accepts_int(self):
+        assert check_positive(2, "x") == 2.0
+
+    @pytest.mark.parametrize("bad", [0, -0.1, "a", True, float("nan")])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_positive(bad, "x")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts(self, ok):
+        assert check_probability(ok, "p") == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, "p", None])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_probability(bad, "p")
+
+
+class TestCheckFraction:
+    def test_open_left(self):
+        with pytest.raises(ConfigurationError):
+            check_fraction(0.0, "f", open_left=True)
+        assert check_fraction(0.1, "f", open_left=True) == 0.1
+
+    def test_open_right(self):
+        with pytest.raises(ConfigurationError):
+            check_fraction(1.0, "f", open_right=True)
+        assert check_fraction(0.9, "f", open_right=True) == 0.9

@@ -1,0 +1,39 @@
+"""Tests for repro.workload.clients."""
+
+import numpy as np
+import pytest
+
+from repro.workload.clients import map_clients_to_servers
+
+
+class TestMapping:
+    def test_shape_and_range(self):
+        m = map_clients_to_servers(100, 10, seed=0)
+        assert m.shape == (100,)
+        assert m.min() >= 0 and m.max() < 10
+
+    def test_uniform_when_no_skew(self):
+        m = map_clients_to_servers(50_000, 5, skew=0.0, seed=1)
+        counts = np.bincount(m, minlength=5)
+        assert counts.max() / counts.min() < 1.1
+
+    def test_skew_concentrates(self):
+        m = map_clients_to_servers(5_000, 20, skew=5.0, seed=2)
+        counts = np.sort(np.bincount(m, minlength=20))[::-1]
+        # Top server hosts far more than a uniform share.
+        assert counts[0] > 3 * 5_000 / 20
+
+    def test_one_to_m_property(self):
+        # Every client has exactly one server (an assignment array can't
+        # violate this, but the distribution must cover the client set).
+        m = map_clients_to_servers(7, 3, seed=3)
+        assert len(m) == 7
+
+    def test_negative_skew_rejected(self):
+        with pytest.raises(ValueError):
+            map_clients_to_servers(5, 3, skew=-1.0)
+
+    def test_deterministic(self):
+        a = map_clients_to_servers(30, 6, seed=5)
+        b = map_clients_to_servers(30, 6, seed=5)
+        assert np.array_equal(a, b)

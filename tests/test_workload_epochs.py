@@ -1,0 +1,86 @@
+"""Tests for trace-driven epoch slicing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.epochs import epochs_from_trace
+from repro.workload.trace import ObjectCatalog, Request, Trace
+from repro.workload.worldcup import WorldCupLogGenerator
+
+
+@pytest.fixture(scope="module")
+def trace():
+    gen = WorldCupLogGenerator(n_objects=40, n_clients=12, seed=3)
+    return gen.sample_trace(4_000)
+
+
+class TestEpochsFromTrace:
+    def test_request_mass_conserved(self, trace):
+        mapping = np.zeros(trace.n_clients, dtype=int)
+        epochs = epochs_from_trace(trace, mapping, 4, n_epochs=6)
+        total = sum(e.workload.total_requests() for e in epochs)
+        assert total == len(trace)
+
+    def test_epoch_count(self, trace):
+        mapping = np.zeros(trace.n_clients, dtype=int)
+        assert len(epochs_from_trace(trace, mapping, 4, n_epochs=8)) == 8
+
+    def test_diurnal_heaviness_varies(self, trace):
+        # The WC generator's diurnal curve makes some windows much
+        # heavier than others.
+        mapping = np.zeros(trace.n_clients, dtype=int)
+        epochs = epochs_from_trace(trace, mapping, 4, n_epochs=8)
+        totals = [e.workload.total_requests() for e in epochs]
+        assert max(totals) > 1.3 * max(1, min(totals))
+
+    def test_sizes_shared(self, trace):
+        mapping = np.zeros(trace.n_clients, dtype=int)
+        epochs = epochs_from_trace(trace, mapping, 4, n_epochs=3)
+        for e in epochs[1:]:
+            assert np.array_equal(e.workload.sizes, epochs[0].workload.sizes)
+
+    def test_single_timestamp_trace(self):
+        cat = ObjectCatalog(sizes=[1])
+        t = Trace(
+            catalog=cat,
+            requests=[Request(client=0, obj=0, kind="read", timestamp=5.0)] * 3,
+            n_clients=1,
+        )
+        epochs = epochs_from_trace(t, np.array([0]), 2, n_epochs=4)
+        assert epochs[0].workload.total_requests() == 3
+
+    def test_empty_trace_rejected(self):
+        t = Trace(catalog=ObjectCatalog(sizes=[1]), n_clients=1)
+        with pytest.raises(ConfigurationError):
+            epochs_from_trace(t, np.array([0]), 2, n_epochs=2)
+
+    def test_feeds_adaptive_replicator(self, trace):
+        """End-to-end: trace-driven epochs drive adaptation."""
+        from repro.core.adaptive import AdaptiveReplicator
+        from repro.drp.instance import build_instance
+        from repro.topology import random_graph
+        from repro.workload.clients import map_clients_to_servers
+        from repro.workload.stats import trace_to_matrices
+        from repro.workload.synthetic import SyntheticWorkload
+
+        n_servers = 8
+        topo = random_graph(n_servers, 0.5, seed=4)
+        mapping = map_clients_to_servers(trace.n_clients, n_servers, seed=5)
+        reads, writes = trace_to_matrices(trace, mapping, n_servers)
+        template = build_instance(
+            topo,
+            SyntheticWorkload(
+                reads=reads,
+                writes=writes,
+                sizes=np.asarray(trace.catalog.sizes),
+                rw_ratio=trace.read_write_ratio(),
+            ),
+            capacity_fraction=0.3,
+            seed=6,
+        )
+        epochs = epochs_from_trace(trace, mapping, n_servers, n_epochs=4)
+        out = AdaptiveReplicator(policy="adaptive").run(template, epochs)
+        assert len(out) == 4
+        for o in out:
+            assert o.savings_percent >= -1e-6

@@ -1,0 +1,131 @@
+"""Tests for flash-crowd workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.flashcrowd import (
+    FlashCrowd,
+    crowd_traffic_share,
+    flash_crowd_workloads,
+)
+
+
+@pytest.fixture(scope="module")
+def generated():
+    return flash_crowd_workloads(
+        10,
+        60,
+        6,
+        total_requests=40_000,
+        n_crowds=1,
+        crowd_size=3,
+        crowd_intensity=30.0,
+        crowd_duration=2,
+        seed=5,
+    )
+
+
+class TestGeneration:
+    def test_shapes(self, generated):
+        epochs, crowds = generated
+        assert len(epochs) == 6
+        assert len(crowds) == 1
+        for e in epochs:
+            assert e.workload.reads.shape == (10, 60)
+
+    def test_crowd_within_horizon(self, generated):
+        _, crowds = generated
+        c = crowds[0]
+        assert 0 <= c.onset and c.onset + c.duration <= 6
+        assert len(c.objects) == 3
+
+    def test_crowd_absorbs_traffic(self, generated):
+        epochs, crowds = generated
+        c = crowds[0]
+        share = crowd_traffic_share(epochs, c)
+        during = np.mean([share[e] for e in range(c.onset, c.onset + c.duration)])
+        outside = [
+            share[e]
+            for e in range(len(epochs))
+            if not (c.onset <= e < c.onset + c.duration)
+        ]
+        assert during > 5 * np.mean(outside)
+
+    def test_budget_roughly_constant(self, generated):
+        epochs, _ = generated
+        totals = [e.workload.total_requests() for e in epochs]
+        assert max(totals) < 1.2 * min(totals)
+
+    def test_sizes_constant(self, generated):
+        epochs, _ = generated
+        for e in epochs[1:]:
+            assert np.array_equal(e.workload.sizes, epochs[0].workload.sizes)
+
+    def test_no_crowds(self):
+        epochs, crowds = flash_crowd_workloads(
+            6, 30, 3, total_requests=5_000, n_crowds=0, seed=1
+        )
+        assert crowds == []
+        assert len(epochs) == 3
+
+    def test_deterministic(self):
+        a, ca = flash_crowd_workloads(6, 30, 3, total_requests=5_000, seed=9)
+        b, cb = flash_crowd_workloads(6, 30, 3, total_requests=5_000, seed=9)
+        assert ca == cb
+        assert np.array_equal(a[0].workload.reads, b[0].workload.reads)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_crowds": -1},
+            {"crowd_size": 100},
+            {"crowd_intensity": 0.0},
+            {"crowd_duration": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(Exception):
+            flash_crowd_workloads(6, 30, 3, **kwargs)
+
+
+class TestAdaptiveUnderFlashCrowd:
+    def test_adaptive_recovers_from_crowd(self):
+        """The adaptive protocol must beat the frozen scheme during a
+        flash crowd — the event moves traffic onto cold objects the
+        initial placement ignored."""
+        from repro.core.adaptive import AdaptiveReplicator
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.instances import paper_instance
+
+        template = paper_instance(
+            ExperimentConfig(
+                n_servers=10,
+                n_objects=60,
+                total_requests=40_000,
+                rw_ratio=0.95,
+                capacity_fraction=0.3,
+                seed=55,
+                name="flash-test",
+            )
+        )
+        epochs, crowds = flash_crowd_workloads(
+            10,
+            60,
+            5,
+            total_requests=40_000,
+            n_crowds=1,
+            crowd_size=3,
+            crowd_intensity=40.0,
+            crowd_duration=3,
+            seed=56,
+        )
+        c = crowds[0]
+        adaptive = AdaptiveReplicator(policy="adaptive").run(template, epochs)
+        static = AdaptiveReplicator(policy="static").run(template, epochs)
+        crowd_epochs = [
+            e for e in range(1, len(epochs)) if c.onset <= e < c.onset + c.duration
+        ]
+        if crowd_epochs:
+            e = crowd_epochs[-1]
+            assert adaptive[e].savings_percent >= static[e].savings_percent - 1e-9

@@ -1,0 +1,67 @@
+"""Tests for repro.workload.stats (trace aggregation)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.stats import aggregate_trace, trace_to_matrices
+from repro.workload.trace import ObjectCatalog, Request, Trace
+
+
+def small_trace() -> Trace:
+    cat = ObjectCatalog(sizes=[1, 2, 3])
+    reqs = [
+        Request(client=0, obj=0, kind="read"),
+        Request(client=0, obj=0, kind="read"),
+        Request(client=0, obj=1, kind="write"),
+        Request(client=1, obj=2, kind="read"),
+        Request(client=2, obj=0, kind="write"),
+    ]
+    return Trace(catalog=cat, requests=reqs)
+
+
+class TestAggregateTrace:
+    def test_counts(self):
+        agg = aggregate_trace(small_trace())
+        assert agg.reads[0, 0] == 2
+        assert agg.writes[0, 1] == 1
+        assert agg.reads[1, 2] == 1
+        assert agg.writes[2, 0] == 1
+
+    def test_totals(self):
+        agg = aggregate_trace(small_trace())
+        assert agg.total_requests() == 5
+
+    def test_shapes(self):
+        agg = aggregate_trace(small_trace())
+        assert agg.reads.shape == (3, 3) and agg.writes.shape == (3, 3)
+
+    def test_empty_trace(self):
+        t = Trace(catalog=ObjectCatalog(sizes=[1]), n_clients=2)
+        agg = aggregate_trace(t)
+        assert agg.reads.sum() == 0 and agg.writes.sum() == 0
+
+
+class TestTraceToMatrices:
+    def test_folding(self):
+        t = small_trace()
+        mapping = np.array([0, 0, 1])  # clients 0,1 -> server 0; client 2 -> 1
+        reads, writes = trace_to_matrices(t, mapping, n_servers=2)
+        assert reads[0, 0] == 2 and reads[0, 2] == 1
+        assert writes[1, 0] == 1
+        assert reads.sum() == 3 and writes.sum() == 2
+
+    def test_preserves_total(self):
+        t = small_trace()
+        mapping = np.array([1, 1, 1])
+        reads, writes = trace_to_matrices(t, mapping, n_servers=3)
+        assert reads.sum() + writes.sum() == len(t)
+        assert reads[0].sum() == 0  # nothing mapped to server 0
+
+    def test_bad_mapping_shape(self):
+        with pytest.raises(ConfigurationError):
+            trace_to_matrices(small_trace(), np.array([0, 1]), n_servers=2)
+
+    def test_mapping_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            trace_to_matrices(small_trace(), np.array([0, 1, 5]), n_servers=2)

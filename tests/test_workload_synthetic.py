@@ -1,0 +1,79 @@
+"""Tests for repro.workload.synthetic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.synthetic import synthesize_workload
+
+
+class TestSynthesizeWorkload:
+    def test_shapes(self):
+        w = synthesize_workload(10, 40, total_requests=5_000, seed=0)
+        assert w.reads.shape == (10, 40)
+        assert w.writes.shape == (10, 40)
+        assert w.sizes.shape == (40,)
+
+    def test_total_requests_approx(self):
+        w = synthesize_workload(20, 50, total_requests=100_000, seed=1)
+        assert abs(w.total_requests() - 100_000) < 3_000  # Poisson noise
+
+    def test_rw_ratio_realized(self):
+        w = synthesize_workload(20, 50, total_requests=50_000, rw_ratio=0.9, seed=2)
+        assert w.realized_rw_ratio() == pytest.approx(0.9, abs=0.01)
+
+    def test_pure_read(self):
+        w = synthesize_workload(5, 10, total_requests=2_000, rw_ratio=1.0, seed=3)
+        assert w.writes.sum() == 0
+
+    def test_pure_write(self):
+        w = synthesize_workload(5, 10, total_requests=2_000, rw_ratio=0.0, seed=4)
+        assert w.reads.sum() == 0
+
+    def test_sizes_positive(self):
+        w = synthesize_workload(5, 200, seed=5)
+        assert (w.sizes >= 1).all()
+
+    def test_zero_cv_constant_sizes(self):
+        w = synthesize_workload(5, 10, mean_object_size=9.0, size_cv=0.0, seed=6)
+        assert (w.sizes == 9).all()
+
+    def test_popularity_skew(self):
+        w = synthesize_workload(
+            10, 100, total_requests=200_000, popularity_alpha=1.0, seed=7
+        )
+        per_obj = (w.reads + w.writes).sum(axis=0)
+        assert per_obj.max() > 10 * np.median(per_obj)
+
+    def test_server_skew_zero_uniform(self):
+        w = synthesize_workload(
+            8, 50, total_requests=400_000, server_skew=0.0, seed=8
+        )
+        per_server = (w.reads + w.writes).sum(axis=1)
+        assert per_server.max() / per_server.min() < 1.1
+
+    def test_server_skew_concentrates(self):
+        w = synthesize_workload(
+            20, 50, total_requests=100_000, server_skew=2.0, seed=9
+        )
+        per_server = np.sort((w.reads + w.writes).sum(axis=1))[::-1]
+        assert per_server[0] > 5 * per_server[-1]
+
+    def test_deterministic(self):
+        a = synthesize_workload(6, 20, seed=11)
+        b = synthesize_workload(6, 20, seed=11)
+        assert np.array_equal(a.reads, b.reads)
+        assert np.array_equal(a.sizes, b.sizes)
+
+    def test_empty_workload_ratio_raises(self):
+        w = synthesize_workload(3, 5, total_requests=0, seed=12)
+        with pytest.raises(ConfigurationError):
+            w.realized_rw_ratio()
+
+    def test_bad_ratio_rejected(self):
+        with pytest.raises(ConfigurationError):
+            synthesize_workload(3, 5, rw_ratio=1.5)
+
+    def test_negative_requests_rejected(self):
+        with pytest.raises(ConfigurationError):
+            synthesize_workload(3, 5, total_requests=-1)

@@ -1,0 +1,101 @@
+"""Tests for repro.workload.trace."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.trace import ObjectCatalog, Request, Trace
+
+
+class TestRequest:
+    def test_valid(self):
+        r = Request(client=0, obj=1, kind="read")
+        assert r.kind == "read"
+
+    def test_bad_kind(self):
+        with pytest.raises(ConfigurationError):
+            Request(client=0, obj=0, kind="fetch")
+
+    def test_negative_ids(self):
+        with pytest.raises(ConfigurationError):
+            Request(client=-1, obj=0, kind="read")
+
+    def test_frozen(self):
+        r = Request(client=0, obj=0, kind="read")
+        with pytest.raises(AttributeError):
+            r.obj = 5
+
+
+class TestObjectCatalog:
+    def test_default_names(self):
+        c = ObjectCatalog(sizes=[1, 2, 3])
+        assert c.names == ["object-0", "object-1", "object-2"]
+
+    def test_total_size(self):
+        assert ObjectCatalog(sizes=[1, 2, 3]).total_size() == 6
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ObjectCatalog(sizes=[1, 0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ObjectCatalog(sizes=[])
+
+    def test_name_count_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            ObjectCatalog(sizes=[1, 2], names=["a"])
+
+
+class TestTrace:
+    def make(self) -> Trace:
+        cat = ObjectCatalog(sizes=[1, 2])
+        reqs = [
+            Request(client=0, obj=0, kind="read"),
+            Request(client=1, obj=1, kind="write"),
+            Request(client=1, obj=0, kind="read"),
+        ]
+        return Trace(catalog=cat, requests=reqs)
+
+    def test_n_clients_inferred(self):
+        assert self.make().n_clients == 2
+
+    def test_counts(self):
+        t = self.make()
+        assert t.n_reads() == 2 and t.n_writes() == 1
+
+    def test_rw_ratio(self):
+        assert self.make().read_write_ratio() == pytest.approx(2 / 3)
+
+    def test_empty_trace_ratio_raises(self):
+        t = Trace(catalog=ObjectCatalog(sizes=[1]), n_clients=1)
+        with pytest.raises(ConfigurationError):
+            t.read_write_ratio()
+
+    def test_object_out_of_catalog(self):
+        with pytest.raises(ConfigurationError):
+            Trace(
+                catalog=ObjectCatalog(sizes=[1]),
+                requests=[Request(client=0, obj=5, kind="read")],
+            )
+
+    def test_client_beyond_declared(self):
+        with pytest.raises(ConfigurationError):
+            Trace(
+                catalog=ObjectCatalog(sizes=[1]),
+                requests=[Request(client=3, obj=0, kind="read")],
+                n_clients=2,
+            )
+
+    def test_extend(self):
+        t = self.make()
+        t.extend([Request(client=4, obj=1, kind="read")])
+        assert len(t) == 4 and t.n_clients == 5
+
+    def test_extend_invalid_object(self):
+        t = self.make()
+        with pytest.raises(ConfigurationError):
+            t.extend([Request(client=0, obj=9, kind="read")])
+
+    def test_iter(self):
+        assert all(isinstance(r, Request) for r in self.make())

@@ -1,0 +1,175 @@
+"""Tests for the synthetic WorldCup'98 log generator and parser."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.worldcup import (
+    WorldCupLogGenerator,
+    parse_common_log,
+    parse_common_log_line,
+)
+from repro.workload.zipf import empirical_zipf_alpha
+
+
+@pytest.fixture(scope="module")
+def gen() -> WorldCupLogGenerator:
+    return WorldCupLogGenerator(n_objects=80, n_clients=30, seed=42)
+
+
+class TestGenerator:
+    def test_catalog_sizes_positive(self, gen):
+        assert (gen.catalog.sizes >= 1).all()
+
+    def test_mean_size_roughly_requested(self):
+        g = WorldCupLogGenerator(
+            n_objects=4000, n_clients=10, mean_object_size=20.0, size_cv=0.5, seed=1
+        )
+        assert 17.0 < g.catalog.sizes.mean() < 23.0
+
+    def test_zero_cv_constant_sizes(self):
+        g = WorldCupLogGenerator(n_objects=10, mean_object_size=7.0, size_cv=0.0, seed=2)
+        assert (g.catalog.sizes == 7).all()
+
+    def test_requests_in_range(self, gen):
+        reqs = gen.sample_requests(500)
+        assert all(0 <= r.obj < 80 and 0 <= r.client < 30 for r in reqs)
+
+    def test_write_fraction(self):
+        g = WorldCupLogGenerator(n_objects=50, n_clients=10, write_fraction=0.2, seed=3)
+        reqs = g.sample_requests(20_000)
+        frac = sum(r.kind == "write" for r in reqs) / len(reqs)
+        assert 0.17 < frac < 0.23
+
+    def test_popularity_zipf_like(self):
+        g = WorldCupLogGenerator(n_objects=100, n_clients=10, seed=4)
+        reqs = g.sample_requests(100_000)
+        counts = np.bincount([r.obj for r in reqs], minlength=100)
+        alpha = empirical_zipf_alpha(counts)
+        assert 0.6 < alpha < 1.1
+
+    def test_timestamps_sorted(self, gen):
+        reqs = gen.sample_requests(200)
+        ts = [r.timestamp for r in reqs]
+        assert ts == sorted(ts)
+
+    def test_zero_requests(self, gen):
+        assert gen.sample_requests(0) == []
+
+    def test_negative_requests_rejected(self, gen):
+        with pytest.raises(ConfigurationError):
+            gen.sample_requests(-1)
+
+    def test_trace_roundtrip(self, gen):
+        trace = gen.sample_trace(300)
+        assert len(trace) == 300
+        assert trace.catalog is gen.catalog
+
+    def test_deterministic(self):
+        a = WorldCupLogGenerator(n_objects=20, n_clients=5, seed=9).sample_requests(50)
+        b = WorldCupLogGenerator(n_objects=20, n_clients=5, seed=9).sample_requests(50)
+        assert [(r.client, r.obj, r.kind) for r in a] == [
+            (r.client, r.obj, r.kind) for r in b
+        ]
+
+    def test_bad_write_fraction(self):
+        with pytest.raises(ConfigurationError):
+            WorldCupLogGenerator(write_fraction=1.0)
+
+
+class TestLogLineFormat:
+    def test_line_parses_back(self, gen):
+        req = gen.sample_requests(1)[0]
+        line = gen.format_log_line(req)
+        rec = parse_common_log_line(line)
+        assert rec is not None
+        assert rec["status"] == 200
+        assert rec["bytes"] == req.size * 1024
+        assert rec["host"] == f"client{req.client}.example.net"
+
+    def test_write_method(self, gen):
+        from repro.workload.trace import Request
+
+        line = gen.format_log_line(Request(client=1, obj=2, kind="write", size=3))
+        assert '"PUT' in line
+
+
+class TestParser:
+    def test_malformed_returns_none(self):
+        assert parse_common_log_line("not a log line") is None
+
+    def test_dash_bytes(self):
+        line = 'h - - [01/May/1998:10:00:00 +0000] "GET /a HTTP/1.0" 200 -'
+        rec = parse_common_log_line(line)
+        assert rec["bytes"] == 0
+
+    def test_real_format_line(self):
+        line = (
+            '4.150.159.23 - - [01/May/1998:21:30:17 +0000] '
+            '"GET /images/102325.gif HTTP/1.0" 200 1555'
+        )
+        rec = parse_common_log_line(line)
+        assert rec["path"] == "/images/102325.gif"
+        assert rec["method"] == "GET"
+
+    def test_roundtrip_trace(self, gen):
+        lines = list(gen.generate_log(2_000))
+        trace = parse_common_log(lines)
+        assert len(trace) > 0
+        # All sizes positive; client count bounded by the generator's.
+        assert (np.asarray(trace.catalog.sizes) >= 1).all()
+        assert trace.n_clients <= 30
+
+    def test_roundtrip_rw_mix_preserved(self):
+        g = WorldCupLogGenerator(n_objects=40, n_clients=8, write_fraction=0.3, seed=5)
+        trace = parse_common_log(g.generate_log(5_000))
+        assert 0.6 < trace.read_write_ratio() < 0.8
+
+    def test_min_requests_filter(self, gen):
+        lines = list(gen.generate_log(500))
+        strict = parse_common_log(lines, min_requests_per_object=10)
+        loose = parse_common_log(lines, min_requests_per_object=1)
+        assert strict.catalog.n_objects < loose.catalog.n_objects
+
+    def test_status_filter(self):
+        lines = [
+            'h - - [01/May/1998:10:00:00 +0000] "GET /a HTTP/1.0" 404 100',
+        ]
+        with pytest.raises(ConfigurationError):
+            parse_common_log(lines, status_ok_only=True)
+        trace = parse_common_log(lines, status_ok_only=False)
+        assert len(trace) == 1
+
+    def test_no_parseable_lines(self):
+        with pytest.raises(ConfigurationError):
+            parse_common_log(["garbage", "more garbage"])
+
+
+class TestLogFileParsing:
+    def test_plain_file(self, gen, tmp_path):
+        path = tmp_path / "access.log"
+        path.write_text("\n".join(gen.generate_log(300)) + "\n")
+        from repro.workload.worldcup import parse_common_log_file
+
+        trace = parse_common_log_file(path)
+        assert len(trace) == 300
+
+    def test_gzip_file(self, gen, tmp_path):
+        import gzip
+
+        path = tmp_path / "access.log.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write("\n".join(gen.generate_log(200)) + "\n")
+        from repro.workload.worldcup import parse_common_log_file
+
+        trace = parse_common_log_file(path)
+        assert len(trace) == 200
+
+    def test_filters_forwarded(self, gen, tmp_path):
+        path = tmp_path / "access.log"
+        path.write_text("\n".join(gen.generate_log(400)) + "\n")
+        from repro.workload.worldcup import parse_common_log_file
+
+        strict = parse_common_log_file(path, min_requests_per_object=5)
+        loose = parse_common_log_file(path, min_requests_per_object=1)
+        assert strict.catalog.n_objects <= loose.catalog.n_objects

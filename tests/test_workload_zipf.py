@@ -1,0 +1,63 @@
+"""Tests for repro.workload.zipf."""
+
+import numpy as np
+import pytest
+
+from repro.workload.zipf import empirical_zipf_alpha, sample_zipf, zipf_weights
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        assert zipf_weights(100).sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        w = zipf_weights(50, alpha=0.9)
+        assert np.all(np.diff(w) < 0)
+
+    def test_exact_ratio(self):
+        w = zipf_weights(10, alpha=1.0)
+        assert w[0] / w[1] == pytest.approx(2.0)  # rank1/rank2 = 2 at alpha=1
+
+    def test_single_item(self):
+        assert zipf_weights(1) == pytest.approx([1.0])
+
+    def test_bad_n(self):
+        with pytest.raises(Exception):
+            zipf_weights(0)
+
+    def test_bad_alpha(self):
+        with pytest.raises(Exception):
+            zipf_weights(10, alpha=-1)
+
+
+class TestSampleZipf:
+    def test_range(self):
+        s = sample_zipf(20, 1000, seed=0)
+        assert s.min() >= 0 and s.max() < 20
+
+    def test_rank_order(self):
+        s = sample_zipf(10, 50_000, alpha=1.0, seed=1)
+        counts = np.bincount(s, minlength=10)
+        # Item 0 must dominate item 9 decisively.
+        assert counts[0] > 3 * counts[9]
+
+    def test_zero_samples(self):
+        assert len(sample_zipf(5, 0)) == 0
+
+    def test_deterministic(self):
+        assert np.array_equal(sample_zipf(9, 100, seed=3), sample_zipf(9, 100, seed=3))
+
+
+class TestEmpiricalAlpha:
+    def test_recovers_exponent(self):
+        counts = 1e6 * zipf_weights(200, alpha=0.85)
+        assert empirical_zipf_alpha(counts) == pytest.approx(0.85, abs=0.02)
+
+    def test_from_samples(self):
+        s = sample_zipf(100, 200_000, alpha=0.9, seed=4)
+        alpha = empirical_zipf_alpha(np.bincount(s, minlength=100))
+        assert 0.6 < alpha < 1.2
+
+    def test_too_few_counts(self):
+        with pytest.raises(ValueError):
+            empirical_zipf_alpha(np.array([5.0]))
