@@ -1,6 +1,16 @@
 # Convenience targets; everything works without make too.
+#
+# CI (.github/workflows/ci.yml) invokes these exact targets, so local
+# `make <target>` and the CI jobs cannot drift.  Knobs:
+#   BENCH_SCALE ?= tiny|small|medium   instance preset for bench targets
+#   BENCH_GATE  ?= 0|1                 1 makes bench-compare fail on regression
 
-.PHONY: install test test-fast bench reproduce examples clean
+BENCH_SCALE ?= tiny
+BENCH_GATE ?= 0
+BENCH_BASELINE ?= benchmarks/baseline_tiny.json
+
+.PHONY: install test test-fast test-slow bench bench-json bench-compare \
+        lint reproduce examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -11,8 +21,23 @@ test:
 test-fast:
 	pytest tests/ -m "not slow"
 
+test-slow:
+	pytest tests/ -m slow
+
 bench:
-	pytest benchmarks/ --benchmark-only
+	REPRO_BENCH_SCALE=$(BENCH_SCALE) pytest benchmarks/ --benchmark-only
+
+bench-json:
+	REPRO_BENCH_SCALE=$(BENCH_SCALE) python -m repro bench --out bench.json
+
+bench-compare:
+	python -m repro bench --compare $(BENCH_BASELINE) bench.json \
+		$(if $(filter 1,$(BENCH_GATE)),--fail-on-regression,)
+
+lint:
+	ruff check src/repro/obs
+	ruff format --check src/repro/obs
+	mypy src/repro/obs
 
 reproduce:
 	python -m repro reproduce --scale small
@@ -21,5 +46,6 @@ examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
 
 clean:
-	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .ruff_cache \
+		.mypy_cache bench.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -10,26 +10,16 @@ Scale can be lowered for smoke runs:  REPRO_BENCH_SCALE=tiny pytest benchmarks/
 
 from __future__ import annotations
 
-import os
-
-
 from repro.experiments.config import ExperimentConfig
+from repro.obs.report import bench_config, bench_scale
 
-_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+_SCALE = bench_scale()
 
 #: Base configuration for figure sweeps (paper: M=3718, N=25,000 — the
-#: N/M proportion and all knobs are preserved at reduced size).
-BENCH_BASE: ExperimentConfig = {
-    "tiny": ExperimentConfig(
-        n_servers=16, n_objects=64, total_requests=8_000, seed=2007, name="bench"
-    ),
-    "small": ExperimentConfig(
-        n_servers=40, n_objects=160, total_requests=30_000, seed=2007, name="bench"
-    ),
-    "medium": ExperimentConfig(
-        n_servers=80, n_objects=400, total_requests=120_000, seed=2007, name="bench"
-    ),
-}[_SCALE]
+#: N/M proportion and all knobs are preserved at reduced size).  The
+#: presets live in :mod:`repro.obs.report` so the pytest-benchmark suite
+#: and ``python -m repro bench`` measure identical instances.
+BENCH_BASE: ExperimentConfig = bench_config(_SCALE)
 
 #: Scaled Table 1 grid — 3x3 (M, N) sizes, proportions as in the paper.
 TABLE1_BENCH_GRID: tuple[tuple[int, int], ...] = {

@@ -35,8 +35,9 @@ from repro.drp.benefit import BenefitEngine, global_benefit
 from repro.drp.cost import primary_only_otc, total_otc
 from repro.drp.instance import DRPInstance
 from repro.drp.state import ReplicationState
+from repro.obs import tracer as obs
 from repro.result import PlacementResult
-from repro.utils.timing import Timer
+from repro.utils.timing import Timer, perf_counter
 
 
 class AEStarPlacer(ReplicaPlacer):
@@ -110,8 +111,10 @@ class AEStarPlacer(ReplicaPlacer):
 
     # -- search ------------------------------------------------------------
 
-    def place(self, instance: DRPInstance) -> PlacementResult:
+    def _place(self, instance: DRPInstance) -> PlacementResult:
         timer = Timer()
+        tracer = obs.current()
+        traced = tracer.enabled
         with timer:
             root_otc = primary_only_otc(instance)
             counter = itertools.count()  # heap tiebreaker
@@ -131,8 +134,14 @@ class AEStarPlacer(ReplicaPlacer):
                 f_best = min(f_best, f)
                 expansions += 1
 
+                t0 = perf_counter() if traced else 0.0
                 state = self._replay(instance, path)
+                if traced:
+                    tracer.add("replay", perf_counter() - t0)
+                    t0 = perf_counter()
                 candidates = self._candidates(instance, state)
+                if traced:
+                    tracer.add("candidates", perf_counter() - t0)
                 if not candidates:
                     # Complete: no improving allocation remains.
                     if best_complete is None or otc < best_complete[0]:
@@ -154,6 +163,7 @@ class AEStarPlacer(ReplicaPlacer):
             # partial path so the returned scheme leaves no obvious gain
             # on the table.
             chosen = best_complete if best_complete is not None else best_partial
+            t0 = perf_counter() if traced else 0.0
             state = self._replay(instance, chosen[1])
             finishing = 0
             while True:
@@ -163,6 +173,9 @@ class AEStarPlacer(ReplicaPlacer):
                 _, i, k = candidates[0]
                 state.add_replica(i, k)
                 finishing += 1
+            if traced:
+                tracer.add("finish", perf_counter() - t0)
+                tracer.count("expansions", expansions)
 
         return PlacementResult(
             algorithm=self.name,

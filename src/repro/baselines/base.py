@@ -11,19 +11,31 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Callable
 
+from repro.obs import tracer as obs
 from repro.drp.instance import DRPInstance
 from repro.errors import ConfigurationError
 from repro.result import PlacementResult
 
 
 class ReplicaPlacer(ABC):
-    """A replica-placement algorithm."""
+    """A replica-placement algorithm.
+
+    :meth:`place` is the public entry point; it wraps the concrete
+    :meth:`_place` in an observability span (``baseline/<name>``) so
+    every algorithm is traced uniformly when a tracer is active (see
+    :mod:`repro.obs`) at zero cost otherwise.
+    """
 
     name: str = "placer"
 
-    @abstractmethod
     def place(self, instance: DRPInstance) -> PlacementResult:
         """Compute a feasible replication scheme for ``instance``."""
+        with obs.current().span(f"baseline/{self.name}"):
+            return self._place(instance)
+
+    @abstractmethod
+    def _place(self, instance: DRPInstance) -> PlacementResult:
+        """Algorithm-specific placement; implemented by subclasses."""
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -39,7 +51,7 @@ def _make_agt_ram(**kwargs) -> ReplicaPlacer:
         def __init__(self):
             self._mech = AGTRam(**kwargs)
 
-        def place(self, instance: DRPInstance) -> PlacementResult:
+        def _place(self, instance: DRPInstance) -> PlacementResult:
             return self._mech.run(instance)
 
     return _AGTRamPlacer()

@@ -59,7 +59,7 @@ class DutchAuctionPlacer(ReplicaPlacer):
         self.floor_fraction = floor_fraction
         self.seed = seed
 
-    def place(self, instance: DRPInstance) -> PlacementResult:
+    def _place(self, instance: DRPInstance) -> PlacementResult:
         rng = as_generator(self.seed)
         timer = Timer()
         with timer:

@@ -68,7 +68,7 @@ class EnglishAuctionPlacer(ReplicaPlacer):
         self.max_sales = max_sales
         self.seed = seed
 
-    def place(self, instance: DRPInstance) -> PlacementResult:
+    def _place(self, instance: DRPInstance) -> PlacementResult:
         rng = as_generator(self.seed)
         timer = Timer()
         with timer:

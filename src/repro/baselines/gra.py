@@ -132,7 +132,7 @@ class GRAPlacer(ReplicaPlacer):
 
     # -- main loop -----------------------------------------------------------
 
-    def place(self, instance: DRPInstance) -> PlacementResult:
+    def _place(self, instance: DRPInstance) -> PlacementResult:
         rng_init, rng_evolve = spawn_children(as_generator(self.seed), 2)
         timer = Timer()
         cache: dict[bytes, float] = {}

@@ -21,8 +21,9 @@ from repro.drp.cost import total_otc
 from repro.drp.global_engine import GlobalBenefitEngine
 from repro.drp.instance import DRPInstance
 from repro.drp.state import ReplicationState
+from repro.obs import tracer as obs
 from repro.result import PlacementResult
-from repro.utils.timing import Timer
+from repro.utils.timing import Timer, perf_counter
 
 
 class GreedyPlacer(ReplicaPlacer):
@@ -41,11 +42,16 @@ class GreedyPlacer(ReplicaPlacer):
             raise ValueError("max_steps must be >= 0")
         self.max_steps = max_steps
 
-    def place(self, instance: DRPInstance) -> PlacementResult:
+    def _place(self, instance: DRPInstance) -> PlacementResult:
         timer = Timer()
+        tracer = obs.current()
+        traced = tracer.enabled
         with timer:
+            t0 = perf_counter() if traced else 0.0
             state = ReplicationState.primaries_only(instance)
             engine = GlobalBenefitEngine(instance, state)
+            if traced:
+                tracer.add("engine_init", perf_counter() - t0)
             steps = 0
             cap = (
                 self.max_steps
@@ -53,12 +59,20 @@ class GreedyPlacer(ReplicaPlacer):
                 else instance.n_servers * instance.n_objects
             )
             while steps < cap:
+                t0 = perf_counter() if traced else 0.0
                 i, k, gain = engine.best_cell()
+                if traced:
+                    tracer.add("select", perf_counter() - t0)
                 if not np.isfinite(gain) or gain <= 0.0:
                     break
+                t0 = perf_counter() if traced else 0.0
                 state.add_replica(i, k)
                 engine.notify_allocation(i, k)
                 steps += 1
+                if traced:
+                    tracer.add("commit", perf_counter() - t0)
+            if traced:
+                tracer.count("steps", steps)
         return PlacementResult(
             algorithm=self.name,
             state=state,

@@ -55,7 +55,7 @@ class OptimalPlacer(ReplicaPlacer):
             raise ValueError("max_nodes must be > 0")
         self.max_nodes = max_nodes
 
-    def place(self, instance: DRPInstance) -> PlacementResult:
+    def _place(self, instance: DRPInstance) -> PlacementResult:
         timer = Timer()
         with timer:
             best_x, best_otc, nodes = self._search(instance)

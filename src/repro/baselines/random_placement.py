@@ -31,7 +31,7 @@ class RandomPlacer(ReplicaPlacer):
         self.fill_fraction = fill_fraction
         self.seed = seed
 
-    def place(self, instance: DRPInstance) -> PlacementResult:
+    def _place(self, instance: DRPInstance) -> PlacementResult:
         rng = as_generator(self.seed)
         timer = Timer()
         with timer:

@@ -7,6 +7,7 @@ run        run one placement algorithm on an instance (file or knobs)
 compare    run several algorithms and print the comparison table
 sweep      capacity or R/W sweep, printed as table + ASCII chart
 axioms     run AGT-RAM with an audit and verify the six axioms
+bench      machine-readable perf harness (BENCH_*.json + regression diff)
 """
 
 from __future__ import annotations
@@ -181,6 +182,63 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the perf harness, or diff two of its JSON documents."""
+    from repro.obs.report import (
+        compare_documents,
+        default_output_name,
+        format_comparison,
+        load_document,
+        run_bench,
+        write_document,
+    )
+
+    if args.compare:
+        old = load_document(args.compare[0])
+        new = load_document(args.compare[1])
+        cmp = compare_documents(
+            old,
+            new,
+            time_tolerance=args.tolerance,
+            quality_tolerance=args.quality_tolerance,
+        )
+        print(format_comparison(cmp))
+        if cmp["regressions"]:
+            if args.fail_on_regression:
+                return 1
+            print("(regressions are warn-only; pass --fail-on-regression to gate)")
+        return 0
+
+    doc = run_bench(
+        scale=args.scale,
+        algorithms=args.algorithms,
+        seed=args.seed,
+        repeats=args.repeats,
+        include_protocol=not args.no_protocol,
+    )
+    rows = [
+        [
+            f"{r['scenario']}/{r['algorithm']}",
+            r["wall_s"] * 1e3,
+            r.get("savings_percent", 0.0),
+            r.get("rounds", 0),
+        ]
+        for r in doc["results"]
+    ]
+    print(
+        render_table(
+            ["scenario", "wall (ms)", "savings (%)", "rounds"],
+            rows,
+            title=f"bench @ {doc['scale']} "
+            f"(M={doc['config']['n_servers']}, N={doc['config']['n_objects']}, "
+            f"best of {doc['repeats']})",
+        )
+    )
+    path = write_document(doc, args.out or default_output_name())
+    print(f"wrote bench document -> {path}")
+    return 0
+
+
 def cmd_axioms(args: argparse.Namespace) -> int:
     instance = _instance_from_args(args)
     result = run_agt_ram(instance, record_audit=True)
@@ -231,6 +289,55 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("axioms", help="verify the six axioms on a run")
     _add_instance_args(p)
     p.set_defaults(func=cmd_axioms)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the perf harness / compare two bench JSON documents",
+    )
+    p.add_argument(
+        "--out", "-o", help="output JSON path (default BENCH_<date>.json)"
+    )
+    p.add_argument(
+        "--scale",
+        choices=["tiny", "small", "medium"],
+        help="instance preset (default: $REPRO_BENCH_SCALE or 'small')",
+    )
+    p.add_argument(
+        "--algorithms", nargs="+", help="placement algorithms to record"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--repeats", type=int, default=3, help="runs per scenario (wall = best)"
+    )
+    p.add_argument(
+        "--no-protocol",
+        action="store_true",
+        help="skip the message-granular simulator scenario",
+    )
+    p.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        help="diff two bench documents instead of running",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="wall-time regression tolerance as a fraction (default 0.15)",
+    )
+    p.add_argument(
+        "--quality-tolerance",
+        type=float,
+        default=1.0,
+        help="OTC-savings regression tolerance in points (default 1.0)",
+    )
+    p.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit 1 when --compare finds regressions (default: warn only)",
+    )
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
         "reproduce", help="regenerate the paper's figures/tables"

@@ -36,8 +36,9 @@ from repro.drp.global_engine import GlobalBenefitEngine
 from repro.drp.instance import DRPInstance
 from repro.drp.state import ReplicationState
 from repro.errors import ConfigurationError
+from repro.obs import tracer as obs
 from repro.result import PlacementResult
-from repro.utils.timing import Timer
+from repro.utils.timing import Timer, perf_counter
 
 
 class AGTRam(Mechanism):
@@ -128,7 +129,7 @@ class AGTRam(Mechanism):
 
     # -- mechanism entry ---------------------------------------------------
 
-    def run(
+    def _run(
         self,
         instance: DRPInstance,
         *,
@@ -143,12 +144,15 @@ class AGTRam(Mechanism):
         """
         pay = PAYMENT_RULES[self.payment_rule]
         timer = Timer()
+        tracer = obs.current()
+        traced = tracer.enabled
         audit = MechanismAudit() if record_audit else None
         m = instance.n_servers
         payments = np.zeros(m)
         utilities = np.zeros(m)
 
         with timer:
+            t0 = perf_counter() if traced else 0.0
             if initial_state is not None:
                 if initial_state.instance is not instance:
                     raise ConfigurationError(
@@ -161,16 +165,26 @@ class AGTRam(Mechanism):
                 engine = BenefitEngine(instance, state)
             else:
                 engine = GlobalBenefitEngine(instance, state)
+            if traced:
+                tracer.add("engine_init", perf_counter() - t0)
 
             rounds = 0
             cap = self.max_rounds if self.max_rounds is not None else m * instance.n_objects
             while rounds < cap:
+                # PARFOR bid sweep (Figure 2 lines 03-09).
+                t0 = perf_counter() if traced else 0.0
                 true_vals, true_objs = engine.best_per_server()
                 reported_vals, reported_objs = self._reports(
                     true_vals, true_objs, engine.matrix
                 )
+                if traced:
+                    tracer.add("round/bid_sweep", perf_counter() - t0)
+                    t0 = perf_counter()
+                # OMAX selection (line 10).
                 winner = int(np.argmax(reported_vals))
                 best = float(reported_vals[winner])
+                if traced:
+                    tracer.add("round/argmax", perf_counter() - t0)
                 if not np.isfinite(best) or best <= 0.0:
                     # Central body's binary decision: (0) do not replicate.
                     if audit is not None:
@@ -187,6 +201,8 @@ class AGTRam(Mechanism):
                     break
 
                 if self.batch_size == 1:
+                    # Payment (lines 11-12, Axiom 5).
+                    t0 = perf_counter() if traced else 0.0
                     obj = int(reported_objs[winner])
                     payment = pay(reported_vals, winner)
                     # The winner's *true* value for the object it was
@@ -195,10 +211,16 @@ class AGTRam(Mechanism):
                     true_value = float(engine.matrix[winner, obj])
                     payments[winner] += payment
                     utilities[winner] += true_value - payment
+                    if traced:
+                        tracer.add("round/payment", perf_counter() - t0)
+                        t0 = perf_counter()
 
+                    # Commit + NN broadcast (lines 13-21).
                     state.add_replica(winner, obj)
                     engine.notify_allocation(winner, obj)
                     rounds += 1
+                    if traced:
+                        tracer.add("round/nn_broadcast", perf_counter() - t0)
 
                     if audit is not None:
                         audit.append(
@@ -216,6 +238,7 @@ class AGTRam(Mechanism):
                 # Batched round: approve the top-B positive reports at a
                 # uniform clearing price (the best rejected report),
                 # which no winner's own bid can influence.
+                t0 = perf_counter() if traced else 0.0
                 order = np.argsort(reported_vals)[::-1]
                 positive = [
                     int(i)
@@ -251,15 +274,23 @@ class AGTRam(Mechanism):
                                 true_value=true_value,
                             )
                         )
+                if traced:
+                    tracer.add("round/payment", perf_counter() - t0)
                 if committed == 0:
                     break
                 # NN updates broadcast once, after the batch commits.
+                t0 = perf_counter() if traced else 0.0
                 for w in batch:
                     obj = int(reported_objs[w])
                     if state.x[w, obj]:
                         engine.refresh_object(obj)
                         engine.refresh_server(w)
                 rounds += 1
+                if traced:
+                    tracer.add("round/nn_broadcast", perf_counter() - t0)
+
+            if traced:
+                tracer.count("rounds", rounds)
 
         extra = {
             "payments": payments,

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import tracer as obs
 from repro.result import PlacementResult
 
 
@@ -81,14 +82,22 @@ class MechanismAudit:
 class Mechanism(ABC):
     """Definition 3: an output function x(·) plus a payment function p(·).
 
-    Concrete mechanisms implement :meth:`run` which plays the game to
+    Concrete mechanisms implement :meth:`_run`, which plays the game to
     completion and returns a :class:`~repro.result.PlacementResult`; when
     ``record_audit`` is set the result's ``extra["audit"]`` carries the
-    :class:`MechanismAudit` transcript.
+    :class:`MechanismAudit` transcript.  The public :meth:`run` wraps the
+    execution in an observability span (``mechanism/<name>``) so every
+    mechanism is traced uniformly when a tracer is active (see
+    :mod:`repro.obs`) at no cost otherwise.
     """
 
     name: str = "mechanism"
 
-    @abstractmethod
-    def run(self, instance, *, record_audit: bool = False) -> PlacementResult:
+    def run(self, instance, *, record_audit: bool = False, **kwargs) -> PlacementResult:
         """Execute the mechanism on a DRP instance."""
+        with obs.current().span(f"mechanism/{self.name}"):
+            return self._run(instance, record_audit=record_audit, **kwargs)
+
+    @abstractmethod
+    def _run(self, instance, *, record_audit: bool = False) -> PlacementResult:
+        """Mechanism-specific execution; implemented by subclasses."""

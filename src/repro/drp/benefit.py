@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.drp.instance import DRPInstance
 from repro.drp.state import ReplicationState
+from repro.obs import tracer as obs
 
 #: Sentinel benefit for ineligible (server, object) cells — already a
 #: replicator, primary host, or insufficient residual capacity.
@@ -54,15 +55,16 @@ class BenefitEngine:
     def __init__(self, instance: DRPInstance, state: ReplicationState):
         if state.instance is not instance:
             raise ValueError("state does not belong to instance")
-        self.instance = instance
-        self.state = state
-        o = instance.sizes.astype(np.float64)
-        cp = instance.primary_cost_rows()  # (N, M); cp[k, i] = c(P_k, i)
-        w_total = instance.total_write_counts().astype(np.float64)
-        self.wterm = (cp.T * o) * (w_total - instance.writes)  # (M, N)
-        self.rstat = instance.reads.astype(np.float64) * o  # (M, N)
-        self._benefit = np.full((instance.n_servers, instance.n_objects), NEG_INF)
-        self._refresh_all()
+        with obs.current().span("benefit_engine/init"):
+            self.instance = instance
+            self.state = state
+            o = instance.sizes.astype(np.float64)
+            cp = instance.primary_cost_rows()  # (N, M); cp[k, i] = c(P_k, i)
+            w_total = instance.total_write_counts().astype(np.float64)
+            self.wterm = (cp.T * o) * (w_total - instance.writes)  # (M, N)
+            self.rstat = instance.reads.astype(np.float64) * o  # (M, N)
+            self._benefit = np.full((instance.n_servers, instance.n_objects), NEG_INF)
+            self._refresh_all()
 
     # -- eligibility ------------------------------------------------------
 
@@ -93,6 +95,9 @@ class BenefitEngine:
         """Incremental update after ``state.add_replica(server, k)``."""
         self.refresh_object(k)
         self.refresh_server(server)
+        tracer = obs.current()
+        if tracer.enabled:
+            tracer.count("benefit_engine/incremental_updates")
 
     def resync(self) -> None:
         """Recompute the whole matrix from the live state.
@@ -101,6 +106,9 @@ class BenefitEngine:
         between periodic broadcasts.
         """
         self._refresh_all()
+        tracer = obs.current()
+        if tracer.enabled:
+            tracer.count("benefit_engine/resyncs")
 
     # -- views -------------------------------------------------------------
 

@@ -20,6 +20,7 @@ import numpy as np
 from repro.drp.benefit import NEG_INF, global_benefit_column
 from repro.drp.instance import DRPInstance
 from repro.drp.state import ReplicationState
+from repro.obs import tracer as obs
 
 
 class GlobalBenefitEngine:
@@ -28,12 +29,13 @@ class GlobalBenefitEngine:
     def __init__(self, instance: DRPInstance, state: ReplicationState):
         if state.instance is not instance:
             raise ValueError("state does not belong to instance")
-        self.instance = instance
-        self.state = state
-        m, n = instance.n_servers, instance.n_objects
-        self._benefit = np.empty((m, n), dtype=np.float64)
-        for k in range(n):
-            self._benefit[:, k] = global_benefit_column(instance, state, k)
+        with obs.current().span("global_engine/init"):
+            self.instance = instance
+            self.state = state
+            m, n = instance.n_servers, instance.n_objects
+            self._benefit = np.empty((m, n), dtype=np.float64)
+            for k in range(n):
+                self._benefit[:, k] = global_benefit_column(instance, state, k)
 
     @property
     def matrix(self) -> np.ndarray:
@@ -55,6 +57,9 @@ class GlobalBenefitEngine:
     def notify_allocation(self, server: int, k: int) -> None:
         self.refresh_object(k)
         self.refresh_server(server)
+        tracer = obs.current()
+        if tracer.enabled:
+            tracer.count("global_engine/incremental_updates")
 
     def best_cell(self) -> tuple[int, int, float]:
         """Global argmax: (server, object, benefit)."""

@@ -1,0 +1,33 @@
+"""repro.obs — lightweight observability: tracing, counters, bench harness.
+
+Two halves:
+
+* :mod:`repro.obs.tracer` — hierarchical timer spans and counters with a
+  near-zero-overhead disabled mode.  The whole library is instrumented
+  permanently; tracing only costs something once a tracer is installed
+  (:func:`capture` / :func:`install`).
+* :mod:`repro.obs.report` — the machine-readable perf harness behind
+  ``python -m repro bench``: runs the benchmark scenarios with tracing
+  on, emits a schema-versioned ``BENCH_<date>.json``, and diffs two such
+  documents for regressions.
+
+See ``docs/observability.md`` for the span taxonomy and JSON schema.
+"""
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    SpanStat,
+    Tracer,
+    capture,
+    current,
+    install,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "SpanStat",
+    "Tracer",
+    "capture",
+    "current",
+    "install",
+]

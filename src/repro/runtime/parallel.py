@@ -21,6 +21,7 @@ from typing import Optional, Sequence
 
 from repro.core.agents import Bid, ReplicaAgent
 from repro.drp.benefit import BenefitEngine
+from repro.obs import tracer as obs
 
 
 class ParallelBidEvaluator:
@@ -40,19 +41,33 @@ class ParallelBidEvaluator:
         self._pool = (
             ThreadPoolExecutor(max_workers=max_workers) if max_workers else None
         )
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` (or the context manager exit) has run."""
+        return self._closed
 
     def evaluate(
         self, agents: Sequence[ReplicaAgent], engine: BenefitEngine
     ) -> list[Bid | None]:
         """One PARFOR sweep: each agent's dominant bid (None = abstains)."""
+        if self._closed:
+            raise RuntimeError("ParallelBidEvaluator is closed")
+        tracer = obs.current()
+        if tracer.enabled:
+            tracer.count("parallel/sweeps")
+            tracer.count("parallel/bids_evaluated", len(agents))
         if self._pool is None:
             return [agent.make_bid(engine) for agent in agents]
         return list(self._pool.map(lambda a: a.make_bid(engine), agents))
 
     def close(self) -> None:
+        """Shut the pool down; idempotent.  Evaluation afterwards raises."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        self._closed = True
 
     def __enter__(self) -> "ParallelBidEvaluator":
         return self

@@ -30,9 +30,10 @@ from repro.runtime.messages import (
     NNUpdateMessage,
     PaymentMessage,
 )
+from repro.obs import tracer as obs
 from repro.runtime.metrics import RuntimeMetrics
 from repro.runtime.parallel import ParallelBidEvaluator
-from repro.utils.timing import Timer
+from repro.utils.timing import Timer, perf_counter
 
 #: The central body's address in the message log.
 CENTRAL = -1
@@ -96,7 +97,13 @@ class SemiDistributedSimulator:
         self.central_failure_round = central_failure_round
 
     def run(self, instance: DRPInstance) -> PlacementResult:
+        with obs.current().span("simulator/run"):
+            return self._run(instance)
+
+    def _run(self, instance: DRPInstance) -> PlacementResult:
         timer = Timer()
+        tracer = obs.current()
+        traced = tracer.enabled
         metrics = RuntimeMetrics(log=MessageLog(keep_messages=self.keep_messages))
         m = instance.n_servers
 
@@ -137,9 +144,13 @@ class SemiDistributedSimulator:
                                 )
                     acting_central = new_central
                     handover_round = metrics.rounds
+                # PARFOR bid sweep (Figure 2 lines 03-09).
+                t0 = perf_counter() if traced else 0.0
                 ordered = sorted(active)
                 live_agents = [agents[i] for i in ordered]
                 bids = evaluator.evaluate(live_agents, engine)
+                if traced:
+                    tracer.add("round/bid_sweep", perf_counter() - t0)
 
                 # Per-agent work this round = |L_i| object evaluations.
                 eligible_counts = np.isfinite(engine.matrix[ordered]).sum(axis=1)
@@ -157,12 +168,16 @@ class SemiDistributedSimulator:
                     metrics.log.record(msg)
                     bid_msgs.append(msg)
 
+                t0 = perf_counter() if traced else 0.0
                 outcome = self.central.decide(bid_msgs, m)
+                if traced:
+                    tracer.add("round/decision", perf_counter() - t0)
                 if outcome.decision is Decision.DO_NOT_REPLICATE:
                     break
                 metrics.rounds += 1
 
                 # OMAX broadcast (line 13) + payment (line 14).
+                t0 = perf_counter() if traced else 0.0
                 for agent_id in sorted(active):
                     metrics.log.record(
                         AllocateMessage(
@@ -180,6 +195,9 @@ class SemiDistributedSimulator:
 
                 true_value = float(engine.matrix[outcome.winner, outcome.obj])
                 agents[outcome.winner].award(outcome.obj, outcome.payment, true_value)
+                if traced:
+                    tracer.add("round/broadcast", perf_counter() - t0)
+                    t0 = perf_counter()
 
                 state.add_replica(outcome.winner, outcome.obj)
                 if self.nn_update_period == 1:
@@ -214,6 +232,13 @@ class SemiDistributedSimulator:
                                     obj=outcome.obj,
                                 )
                             )
+                if traced:
+                    tracer.add("round/nn_update", perf_counter() - t0)
+
+            if traced:
+                tracer.count("rounds", metrics.rounds)
+                tracer.count("messages", metrics.log.total_messages())
+                tracer.count("bytes", metrics.log.bytes_total)
 
         payments = np.array([a.payments_received for a in agents])
         utilities = np.array([a.utility for a in agents])

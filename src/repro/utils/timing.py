@@ -10,6 +10,10 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+#: Monotonic high-resolution clock used across the library (one shared
+#: alias keeps instrumented hot loops free of module-attribute lookups).
+perf_counter = time.perf_counter
+
 
 @dataclass
 class Timer:

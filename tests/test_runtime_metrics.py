@@ -1,0 +1,74 @@
+"""Edge-case tests for RuntimeMetrics.record_round_work and its derived
+properties — previously untested in isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.metrics import RuntimeMetrics
+
+
+class TestRecordRoundWork:
+    def test_normal_round(self):
+        metrics = RuntimeMetrics()
+        metrics.record_round_work([3, 7, 5])
+        assert metrics.parallel_round_work == [7]
+        assert metrics.serial_round_work == [15]
+
+    def test_empty_round_records_zero(self):
+        # A round where no agent evaluated anything still occupies a slot
+        # in the per-round series (keeps rounds aligned across lists).
+        metrics = RuntimeMetrics()
+        metrics.record_round_work([])
+        assert metrics.parallel_round_work == [0]
+        assert metrics.serial_round_work == [0]
+
+    def test_single_agent_round(self):
+        metrics = RuntimeMetrics()
+        metrics.record_round_work([4])
+        assert metrics.parallel_round_work == [4]
+        assert metrics.serial_round_work == [4]
+
+    def test_zero_work_agents(self):
+        metrics = RuntimeMetrics()
+        metrics.record_round_work([0, 0, 0])
+        assert metrics.parallel_round_work == [0]
+        assert metrics.serial_round_work == [0]
+
+    def test_accumulates_across_rounds(self):
+        metrics = RuntimeMetrics()
+        metrics.record_round_work([2, 4])
+        metrics.record_round_work([6])
+        metrics.record_round_work([])
+        assert metrics.parallel_round_work == [4, 6, 0]
+        assert metrics.serial_round_work == [6, 6, 0]
+        assert metrics.critical_path_work == 10
+        assert metrics.total_work == 12
+
+
+class TestDerivedProperties:
+    def test_speedup_is_one_when_no_work(self):
+        metrics = RuntimeMetrics()
+        assert metrics.parallel_speedup == 1.0
+        metrics.record_round_work([])
+        assert metrics.parallel_speedup == 1.0
+
+    def test_speedup_ratio(self):
+        metrics = RuntimeMetrics()
+        metrics.record_round_work([5, 5, 5, 5])  # serial 20, critical 5
+        assert metrics.parallel_speedup == pytest.approx(4.0)
+
+    def test_summary_keys_and_values(self):
+        metrics = RuntimeMetrics()
+        metrics.rounds = 2
+        metrics.record_round_work([1, 3])
+        metrics.record_round_work([2])
+        summary = metrics.summary()
+        assert summary == {
+            "rounds": 2,
+            "messages": 0,
+            "bytes": 0,
+            "total_work": 6,
+            "critical_path_work": 5,
+            "parallel_speedup": pytest.approx(1.2),
+        }

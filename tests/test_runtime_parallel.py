@@ -1,0 +1,93 @@
+"""Dedicated tests for ParallelBidEvaluator (serial/pooled equivalence,
+validation, lifecycle) — previously covered only indirectly through the
+simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.agents import ReplicaAgent
+from repro.drp.benefit import BenefitEngine
+from repro.drp.state import ReplicationState
+from repro.obs import capture
+from repro.runtime.parallel import ParallelBidEvaluator
+from repro.runtime.simulator import SemiDistributedSimulator
+
+
+@pytest.fixture()
+def agents_and_engine(tiny_instance):
+    state = ReplicationState.primaries_only(tiny_instance)
+    engine = BenefitEngine(tiny_instance, state)
+    agents = [ReplicaAgent(server=i) for i in range(tiny_instance.n_servers)]
+    return agents, engine
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_rejects_non_positive_workers(self, bad):
+        with pytest.raises(ValueError, match="max_workers"):
+            ParallelBidEvaluator(max_workers=bad)
+
+    def test_none_means_serial(self):
+        evaluator = ParallelBidEvaluator(max_workers=None)
+        assert evaluator.max_workers is None
+        assert evaluator._pool is None
+        evaluator.close()
+
+
+class TestEquivalence:
+    def test_serial_vs_pooled_bids_identical(self, agents_and_engine):
+        agents, engine = agents_and_engine
+        with ParallelBidEvaluator(None) as serial, ParallelBidEvaluator(4) as pooled:
+            serial_bids = serial.evaluate(agents, engine)
+            pooled_bids = pooled.evaluate(agents, engine)
+        assert len(serial_bids) == len(pooled_bids)
+        for s, p in zip(serial_bids, pooled_bids):
+            if s is None:
+                assert p is None
+            else:
+                assert (s.agent, s.obj) == (p.agent, p.obj)
+                assert s.value == pytest.approx(p.value)
+
+    def test_simulator_scheme_independent_of_workers(self, tiny_instance):
+        serial = SemiDistributedSimulator(max_workers=None).run(tiny_instance)
+        pooled = SemiDistributedSimulator(max_workers=4).run(tiny_instance)
+        assert (serial.state.x == pooled.state.x).all()
+        assert serial.otc == pytest.approx(pooled.otc)
+
+    def test_empty_agent_list(self):
+        with ParallelBidEvaluator(2) as evaluator:
+            assert evaluator.evaluate([], None) == []
+
+
+class TestLifecycle:
+    def test_context_manager_closes_pool(self):
+        with ParallelBidEvaluator(2) as evaluator:
+            assert evaluator._pool is not None
+            assert not evaluator.closed
+        assert evaluator.closed
+        assert evaluator._pool is None
+
+    def test_evaluate_after_close_raises(self, agents_and_engine):
+        agents, engine = agents_and_engine
+        evaluator = ParallelBidEvaluator(2)
+        evaluator.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            evaluator.evaluate(agents, engine)
+
+    def test_close_is_idempotent(self):
+        evaluator = ParallelBidEvaluator(2)
+        evaluator.close()
+        evaluator.close()
+        assert evaluator.closed
+
+
+class TestObservability:
+    def test_counts_sweeps_and_bids(self, agents_and_engine):
+        agents, engine = agents_and_engine
+        with capture() as tracer:
+            with ParallelBidEvaluator(None) as evaluator:
+                evaluator.evaluate(agents, engine)
+                evaluator.evaluate(agents, engine)
+        assert tracer.counters["parallel/sweeps"] == 2
+        assert tracer.counters["parallel/bids_evaluated"] == 2 * len(agents)
