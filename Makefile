@@ -10,7 +10,7 @@ BENCH_GATE ?= 0
 BENCH_BASELINE ?= benchmarks/baseline_tiny.json
 
 .PHONY: install test test-fast test-slow bench bench-json bench-compare \
-        lint reproduce examples clean
+        trace audit lint reproduce examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -34,6 +34,17 @@ bench-compare:
 	python -m repro bench --compare $(BENCH_BASELINE) bench.json \
 		$(if $(filter 1,$(BENCH_GATE)),--fail-on-regression,)
 
+# bench-json plus the full observability exports: JSONL event log,
+# Perfetto-loadable Chrome trace, OpenMetrics textfile.
+trace:
+	REPRO_BENCH_SCALE=$(BENCH_SCALE) python -m repro bench --out bench.json \
+		--events events.jsonl --chrome-trace trace.json \
+		--metrics-out metrics.prom
+
+# Offline axiom verification of the recorded event log.
+audit:
+	python -m repro audit events.jsonl
+
 lint:
 	ruff check src/repro/obs
 	ruff format --check src/repro/obs
@@ -47,5 +58,5 @@ examples:
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .ruff_cache \
-		.mypy_cache bench.json
+		.mypy_cache bench.json events.jsonl trace.json metrics.prom
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -11,6 +11,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Callable
 
+from repro.obs import events as ev
 from repro.obs import tracer as obs
 from repro.drp.instance import DRPInstance
 from repro.errors import ConfigurationError
@@ -30,8 +31,21 @@ class ReplicaPlacer(ABC):
 
     def place(self, instance: DRPInstance) -> PlacementResult:
         """Compute a feasible replication scheme for ``instance``."""
+        sink = ev.current()
+        if sink.enabled:
+            sink.emit(ev.RunStart(t=ev.now(), algorithm=self.name))
         with obs.current().span(f"baseline/{self.name}"):
-            return self._place(instance)
+            result = self._place(instance)
+        if sink.enabled:
+            sink.emit(
+                ev.RunEnd(
+                    t=ev.now(),
+                    algorithm=result.algorithm,
+                    otc=result.otc,
+                    rounds=result.rounds,
+                )
+            )
+        return result
 
     @abstractmethod
     def _place(self, instance: DRPInstance) -> PlacementResult:

@@ -8,6 +8,11 @@ compare    run several algorithms and print the comparison table
 sweep      capacity or R/W sweep, printed as table + ASCII chart
 axioms     run AGT-RAM with an audit and verify the six axioms
 bench      machine-readable perf harness (BENCH_*.json + regression diff)
+audit      offline axiom verification of a recorded JSONL event log
+
+``run`` and ``bench`` accept ``--events`` (JSONL event log),
+``--chrome-trace`` (Perfetto-loadable trace) and ``--metrics-out``
+(OpenMetrics textfile) to export the observability stream.
 """
 
 from __future__ import annotations
@@ -84,14 +89,71 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_export_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--events", help="write the JSONL event log to this path"
+    )
+    p.add_argument(
+        "--chrome-trace",
+        dest="chrome_trace",
+        help="write a Chrome trace-event JSON (Perfetto) to this path",
+    )
+    p.add_argument(
+        "--metrics-out",
+        dest="metrics_out",
+        help="write an OpenMetrics/Prometheus textfile snapshot to this path",
+    )
+
+
+def _wants_events(args: argparse.Namespace) -> bool:
+    return bool(args.events or args.chrome_trace)
+
+
+def _write_event_exports(args: argparse.Namespace, sink) -> None:
+    """Write the requested --events/--chrome-trace files from a sink."""
+    from repro.obs.export import write_chrome_trace, write_events_jsonl
+
+    if args.events:
+        path = write_events_jsonl(sink.events, args.events)
+        print(f"wrote event log -> {path} ({len(sink.events)} events)")
+    if args.chrome_trace:
+        path = write_chrome_trace(sink.events, args.chrome_trace)
+        print(f"wrote Chrome trace -> {path}")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    from contextlib import ExitStack
+
+    from repro.obs import events as obs_events
+    from repro.obs import tracer as obs_tracer
+
     instance = _instance_from_args(args)
-    results = run_algorithms(instance, [args.algorithm], seed=args.seed)
+    sink = obs_events.RecordingSink()
+    with ExitStack() as stack:
+        if _wants_events(args):
+            stack.enter_context(obs_events.capture(sink))
+        tracer = (
+            stack.enter_context(obs_tracer.capture())
+            if args.metrics_out
+            else None
+        )
+        results = run_algorithms(instance, [args.algorithm], seed=args.seed)
     res = results[args.algorithm]
     print(
         f"{res.algorithm}: OTC {res.otc:,.0f}  savings {res.savings_percent:.2f}%  "
         f"replicas {res.replicas_allocated}  runtime {res.runtime_s * 1e3:.1f} ms"
     )
+    _write_event_exports(args, sink)
+    if args.metrics_out and tracer is not None:
+        from pathlib import Path
+
+        from repro.obs.export import openmetrics_from_snapshot
+
+        text = openmetrics_from_snapshot(
+            tracer.snapshot(), labels={"algorithm": args.algorithm}
+        )
+        Path(args.metrics_out).write_text(text)
+        print(f"wrote OpenMetrics snapshot -> {args.metrics_out}")
     if args.output:
         path = save_result(res, args.output)
         print(f"wrote result -> {path}")
@@ -209,12 +271,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
             print("(regressions are warn-only; pass --fail-on-regression to gate)")
         return 0
 
+    from repro.obs import events as obs_events
+
+    sink = obs_events.RecordingSink()
     doc = run_bench(
         scale=args.scale,
         algorithms=args.algorithms,
         seed=args.seed,
         repeats=args.repeats,
         include_protocol=not args.no_protocol,
+        event_sink=sink,
     )
     rows = [
         [
@@ -236,7 +302,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
     path = write_document(doc, args.out or default_output_name())
     print(f"wrote bench document -> {path}")
+    _write_event_exports(args, sink)
+    if args.metrics_out:
+        from pathlib import Path
+
+        from repro.obs.export import openmetrics_from_bench
+
+        Path(args.metrics_out).write_text(openmetrics_from_bench(doc))
+        print(f"wrote OpenMetrics snapshot -> {args.metrics_out}")
     return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    """Offline verification of a recorded event log (Axioms 4/5)."""
+    from repro.obs.audit import audit_file
+
+    report = audit_file(args.log)
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def cmd_axioms(args: argparse.Namespace) -> int:
@@ -270,6 +353,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(PAPER_ALGORITHMS) + ["Random"],
     )
     p.add_argument("--output", "-o", help="save scheme + summary")
+    _add_export_args(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("compare", help="run several algorithms")
@@ -337,7 +421,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit 1 when --compare finds regressions (default: warn only)",
     )
+    _add_export_args(p)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "audit",
+        help="verify a recorded event log offline (winner/payment/capacity)",
+    )
+    p.add_argument("log", help="JSONL event log written by --events")
+    p.set_defaults(func=cmd_audit)
 
     p = sub.add_parser(
         "reproduce", help="regenerate the paper's figures/tables"

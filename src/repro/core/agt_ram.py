@@ -36,6 +36,7 @@ from repro.drp.global_engine import GlobalBenefitEngine
 from repro.drp.instance import DRPInstance
 from repro.drp.state import ReplicationState
 from repro.errors import ConfigurationError
+from repro.obs import events as ev
 from repro.obs import tracer as obs
 from repro.result import PlacementResult
 from repro.utils.timing import Timer, perf_counter
@@ -146,6 +147,9 @@ class AGTRam(Mechanism):
         timer = Timer()
         tracer = obs.current()
         traced = tracer.enabled
+        sink = ev.current()
+        eventing = sink.enabled
+        series = ev.RoundSeries() if eventing else None
         audit = MechanismAudit() if record_audit else None
         m = instance.n_servers
         payments = np.zeros(m)
@@ -169,8 +173,12 @@ class AGTRam(Mechanism):
                 tracer.add("engine_init", perf_counter() - t0)
 
             rounds = 0
+            round_idx = 0  # event-stream round label (includes the closing round)
             cap = self.max_rounds if self.max_rounds is not None else m * instance.n_objects
             while rounds < cap:
+                round_idx = rounds
+                if eventing:
+                    sink.emit(ev.RoundStart(t=ev.now(), round=round_idx))
                 # PARFOR bid sweep (Figure 2 lines 03-09).
                 t0 = perf_counter() if traced else 0.0
                 true_vals, true_objs = engine.best_per_server()
@@ -179,7 +187,18 @@ class AGTRam(Mechanism):
                 )
                 if traced:
                     tracer.add("round/bid_sweep", perf_counter() - t0)
-                    t0 = perf_counter()
+                if eventing:
+                    for agent in np.nonzero(np.isfinite(reported_vals))[0]:
+                        sink.emit(
+                            ev.BidEvent(
+                                t=ev.now(),
+                                round=round_idx,
+                                agent=int(agent),
+                                obj=int(reported_objs[agent]),
+                                value=float(reported_vals[agent]),
+                            )
+                        )
+                t0 = perf_counter() if traced else 0.0
                 # OMAX selection (line 10).
                 winner = int(np.argmax(reported_vals))
                 best = float(reported_vals[winner])
@@ -187,6 +206,15 @@ class AGTRam(Mechanism):
                     tracer.add("round/argmax", perf_counter() - t0)
                 if not np.isfinite(best) or best <= 0.0:
                     # Central body's binary decision: (0) do not replicate.
+                    if eventing:
+                        sink.emit(
+                            ev.RoundEnd(
+                                t=ev.now(),
+                                round=round_idx,
+                                committed=0,
+                                otc=total_otc(state),
+                            )
+                        )
                     if audit is not None:
                         audit.append(
                             RoundRecord(
@@ -213,7 +241,28 @@ class AGTRam(Mechanism):
                     utilities[winner] += true_value - payment
                     if traced:
                         tracer.add("round/payment", perf_counter() - t0)
-                        t0 = perf_counter()
+                    if eventing:
+                        sink.emit(
+                            ev.WinnerEvent(
+                                t=ev.now(),
+                                round=round_idx,
+                                agent=winner,
+                                obj=obj,
+                                value=best,
+                                obj_size=int(instance.sizes[obj]),
+                                residual_before=int(state.residual[winner]),
+                            )
+                        )
+                        sink.emit(
+                            ev.PaymentEvent(
+                                t=ev.now(),
+                                round=round_idx,
+                                agent=winner,
+                                amount=payment,
+                                rule=self.payment_rule,
+                            )
+                        )
+                    t0 = perf_counter() if traced else 0.0
 
                     # Commit + NN broadcast (lines 13-21).
                     state.add_replica(winner, obj)
@@ -221,6 +270,27 @@ class AGTRam(Mechanism):
                     rounds += 1
                     if traced:
                         tracer.add("round/nn_broadcast", perf_counter() - t0)
+                    if eventing:
+                        sink.emit(
+                            ev.NNUpdateEvent(
+                                t=ev.now(), round=round_idx, obj=obj, agents=m
+                            )
+                        )
+                        assert series is not None
+                        series.append(
+                            otc=total_otc(state),
+                            best_bid=best,
+                            payment=payment,
+                            n_bids=int(np.isfinite(reported_vals).sum()),
+                        )
+                        sink.emit(
+                            ev.RoundEnd(
+                                t=ev.now(),
+                                round=round_idx,
+                                committed=1,
+                                otc=series.otc[-1],
+                            )
+                        )
 
                     if audit is not None:
                         audit.append(
@@ -257,8 +327,43 @@ class AGTRam(Mechanism):
                         # A stale bid (another batch member changed
                         # nothing for capacity, but warm starts might);
                         # skip rather than fault.
+                        if eventing:
+                            sink.emit(
+                                ev.CapacityReject(
+                                    t=ev.now(),
+                                    round=round_idx,
+                                    agent=w,
+                                    obj=obj,
+                                    obj_size=int(instance.sizes[obj]),
+                                    residual=int(state.residual[w]),
+                                    reason=(
+                                        "duplicate" if state.x[w, obj] else "capacity"
+                                    ),
+                                )
+                            )
                         continue
                     true_value = float(engine.matrix[w, obj])
+                    if eventing:
+                        sink.emit(
+                            ev.WinnerEvent(
+                                t=ev.now(),
+                                round=round_idx,
+                                agent=w,
+                                obj=obj,
+                                value=float(reported_vals[w]),
+                                obj_size=int(instance.sizes[obj]),
+                                residual_before=int(state.residual[w]),
+                            )
+                        )
+                        sink.emit(
+                            ev.PaymentEvent(
+                                t=ev.now(),
+                                round=round_idx,
+                                agent=w,
+                                amount=clearing,
+                                rule="uniform",
+                            )
+                        )
                     state.add_replica(w, obj)
                     payments[w] += clearing
                     utilities[w] += true_value - clearing
@@ -277,6 +382,15 @@ class AGTRam(Mechanism):
                 if traced:
                     tracer.add("round/payment", perf_counter() - t0)
                 if committed == 0:
+                    if eventing:
+                        sink.emit(
+                            ev.RoundEnd(
+                                t=ev.now(),
+                                round=round_idx,
+                                committed=0,
+                                otc=total_otc(state),
+                            )
+                        )
                     break
                 # NN updates broadcast once, after the batch commits.
                 t0 = perf_counter() if traced else 0.0
@@ -288,6 +402,27 @@ class AGTRam(Mechanism):
                 rounds += 1
                 if traced:
                     tracer.add("round/nn_broadcast", perf_counter() - t0)
+                if eventing:
+                    sink.emit(
+                        ev.NNUpdateEvent(
+                            t=ev.now(), round=round_idx, obj=-1, agents=m
+                        )
+                    )
+                    assert series is not None
+                    series.append(
+                        otc=total_otc(state),
+                        best_bid=best,
+                        payment=clearing,
+                        n_bids=int(np.isfinite(reported_vals).sum()),
+                    )
+                    sink.emit(
+                        ev.RoundEnd(
+                            t=ev.now(),
+                            round=round_idx,
+                            committed=committed,
+                            otc=series.otc[-1],
+                        )
+                    )
 
             if traced:
                 tracer.count("rounds", rounds)
@@ -300,6 +435,8 @@ class AGTRam(Mechanism):
         }
         if audit is not None:
             extra["audit"] = audit
+        if series is not None:
+            extra["round_series"] = series
         return PlacementResult(
             algorithm=self.name if self.valuation == "local" else "AGT-RAM(global)",
             state=state,

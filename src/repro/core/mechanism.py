@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import events as ev
 from repro.obs import tracer as obs
 from repro.result import PlacementResult
 
@@ -95,8 +96,21 @@ class Mechanism(ABC):
 
     def run(self, instance, *, record_audit: bool = False, **kwargs) -> PlacementResult:
         """Execute the mechanism on a DRP instance."""
+        sink = ev.current()
+        if sink.enabled:
+            sink.emit(ev.RunStart(t=ev.now(), algorithm=self.name))
         with obs.current().span(f"mechanism/{self.name}"):
-            return self._run(instance, record_audit=record_audit, **kwargs)
+            result = self._run(instance, record_audit=record_audit, **kwargs)
+        if sink.enabled:
+            sink.emit(
+                ev.RunEnd(
+                    t=ev.now(),
+                    algorithm=result.algorithm,
+                    otc=result.otc,
+                    rounds=result.rounds,
+                )
+            )
+        return result
 
     @abstractmethod
     def _run(self, instance, *, record_audit: bool = False) -> PlacementResult:

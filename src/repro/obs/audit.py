@@ -1,0 +1,344 @@
+"""Offline mechanism audit: re-verify the paper's axioms from a log.
+
+Tanaka et al. (PAPERS.md) make the point that *faithfulness* of a
+mechanism implementation is itself an auditable property.  This module
+turns AGT-RAM's axioms into exactly that: given nothing but a recorded
+JSONL event log (:mod:`repro.obs.export`), it re-checks, round by round,
+that
+
+* the winner was the **argmax** of the round's bids (Figure 2 line 10),
+* the payment was the **exact second price** — the best report excluding
+  the winner's own, clamped at the zero reserve (Axiom 5); batched
+  rounds are checked against the uniform clearing price (the best
+  rejected report) instead,
+* **capacity** was never violated: each allocated object fit the
+  winner's recorded residual, residuals shrink consistently across
+  rounds, and every capacity rejection was justified.
+
+Any discrepancy — a corrupted log, a buggy reimplementation, a
+non-truthful payment rule — surfaces as a :class:`AuditViolation`.
+``python -m repro audit run.jsonl`` is the CLI wrapper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.obs.events import (
+    BidEvent,
+    CapacityReject,
+    Event,
+    NNUpdateEvent,
+    PaymentEvent,
+    RoundEnd,
+    RoundStart,
+    RunEnd,
+    RunStart,
+    WinnerEvent,
+)
+
+__all__ = ["AuditViolation", "AuditReport", "audit_events", "audit_file"]
+
+#: Relative tolerance for payment/bid float comparisons.
+REL_TOL = 1e-9
+#: Absolute tolerance floor for values near zero.
+ABS_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class AuditViolation:
+    """One broken invariant, anchored to a run and round."""
+
+    run: str
+    round: int
+    kind: str  # "winner" | "payment" | "capacity" | "structure"
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.run} round {self.round}: {self.detail}"
+
+
+@dataclass
+class AuditReport:
+    """Outcome of auditing one event log."""
+
+    runs_audited: int = 0
+    rounds_audited: int = 0
+    bids_seen: int = 0
+    payments_verified: int = 0
+    violations: list[AuditViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        lines = [
+            f"runs audited       {self.runs_audited}",
+            f"rounds audited     {self.rounds_audited}",
+            f"bids seen          {self.bids_seen}",
+            f"payments verified  {self.payments_verified}",
+        ]
+        if self.ok:
+            lines.append(
+                "PASS  every round paid the true second price, picked the "
+                "argmax bid, and respected capacity"
+            )
+        else:
+            lines.append(f"FAIL  {len(self.violations)} violation(s):")
+            lines.extend(f"  {v}" for v in self.violations)
+        return "\n".join(lines)
+
+
+def _close(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=REL_TOL, abs_tol=ABS_TOL)
+
+
+@dataclass
+class _Round:
+    """Accumulated state of one in-flight round."""
+
+    index: int
+    bids: dict[int, BidEvent] = field(default_factory=dict)
+    winners: list[WinnerEvent] = field(default_factory=list)
+    payments: list[PaymentEvent] = field(default_factory=list)
+    rejects: list[CapacityReject] = field(default_factory=list)
+
+
+class _Auditor:
+    """Streaming verifier; feed events in order, read the report after."""
+
+    def __init__(self) -> None:
+        self.report = AuditReport()
+        self._run_stack: list[str] = []
+        self._round: Optional[_Round] = None
+        #: Per-run, per-agent expected residual capacity after the last
+        #: commit (cross-round consistency check).
+        self._residuals: dict[int, float] = {}
+
+    # -- helpers -----------------------------------------------------------
+
+    @property
+    def _run_label(self) -> str:
+        return self._run_stack[-1] if self._run_stack else "<no run>"
+
+    def _flag(self, round_index: int, kind: str, detail: str) -> None:
+        self.report.violations.append(
+            AuditViolation(
+                run=self._run_label, round=round_index, kind=kind, detail=detail
+            )
+        )
+
+    # -- event dispatch ----------------------------------------------------
+
+    def feed(self, event: Event) -> None:
+        if isinstance(event, RunStart):
+            self._run_stack.append(event.algorithm)
+            self._residuals = {}
+            self.report.runs_audited += 1
+        elif isinstance(event, RunEnd):
+            if self._run_stack:
+                self._run_stack.pop()
+            self._residuals = {}
+        elif isinstance(event, RoundStart):
+            if self._round is not None:
+                self._flag(
+                    self._round.index,
+                    "structure",
+                    f"round {event.round} started before round "
+                    f"{self._round.index} ended",
+                )
+            self._round = _Round(index=event.round)
+        elif isinstance(event, BidEvent):
+            if self._round is None:
+                self._flag(event.round, "structure", "bid outside any round")
+                return
+            if event.agent in self._round.bids:
+                self._flag(
+                    event.round,
+                    "structure",
+                    f"agent {event.agent} bid twice in one round",
+                )
+                return
+            self._round.bids[event.agent] = event
+            self.report.bids_seen += 1
+        elif isinstance(event, WinnerEvent):
+            if self._round is None:
+                self._flag(event.round, "structure", "winner outside any round")
+                return
+            self._round.winners.append(event)
+        elif isinstance(event, PaymentEvent):
+            if self._round is None:
+                self._flag(event.round, "structure", "payment outside any round")
+                return
+            self._round.payments.append(event)
+        elif isinstance(event, CapacityReject):
+            if self._round is not None:
+                self._round.rejects.append(event)
+        elif isinstance(event, NNUpdateEvent):
+            pass
+        elif isinstance(event, RoundEnd):
+            if self._round is None:
+                self._flag(event.round, "structure", "round_end without start")
+                return
+            self._verify_round(self._round, event)
+            self._round = None
+            self.report.rounds_audited += 1
+
+    # -- the three axioms --------------------------------------------------
+
+    def _verify_round(self, rnd: _Round, end: RoundEnd) -> None:
+        if end.committed != len(rnd.winners):
+            self._flag(
+                rnd.index,
+                "structure",
+                f"round committed {end.committed} replica(s) but logged "
+                f"{len(rnd.winners)} winner event(s)",
+            )
+        values = {a: b.value for a, b in rnd.bids.items()}
+        best = max(values.values()) if values else float("-inf")
+        winner_agents = {w.agent for w in rnd.winners}
+
+        for w in rnd.winners:
+            self._verify_winner(rnd, w, values, best)
+            self._verify_capacity(rnd, w)
+        for p in rnd.payments:
+            self._verify_payment(rnd, p, values, winner_agents)
+        for r in rnd.rejects:
+            if r.reason == "capacity" and r.obj_size <= r.residual:
+                self._flag(
+                    rnd.index,
+                    "capacity",
+                    f"agent {r.agent} was capacity-rejected for object "
+                    f"{r.obj} although size {r.obj_size} fits residual "
+                    f"{r.residual}",
+                )
+
+    def _verify_winner(
+        self,
+        rnd: _Round,
+        w: WinnerEvent,
+        values: dict[int, float],
+        best: float,
+    ) -> None:
+        bid = rnd.bids.get(w.agent)
+        if bid is None:
+            self._flag(
+                rnd.index,
+                "winner",
+                f"winner {w.agent} never bid this round",
+            )
+            return
+        if not (_close(bid.value, w.value) and bid.obj == w.obj):
+            self._flag(
+                rnd.index,
+                "winner",
+                f"winner record (obj {w.obj}, value {w.value}) does not "
+                f"match agent {w.agent}'s bid (obj {bid.obj}, value "
+                f"{bid.value})",
+            )
+        # Argmax (allowing ties in batched rounds, where every winner
+        # must still be at least as good as every non-winner).
+        if len(rnd.winners) == 1 and not _close(w.value, best) and w.value < best:
+            self._flag(
+                rnd.index,
+                "winner",
+                f"winner {w.agent} bid {w.value} but the round's best bid "
+                f"was {best} — not the argmax",
+            )
+        elif len(rnd.winners) > 1:
+            winner_agents = {x.agent for x in rnd.winners}
+            best_rejected = max(
+                (v for a, v in values.items() if a not in winner_agents),
+                default=float("-inf"),
+            )
+            if w.value < best_rejected and not _close(w.value, best_rejected):
+                self._flag(
+                    rnd.index,
+                    "winner",
+                    f"batch winner {w.agent} bid {w.value}, below the best "
+                    f"rejected bid {best_rejected}",
+                )
+
+    def _verify_payment(
+        self,
+        rnd: _Round,
+        p: PaymentEvent,
+        values: dict[int, float],
+        winner_agents: set[int],
+    ) -> None:
+        if p.agent not in winner_agents:
+            self._flag(
+                rnd.index,
+                "payment",
+                f"payment of {p.amount} to non-winner {p.agent}",
+            )
+            return
+        if p.rule == "second_price":
+            others = [v for a, v in values.items() if a != p.agent]
+            expected = max((v for v in others), default=0.0)
+            expected = expected if math.isfinite(expected) and expected > 0 else 0.0
+        elif p.rule == "uniform":
+            rejected = [
+                v
+                for a, v in values.items()
+                if a not in winner_agents and math.isfinite(v) and v > 0
+            ]
+            expected = max(rejected, default=0.0)
+        else:
+            self._flag(
+                rnd.index,
+                "payment",
+                f"rule {p.rule!r} is not a truthful second-price rule",
+            )
+            return
+        if not _close(p.amount, expected):
+            self._flag(
+                rnd.index,
+                "payment",
+                f"agent {p.agent} was paid {p.amount} but the true "
+                f"{p.rule} amount is {expected}",
+            )
+        else:
+            self.report.payments_verified += 1
+
+    def _verify_capacity(self, rnd: _Round, w: WinnerEvent) -> None:
+        if w.obj_size > w.residual_before:
+            self._flag(
+                rnd.index,
+                "capacity",
+                f"object {w.obj} (size {w.obj_size}) exceeds agent "
+                f"{w.agent}'s residual {w.residual_before}",
+            )
+            return
+        known = self._residuals.get(w.agent)
+        if known is not None and not _close(known, w.residual_before):
+            self._flag(
+                rnd.index,
+                "capacity",
+                f"agent {w.agent} claims residual {w.residual_before} but "
+                f"{known} remained after its previous allocation",
+            )
+        self._residuals[w.agent] = w.residual_before - w.obj_size
+
+
+def audit_events(events: Iterable[Event]) -> AuditReport:
+    """Verify a recorded event stream against the mechanism's axioms."""
+    auditor = _Auditor()
+    for event in events:
+        auditor.feed(event)
+    if auditor._round is not None:
+        auditor._flag(
+            auditor._round.index, "structure", "log ends inside an open round"
+        )
+    return auditor.report
+
+
+def audit_file(path: str | Path) -> AuditReport:
+    """Load a JSONL event log and audit it."""
+    from repro.obs.export import read_events_jsonl
+
+    return audit_events(read_events_jsonl(path))

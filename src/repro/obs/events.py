@@ -1,0 +1,377 @@
+"""Structured event stream — the decision-granular half of ``repro.obs``.
+
+Where :mod:`repro.obs.tracer` aggregates (span totals, counters), this
+module *streams*: every mechanism decision — round boundaries, bids,
+winner selection, payments, NN-table broadcasts, capacity rejections —
+is emitted as a typed, schema-versioned record the moment it happens.
+The stream is what the exporters (:mod:`repro.obs.export`) serialize and
+what the offline audit (:mod:`repro.obs.audit`) re-verifies the paper's
+axioms against.
+
+The same disciplines as the tracer apply:
+
+* **No-op by default.**  The active sink is :data:`NULL_SINK` unless one
+  is installed; instrumented code gates every emission on a single
+  ``sink.enabled`` attribute read.
+* **contextvars registry.**  :func:`current` / :func:`install` /
+  :func:`capture` mirror the tracer registry and are
+  :mod:`contextvars`-based, so concurrent captures (thread-pool workers,
+  future async code) never clobber each other.
+* **Machine-readable.**  Every event serializes to a flat JSON-safe dict
+  (:meth:`Event.to_dict`) and parses back (:func:`parse_event`), which
+  is what makes the JSONL log a lossless transcript.
+
+Timestamps are ``perf_counter`` seconds (monotonic, process-local):
+good for ordering and durations, meaningless across processes.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, ClassVar, Iterator, Optional
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "EVENT_TYPES",
+    "Event",
+    "RunStart",
+    "RunEnd",
+    "RoundStart",
+    "BidEvent",
+    "WinnerEvent",
+    "PaymentEvent",
+    "NNUpdateEvent",
+    "CapacityReject",
+    "RoundEnd",
+    "parse_event",
+    "EventSink",
+    "NullSink",
+    "RecordingSink",
+    "NULL_SINK",
+    "current",
+    "install",
+    "capture",
+    "RoundSeries",
+    "now",
+]
+
+#: Version of the event record schema.  Bumps only on breaking changes
+#: (field removal / retyping); readers reject newer versions.
+EVENT_SCHEMA_VERSION = 1
+
+#: Monotonic clock used for every event timestamp.
+now = time.perf_counter
+
+
+# -- event records -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base event: a timestamp plus a class-level ``type`` tag."""
+
+    type: ClassVar[str] = "event"
+
+    #: ``perf_counter`` seconds at emission (monotonic, process-local).
+    t: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat JSON-safe dict, ``type`` included."""
+        d = asdict(self)
+        d["type"] = self.type
+        return d
+
+
+@dataclass(frozen=True)
+class RunStart(Event):
+    """One mechanism/baseline execution begins (template-hook emitted)."""
+
+    type: ClassVar[str] = "run_start"
+
+    algorithm: str = ""
+
+
+@dataclass(frozen=True)
+class RunEnd(Event):
+    """The matching execution ends, with its headline outcome."""
+
+    type: ClassVar[str] = "run_end"
+
+    algorithm: str = ""
+    otc: float = 0.0
+    rounds: int = 0
+
+
+@dataclass(frozen=True)
+class RoundStart(Event):
+    """A mechanism round opens (Figure 2, top of the loop)."""
+
+    type: ClassVar[str] = "round_start"
+
+    round: int = 0
+
+
+@dataclass(frozen=True)
+class BidEvent(Event):
+    """One agent's dominant report t_i^k (Figure 2 line 08)."""
+
+    type: ClassVar[str] = "bid"
+
+    round: int = 0
+    agent: int = -1
+    obj: int = -1
+    value: float = 0.0
+
+
+@dataclass(frozen=True)
+class WinnerEvent(Event):
+    """OMAX selection (line 10): the winning (agent, object, value).
+
+    ``obj_size`` and ``residual_before`` (the winner's free capacity
+    *before* the commit) are recorded so the offline audit can verify
+    capacity feasibility from the log alone.
+    """
+
+    type: ClassVar[str] = "winner"
+
+    round: int = 0
+    agent: int = -1
+    obj: int = -1
+    value: float = 0.0
+    obj_size: int = 0
+    residual_before: int = 0
+
+
+@dataclass(frozen=True)
+class PaymentEvent(Event):
+    """Payment issued to a round winner (lines 11-12, Axiom 5).
+
+    ``rule`` names the pricing rule in force (``"second_price"``,
+    ``"uniform"`` for batched clearing, ``"first_price"`` for the
+    ablation) so the audit knows what to re-verify.
+    """
+
+    type: ClassVar[str] = "payment"
+
+    round: int = 0
+    agent: int = -1
+    amount: float = 0.0
+    rule: str = "second_price"
+
+
+@dataclass(frozen=True)
+class NNUpdateEvent(Event):
+    """NN-table broadcast after a commit (lines 13, 19-21)."""
+
+    type: ClassVar[str] = "nn_update"
+
+    round: int = 0
+    obj: int = -1
+    agents: int = 0
+
+
+@dataclass(frozen=True)
+class CapacityReject(Event):
+    """A provisional winner was skipped because the object no longer
+    fits its residual capacity (stale bid in a batched/warm-start round)."""
+
+    type: ClassVar[str] = "capacity_reject"
+
+    round: int = 0
+    agent: int = -1
+    obj: int = -1
+    obj_size: int = 0
+    residual: int = 0
+    #: "capacity" (object no longer fits) or "duplicate" (agent already
+    #: hosts the object — possible under warm starts).
+    reason: str = "capacity"
+
+
+@dataclass(frozen=True)
+class RoundEnd(Event):
+    """A round closes.  ``committed`` counts replicas allocated this
+    round (0 terminates the game); ``otc`` is the system OTC after it."""
+
+    type: ClassVar[str] = "round_end"
+
+    round: int = 0
+    committed: int = 0
+    otc: float = 0.0
+
+
+#: ``type`` tag -> event class, for parsing serialized records.
+EVENT_TYPES: dict[str, type[Event]] = {
+    cls.type: cls
+    for cls in (
+        RunStart,
+        RunEnd,
+        RoundStart,
+        BidEvent,
+        WinnerEvent,
+        PaymentEvent,
+        NNUpdateEvent,
+        CapacityReject,
+        RoundEnd,
+    )
+}
+
+
+def parse_event(record: dict[str, Any]) -> Event:
+    """Reconstruct a typed event from its :meth:`Event.to_dict` form.
+
+    Unknown extra keys are ignored (forward compatibility); a missing or
+    unknown ``type`` raises ``ValueError``.
+    """
+    tag = record.get("type")
+    cls = EVENT_TYPES.get(tag) if isinstance(tag, str) else None
+    if cls is None:
+        raise ValueError(f"unknown event type {tag!r}")
+    names = {f.name for f in fields(cls)}
+    return cls(**{k: v for k, v in record.items() if k in names})
+
+
+# -- sinks -------------------------------------------------------------------
+
+
+class EventSink:
+    """Receives the event stream.  Subclass and override :meth:`emit`.
+
+    ``enabled`` is the hot-path gate: instrumented code reads it once
+    per phase and skips event construction entirely when False.
+    """
+
+    enabled: bool = True
+
+    def emit(self, event: Event) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class NullSink(EventSink):
+    """The disabled sink — drops everything, costs one attribute read."""
+
+    enabled = False
+
+    def emit(self, event: Event) -> None:
+        return None
+
+
+class RecordingSink(EventSink):
+    """Keeps the full stream in memory (the default :func:`capture` sink)."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def emit(self, event: Event) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+#: The canonical disabled sink — the default "current" sink.
+NULL_SINK = NullSink()
+
+_current_sink: ContextVar[EventSink] = ContextVar(
+    "repro_obs_event_sink", default=NULL_SINK
+)
+
+
+def current() -> EventSink:
+    """The active sink; :data:`NULL_SINK` (disabled) by default."""
+    return _current_sink.get()
+
+
+def install(sink: Optional[EventSink]) -> EventSink:
+    """Install ``sink`` as the active sink; returns the previous one.
+
+    ``None`` restores the disabled default.  The registry is
+    :mod:`contextvars`-based, so the installation is scoped to the
+    current execution context (thread / task).
+    """
+    previous = _current_sink.get()
+    _current_sink.set(sink if sink is not None else NULL_SINK)
+    return previous
+
+
+@contextmanager
+def capture(sink: Optional[EventSink] = None) -> Iterator[EventSink]:
+    """Scoped event capture: install a fresh (or given) sink, restore on
+    exit.
+
+    >>> from repro.obs import events as ev
+    >>> with ev.capture() as sink:               # doctest: +SKIP
+    ...     run_agt_ram(instance)
+    >>> sink.events                              # doctest: +SKIP
+    """
+    active = sink if sink is not None else RecordingSink()
+    previous = install(active)
+    try:
+        yield active
+    finally:
+        install(previous)
+
+
+# -- per-round time series ---------------------------------------------------
+
+
+@dataclass
+class RoundSeries:
+    """Per-round trajectories of one mechanism run.
+
+    One entry per *committed* round, in order: exactly the quantities
+    the paper plots over time and a live operator would graph.  Built by
+    the instrumented mechanisms whenever an event sink is active and
+    attached to the result under ``extra["round_series"]``.
+    """
+
+    #: System OTC after each round's commit.
+    otc: list[float] = field(default_factory=list)
+    #: The winning (dominant) report of each round.
+    best_bid: list[float] = field(default_factory=list)
+    #: Payment issued each round (uniform clearing price for batches).
+    payment: list[float] = field(default_factory=list)
+    #: Number of agents that bid each round.
+    n_bids: list[int] = field(default_factory=list)
+    #: Protocol messages sent during each round (simulator only).
+    messages: list[int] = field(default_factory=list)
+    #: Protocol bytes sent during each round (simulator only).
+    bytes: list[int] = field(default_factory=list)
+
+    def append(
+        self,
+        *,
+        otc: float,
+        best_bid: float,
+        payment: float,
+        n_bids: int,
+        messages: Optional[int] = None,
+        bytes: Optional[int] = None,
+    ) -> None:
+        self.otc.append(float(otc))
+        self.best_bid.append(float(best_bid))
+        self.payment.append(float(payment))
+        self.n_bids.append(int(n_bids))
+        if messages is not None:
+            self.messages.append(int(messages))
+        if bytes is not None:
+            self.bytes.append(int(bytes))
+
+    def __len__(self) -> int:
+        return len(self.otc)
+
+    def to_dict(self) -> dict[str, list]:
+        """JSON-safe dict; message/byte series are omitted when unused."""
+        out: dict[str, list] = {
+            "otc": list(self.otc),
+            "best_bid": list(self.best_bid),
+            "payment": list(self.payment),
+            "n_bids": list(self.n_bids),
+        }
+        if self.messages:
+            out["messages"] = list(self.messages)
+        if self.bytes:
+            out["bytes"] = list(self.bytes)
+        return out

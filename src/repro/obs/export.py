@@ -1,0 +1,498 @@
+"""Standard-format exporters for the ``repro.obs`` event stream.
+
+Three targets, each a well-known external format:
+
+* **JSONL event log** — one header line plus one JSON object per event;
+  lossless (``read_events_jsonl`` parses back the same typed events),
+  the input format of the offline audit (:mod:`repro.obs.audit`).
+* **Chrome trace-event JSON** — loadable in Perfetto / ``chrome://tracing``;
+  runs and rounds become duration ("X") slices on the central track,
+  bids/winners/payments become instant events on per-agent tracks.
+* **OpenMetrics / Prometheus textfile** — a point-in-time snapshot of a
+  bench document or a tracer snapshot, suitable for the node-exporter
+  textfile collector.  :func:`lint_openmetrics` checks the invariants
+  the exposition format requires.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.obs.events import (
+    EVENT_SCHEMA_VERSION,
+    BidEvent,
+    CapacityReject,
+    Event,
+    NNUpdateEvent,
+    PaymentEvent,
+    RoundEnd,
+    RoundStart,
+    RunEnd,
+    RunStart,
+    WinnerEvent,
+    parse_event,
+)
+
+__all__ = [
+    "EVENTS_KIND",
+    "write_events_jsonl",
+    "read_events_jsonl",
+    "events_to_chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "openmetrics_from_bench",
+    "openmetrics_from_snapshot",
+    "lint_openmetrics",
+]
+
+#: ``kind`` tag of the JSONL header line.
+EVENTS_KIND = "repro-events"
+
+
+# -- JSONL event log ---------------------------------------------------------
+
+
+def write_events_jsonl(events: Iterable[Event], path: str | Path) -> Path:
+    """Write the stream as JSON Lines: a header record, then one event
+    per line.  Returns the path written."""
+    out = Path(path)
+    header = {"kind": EVENTS_KIND, "schema_version": EVENT_SCHEMA_VERSION}
+    lines = [json.dumps(header, sort_keys=True)]
+    lines.extend(
+        json.dumps(e.to_dict(), sort_keys=True) for e in events
+    )
+    out.write_text("\n".join(lines) + "\n")
+    return out
+
+
+def read_events_jsonl(path: str | Path) -> list[Event]:
+    """Parse a JSONL event log back into typed events.
+
+    Raises ``ValueError`` on a missing/foreign header, a newer schema
+    version than this library understands, or an unparseable record.
+    """
+    text = Path(path).read_text()
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        raise ValueError("empty event log")
+    header = json.loads(lines[0])
+    if not isinstance(header, dict) or header.get("kind") != EVENTS_KIND:
+        raise ValueError(
+            f"not a {EVENTS_KIND} log: header={header!r}"
+        )
+    version = header.get("schema_version")
+    if not isinstance(version, int) or version < 1:
+        raise ValueError(f"bad event schema_version: {version!r}")
+    if version > EVENT_SCHEMA_VERSION:
+        raise ValueError(
+            f"event log schema_version {version} is newer than supported "
+            f"{EVENT_SCHEMA_VERSION}; upgrade the library"
+        )
+    out: list[Event] = []
+    for i, line in enumerate(lines[1:], start=2):
+        record = json.loads(line)
+        try:
+            out.append(parse_event(record))
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"line {i}: {exc}") from exc
+    return out
+
+
+# -- Chrome trace-event JSON -------------------------------------------------
+
+#: Process id used for every trace event (one mechanism process).
+_TRACE_PID = 1
+#: Thread id of the central body's track; agent i uses ``i + 1``.
+_CENTRAL_TID = 0
+
+
+def _us(t: float, t0: float) -> float:
+    """Rebased microseconds (the trace-event time unit)."""
+    return (t - t0) * 1e6
+
+
+def events_to_chrome_trace(events: Sequence[Event]) -> dict[str, Any]:
+    """Convert an event stream to a Chrome trace-event document.
+
+    Runs and rounds become complete ("X") slices on the central track —
+    nested slices render as a flame graph in Perfetto; per-agent
+    decisions (bid/winner/payment/capacity_reject) become instant ("i")
+    events on that agent's own track.
+    """
+    if not events:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+    t0 = events[0].t
+    trace: list[dict[str, Any]] = []
+    agents_seen: set[int] = set()
+    run_stack: list[RunStart] = []
+    round_open: dict[int, RoundStart] = {}
+
+    def instant(e: Event, name: str, tid: int, args: dict[str, Any]) -> None:
+        trace.append(
+            {
+                "name": name,
+                "ph": "i",
+                "ts": _us(e.t, t0),
+                "pid": _TRACE_PID,
+                "tid": tid,
+                "s": "t",
+                "args": args,
+            }
+        )
+
+    def complete(start: Event, end: Event, name: str, args: dict[str, Any]) -> None:
+        trace.append(
+            {
+                "name": name,
+                "ph": "X",
+                "ts": _us(start.t, t0),
+                "dur": max(0.0, _us(end.t, t0) - _us(start.t, t0)),
+                "pid": _TRACE_PID,
+                "tid": _CENTRAL_TID,
+                "args": args,
+            }
+        )
+
+    for e in events:
+        if isinstance(e, RunStart):
+            run_stack.append(e)
+        elif isinstance(e, RunEnd):
+            if run_stack:
+                start = run_stack.pop()
+                complete(
+                    start,
+                    e,
+                    f"run {e.algorithm}",
+                    {"otc": e.otc, "rounds": e.rounds},
+                )
+        elif isinstance(e, RoundStart):
+            round_open[e.round] = e
+        elif isinstance(e, RoundEnd):
+            start = round_open.pop(e.round, None)
+            if start is not None:
+                complete(
+                    start,
+                    e,
+                    f"round {e.round}",
+                    {"committed": e.committed, "otc": e.otc},
+                )
+        elif isinstance(e, BidEvent):
+            agents_seen.add(e.agent)
+            instant(e, "bid", e.agent + 1, {"obj": e.obj, "value": e.value})
+        elif isinstance(e, WinnerEvent):
+            agents_seen.add(e.agent)
+            instant(
+                e,
+                "winner",
+                e.agent + 1,
+                {"obj": e.obj, "value": e.value, "round": e.round},
+            )
+        elif isinstance(e, PaymentEvent):
+            agents_seen.add(e.agent)
+            instant(
+                e,
+                "payment",
+                e.agent + 1,
+                {"amount": e.amount, "rule": e.rule, "round": e.round},
+            )
+        elif isinstance(e, CapacityReject):
+            agents_seen.add(e.agent)
+            instant(
+                e,
+                "capacity_reject",
+                e.agent + 1,
+                {"obj": e.obj, "obj_size": e.obj_size, "residual": e.residual},
+            )
+        elif isinstance(e, NNUpdateEvent):
+            instant(
+                e,
+                "nn_update",
+                _CENTRAL_TID,
+                {"obj": e.obj, "agents": e.agents, "round": e.round},
+            )
+
+    # Track naming metadata: process + central + one track per agent.
+    meta: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0.0,
+            "pid": _TRACE_PID,
+            "tid": _CENTRAL_TID,
+            "args": {"name": "repro mechanism"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "ts": 0.0,
+            "pid": _TRACE_PID,
+            "tid": _CENTRAL_TID,
+            "args": {"name": "central"},
+        },
+    ]
+    for agent in sorted(agents_seen):
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "ts": 0.0,
+                "pid": _TRACE_PID,
+                "tid": agent + 1,
+                "args": {"name": f"agent {agent}"},
+            }
+        )
+    trace.sort(key=lambda d: d["ts"])
+    return {"traceEvents": meta + trace, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Sequence[Event], path: str | Path) -> Path:
+    """Convert, validate and write a Chrome trace file."""
+    doc = events_to_chrome_trace(events)
+    validate_chrome_trace(doc)
+    out = Path(path)
+    out.write_text(json.dumps(doc) + "\n")
+    return out
+
+
+def validate_chrome_trace(doc: Any) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a well-formed trace document.
+
+    Checks the JSON-object form, the required per-event keys, that "X"
+    events carry a non-negative ``dur``, and that non-metadata ``ts``
+    values are monotonically non-decreasing (our exporter sorts them).
+    """
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        raise ValueError("trace document must be {'traceEvents': [...]}")
+    last_ts: Optional[float] = None
+    for i, e in enumerate(doc["traceEvents"]):
+        if not isinstance(e, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in e:
+                raise ValueError(f"traceEvents[{i}] missing required key {key!r}")
+        if not isinstance(e["ts"], (int, float)) or e["ts"] < 0:
+            raise ValueError(f"traceEvents[{i}].ts must be a non-negative number")
+        if e["ph"] == "X":
+            if not isinstance(e.get("dur"), (int, float)) or e["dur"] < 0:
+                raise ValueError(
+                    f"traceEvents[{i}] ('X') needs a non-negative dur"
+                )
+        if e["ph"] == "M":
+            continue
+        if last_ts is not None and e["ts"] < last_ts:
+            raise ValueError(
+                f"traceEvents[{i}].ts={e['ts']} decreases (prev {last_ts})"
+            )
+        last_ts = e["ts"]
+
+
+# -- OpenMetrics / Prometheus textfile ---------------------------------------
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _sample(name: str, labels: dict[str, str], value: float) -> str:
+    if labels:
+        inner = ",".join(
+            f'{k}="{_escape_label(str(v))}"' for k, v in sorted(labels.items())
+        )
+        return f"{name}{{{inner}}} {value!r}"
+    return f"{name} {value!r}"
+
+
+def _render(families: list[tuple[str, str, str, list[tuple[dict, float]]]]) -> str:
+    """Render ``(name, type, help, [(labels, value), ...])`` families."""
+    lines: list[str] = []
+    for name, mtype, help_text, samples in families:
+        if not samples:
+            continue
+        # OpenMetrics declares the *family* name; counter samples carry
+        # the `_total` suffix on top of it.
+        family = (
+            name[: -len("_total")]
+            if mtype == "counter" and name.endswith("_total")
+            else name
+        )
+        lines.append(f"# TYPE {family} {mtype}")
+        lines.append(f"# HELP {family} {help_text}")
+        for labels, value in samples:
+            lines.append(_sample(name, labels, float(value)))
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def openmetrics_from_snapshot(
+    snapshot: dict[str, Any], labels: Optional[dict[str, str]] = None
+) -> str:
+    """OpenMetrics text from one :meth:`Tracer.snapshot` dict."""
+    base = dict(labels or {})
+    span_seconds: list[tuple[dict, float]] = []
+    span_count: list[tuple[dict, float]] = []
+    counter_samples: list[tuple[dict, float]] = []
+    for path, stat in sorted(snapshot.get("spans", {}).items()):
+        span_seconds.append(({**base, "path": path}, stat["total_s"]))
+        span_count.append(({**base, "path": path}, stat["count"]))
+    for path, value in sorted(snapshot.get("counters", {}).items()):
+        counter_samples.append(({**base, "path": path}, value))
+    return _render(
+        [
+            (
+                "repro_span_seconds_total",
+                "counter",
+                "Total seconds recorded under each span path.",
+                span_seconds,
+            ),
+            (
+                "repro_span_count_total",
+                "counter",
+                "Number of entries recorded under each span path.",
+                span_count,
+            ),
+            (
+                "repro_counter_total",
+                "counter",
+                "repro.obs named counters.",
+                counter_samples,
+            ),
+        ]
+    )
+
+
+def openmetrics_from_bench(doc: dict[str, Any]) -> str:
+    """OpenMetrics text from one ``repro-bench`` JSON document.
+
+    One gauge per headline metric, labeled by scenario/algorithm, plus
+    the span totals of every record — a point-in-time snapshot suitable
+    for the Prometheus textfile collector.
+    """
+    wall: list[tuple[dict, float]] = []
+    savings: list[tuple[dict, float]] = []
+    rounds: list[tuple[dict, float]] = []
+    replicas: list[tuple[dict, float]] = []
+    messages: list[tuple[dict, float]] = []
+    bytes_: list[tuple[dict, float]] = []
+    span_seconds: list[tuple[dict, float]] = []
+    for record in doc.get("results", []):
+        labels = {
+            "scenario": record["scenario"],
+            "algorithm": record["algorithm"],
+            "scale": str(doc.get("scale", "")),
+        }
+        wall.append((labels, record["wall_s"]))
+        if "savings_percent" in record:
+            savings.append((labels, record["savings_percent"]))
+        if "rounds" in record:
+            rounds.append((labels, record["rounds"]))
+        if "replicas" in record:
+            replicas.append((labels, record["replicas"]))
+        if "messages" in record:
+            messages.append((labels, record["messages"]))
+        if "bytes" in record:
+            bytes_.append((labels, record["bytes"]))
+        for path, stat in sorted(record.get("spans", {}).items()):
+            span_seconds.append(({**labels, "path": path}, stat["total_s"]))
+    return _render(
+        [
+            (
+                "repro_bench_wall_seconds",
+                "gauge",
+                "Best wall time of each bench scenario.",
+                wall,
+            ),
+            (
+                "repro_bench_savings_percent",
+                "gauge",
+                "OTC savings vs the primaries-only scheme.",
+                savings,
+            ),
+            (
+                "repro_bench_rounds",
+                "gauge",
+                "Rounds/iterations of each bench scenario.",
+                rounds,
+            ),
+            (
+                "repro_bench_replicas",
+                "gauge",
+                "Replicas allocated by each bench scenario.",
+                replicas,
+            ),
+            (
+                "repro_bench_messages",
+                "gauge",
+                "Protocol messages (simulator scenario).",
+                messages,
+            ),
+            (
+                "repro_bench_bytes",
+                "gauge",
+                "Protocol bytes (simulator scenario).",
+                bytes_,
+            ),
+            (
+                "repro_span_seconds_total",
+                "counter",
+                "Total seconds recorded under each span path.",
+                span_seconds,
+            ),
+        ]
+    )
+
+
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+
+
+def lint_openmetrics(text: str) -> list[str]:
+    """Check OpenMetrics exposition invariants; returns problems found.
+
+    Enforced: the document ends with ``# EOF``; every sample line names
+    a valid metric; every sampled metric has exactly one prior ``# TYPE``
+    declaration; values parse as floats.
+    """
+    import re
+
+    problems: list[str] = []
+    lines = text.splitlines()
+    if not lines or lines[-1] != "# EOF":
+        problems.append("document must end with '# EOF'")
+    typed: set[str] = set()
+    sample_re = re.compile(
+        rf"^({_METRIC_NAME})(?:\{{.*\}})? (\S+)(?: \d+(?:\.\d+)?)?$"
+    )
+    for i, line in enumerate(lines, start=1):
+        if not line or line == "# EOF":
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or not re.fullmatch(_METRIC_NAME, parts[2]):
+                problems.append(f"line {i}: malformed TYPE line")
+            elif parts[2] in typed:
+                problems.append(f"line {i}: duplicate TYPE for {parts[2]}")
+            else:
+                typed.add(parts[2])
+            continue
+        if line.startswith("#"):
+            continue
+        m = sample_re.match(line)
+        if not m:
+            problems.append(f"line {i}: malformed sample line")
+            continue
+        name = m.group(1)
+        family = name
+        for suffix in ("_total", "_count", "_sum", "_bucket", "_created"):
+            if name.endswith(suffix):
+                family = name[: -len(suffix)]
+                break
+        if name not in typed and family not in typed:
+            problems.append(f"line {i}: sample for undeclared metric {name}")
+        try:
+            float(m.group(2))
+        except ValueError:
+            problems.append(f"line {i}: non-numeric value {m.group(2)!r}")
+    return problems

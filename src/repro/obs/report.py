@@ -6,10 +6,10 @@ schema-versioned JSON document — the repo's performance trajectory.
 Every future perf PR appends a ``BENCH_<date>.json`` produced here and
 compares it against the previous one with :func:`compare_documents`.
 
-Document layout (``SCHEMA_VERSION`` = 1)::
+Document layout (``SCHEMA_VERSION`` = 2)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "kind": "repro-bench",
       "scale": "tiny",                  # tiny | small | medium
       "seed": 2007,
@@ -24,15 +24,28 @@ Document layout (``SCHEMA_VERSION`` = 1)::
           "otc": ..., "savings_percent": ..., "replicas": ..., "rounds": ...,
           "spans": {path: {count, total_s, mean_s, min_s, max_s}},
           "counters": {path: value},
+          # mechanism scenarios (v2): per-round trajectories
+          "series": {"otc": [...], "best_bid": [...], "payment": [...],
+                     "n_bids": [...],
+                     # protocol scenario only:
+                     "messages": [...], "bytes": [...],
+                     "parallel_round_work": [...],
+                     "serial_round_work": [...]},
           # protocol scenario only:
           "messages": ..., "bytes": ..., "parallel_speedup": ...
         }, ...
       ]
     }
 
+Schema history: v2 added the per-round ``series`` trajectories (taken
+from the best run); v1 documents remain loadable.
+
 Span paths are hierarchical (see :mod:`repro.obs.tracer`); the AGT-RAM
 per-round phases land under ``mechanism/AGT-RAM/...`` and the baseline
-phases under ``baseline/<name>/...``.
+phases under ``baseline/<name>/...``.  Bench runs execute with both the
+tracer *and* the event stream enabled (the series come from the
+events), so the measured walls include that instrumentation — identical
+across the documents being compared.
 """
 
 from __future__ import annotations
@@ -45,9 +58,10 @@ from pathlib import Path
 from typing import Any, Optional, Sequence
 
 from repro.experiments.config import ExperimentConfig
+from repro.obs import events as ev
 from repro.obs.tracer import capture
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 DOCUMENT_KIND = "repro-bench"
 
 #: Default time-regression tolerance: new wall time beyond
@@ -111,19 +125,23 @@ def _environment() -> dict[str, str]:
 
 
 def _placement_record(
-    algorithm: str, instance: Any, repeats: int, seed: int
+    algorithm: str,
+    instance: Any,
+    repeats: int,
+    seed: int,
+    sink: ev.EventSink,
 ) -> dict[str, Any]:
     from repro.experiments.runner import run_algorithms
 
     best = None
-    with capture() as tracer:
+    with capture() as tracer, ev.capture(sink):
         for _ in range(repeats):
             result = run_algorithms(instance, [algorithm], seed=seed)[algorithm]
             if best is None or result.runtime_s < best.runtime_s:
                 best = result
     assert best is not None
     snap = tracer.snapshot()
-    return {
+    record = {
         "scenario": "placement",
         "algorithm": algorithm,
         "wall_s": best.runtime_s,
@@ -134,13 +152,19 @@ def _placement_record(
         "spans": snap["spans"],
         "counters": snap["counters"],
     }
+    series = best.extra.get("round_series")
+    if series is not None:
+        record["series"] = series.to_dict()
+    return record
 
 
-def _protocol_record(instance: Any, repeats: int) -> dict[str, Any]:
+def _protocol_record(
+    instance: Any, repeats: int, sink: ev.EventSink
+) -> dict[str, Any]:
     from repro.runtime.simulator import SemiDistributedSimulator
 
     best = None
-    with capture() as tracer:
+    with capture() as tracer, ev.capture(sink):
         for _ in range(repeats):
             result = SemiDistributedSimulator().run(instance)
             if best is None or result.runtime_s < best.runtime_s:
@@ -149,7 +173,7 @@ def _protocol_record(instance: Any, repeats: int) -> dict[str, Any]:
     snap = tracer.snapshot()
     metrics = best.extra["metrics"]
     summary = metrics.summary()
-    return {
+    record = {
         "scenario": "protocol",
         "algorithm": best.algorithm,
         "wall_s": best.runtime_s,
@@ -163,6 +187,12 @@ def _protocol_record(instance: Any, repeats: int) -> dict[str, Any]:
         "spans": snap["spans"],
         "counters": snap["counters"],
     }
+    series = best.extra.get("round_series")
+    series_dict = series.to_dict() if series is not None else {}
+    series_dict["parallel_round_work"] = summary["parallel_round_work"]
+    series_dict["serial_round_work"] = summary["serial_round_work"]
+    record["series"] = series_dict
+    return record
 
 
 def run_bench(
@@ -172,6 +202,7 @@ def run_bench(
     seed: int = 0,
     repeats: int = 3,
     include_protocol: bool = True,
+    event_sink: Optional[ev.EventSink] = None,
 ) -> dict[str, Any]:
     """Execute the benchmark scenarios and return the JSON document.
 
@@ -189,6 +220,12 @@ def run_bench(
     include_protocol:
         Also run the message-granular simulator scenario, which is the
         only source of message/byte counts.
+    event_sink:
+        Sink receiving the full event stream of every scenario run
+        (e.g. a :class:`~repro.obs.events.RecordingSink` to export a
+        JSONL log / Chrome trace afterwards).  A fresh recording sink is
+        used when omitted: the per-round ``series`` in the document are
+        derived from the event machinery either way.
     """
     from repro.experiments.instances import paper_instance
 
@@ -198,12 +235,14 @@ def run_bench(
     cfg = bench_config(scale)
     algorithms = tuple(algorithms) if algorithms else BENCH_ALGORITHMS
     instance = paper_instance(cfg)
+    sink = event_sink if event_sink is not None else ev.RecordingSink()
 
     results = [
-        _placement_record(alg, instance, repeats, seed) for alg in algorithms
+        _placement_record(alg, instance, repeats, seed, sink)
+        for alg in algorithms
     ]
     if include_protocol:
-        results.append(_protocol_record(instance, repeats))
+        results.append(_protocol_record(instance, repeats, sink))
 
     return {
         "schema_version": SCHEMA_VERSION,
@@ -255,6 +294,14 @@ def validate_document(doc: Any) -> None:
         spans = record.get("spans", {})
         if not isinstance(spans, dict):
             raise ValueError(f"results[{i}].spans must be an object")
+        series = record.get("series")
+        if series is not None:
+            if not isinstance(series, dict) or not all(
+                isinstance(v, list) for v in series.values()
+            ):
+                raise ValueError(
+                    f"results[{i}].series must map series names to lists"
+                )
 
 
 def write_document(doc: dict[str, Any], path: str | Path) -> Path:

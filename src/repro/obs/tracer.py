@@ -32,13 +32,20 @@ Design goals, in order:
 
 The module-level registry (:func:`current`, :func:`install`,
 :func:`capture`) lets deeply-buried code find the active tracer without
-threading it through every signature.
+threading it through every signature.  It is :mod:`contextvars`-based,
+so concurrent captures — thread-pool workers under
+:class:`~repro.runtime.parallel.ParallelBidEvaluator`, future async
+code — each see their own tracer instead of clobbering a process-wide
+global.  Worker threads spawned *outside* any capture see the disabled
+default; code that fans out work should propagate its context (see
+``ParallelBidEvaluator.evaluate``).
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
@@ -176,9 +183,10 @@ class Tracer:
         """
         if not self.enabled:
             return
-        stat = self.spans.get(self._path(name))
+        path = self._path(name)
+        stat = self.spans.get(path)
         if stat is None:
-            stat = self.spans[self._path(name)] = SpanStat()
+            stat = self.spans[path] = SpanStat()
         stat.record(seconds)
 
     def count(self, name: str, n: float = 1) -> None:
@@ -218,12 +226,12 @@ class Tracer:
 #: The canonical disabled tracer — the default "current" tracer.
 NULL_TRACER = Tracer(enabled=False)
 
-_current: Tracer = NULL_TRACER
+_current: ContextVar[Tracer] = ContextVar("repro_obs_tracer", default=NULL_TRACER)
 
 
 def current() -> Tracer:
     """The active tracer; :data:`NULL_TRACER` (disabled) by default."""
-    return _current
+    return _current.get()
 
 
 def install(tracer: Optional[Tracer]) -> Tracer:
@@ -231,11 +239,13 @@ def install(tracer: Optional[Tracer]) -> Tracer:
 
     ``None`` restores the disabled default.  Prefer :func:`capture` for
     scoped use — ``install`` exists for long-lived embeddings (e.g. a
-    service exporting metrics for its whole lifetime).
+    service exporting metrics for its whole lifetime).  The registry is
+    a :class:`contextvars.ContextVar`, so installation is scoped to the
+    current execution context: concurrent threads/tasks with their own
+    captures do not interfere.
     """
-    global _current
-    previous = _current
-    _current = tracer if tracer is not None else NULL_TRACER
+    previous = _current.get()
+    _current.set(tracer if tracer is not None else NULL_TRACER)
     return previous
 
 

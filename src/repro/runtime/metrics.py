@@ -55,6 +55,8 @@ class RuntimeMetrics:
         return self.total_work / cp if cp else 1.0
 
     def summary(self) -> dict:
+        """JSON-safe summary: the aggregate costs plus the per-round work
+        series (the trajectories, not just their sums)."""
         return {
             "rounds": self.rounds,
             "messages": self.log.total_messages(),
@@ -62,4 +64,6 @@ class RuntimeMetrics:
             "total_work": self.total_work,
             "critical_path_work": self.critical_path_work,
             "parallel_speedup": self.parallel_speedup,
+            "parallel_round_work": list(self.parallel_round_work),
+            "serial_round_work": list(self.serial_round_work),
         }

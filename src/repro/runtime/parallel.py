@@ -16,6 +16,7 @@ message counts, critical-path depth).
 
 from __future__ import annotations
 
+import contextvars
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Sequence
 
@@ -60,7 +61,17 @@ class ParallelBidEvaluator:
             tracer.count("parallel/bids_evaluated", len(agents))
         if self._pool is None:
             return [agent.make_bid(engine) for agent in agents]
-        return list(self._pool.map(lambda a: a.make_bid(engine), agents))
+        # Propagate the caller's context (active tracer/event sink) into
+        # the worker threads: the obs registries are contextvars-based,
+        # so without this the workers would see the disabled defaults.
+        # Each task needs its own Context copy — a Context cannot be
+        # entered concurrently.
+        tasks = [
+            (contextvars.copy_context(), agent) for agent in agents
+        ]
+        return list(
+            self._pool.map(lambda ca: ca[0].run(ca[1].make_bid, engine), tasks)
+        )
 
     def close(self) -> None:
         """Shut the pool down; idempotent.  Evaluation afterwards raises."""

@@ -30,6 +30,7 @@ from repro.runtime.messages import (
     NNUpdateMessage,
     PaymentMessage,
 )
+from repro.obs import events as ev
 from repro.obs import tracer as obs
 from repro.runtime.metrics import RuntimeMetrics
 from repro.runtime.parallel import ParallelBidEvaluator
@@ -97,13 +98,29 @@ class SemiDistributedSimulator:
         self.central_failure_round = central_failure_round
 
     def run(self, instance: DRPInstance) -> PlacementResult:
+        sink = ev.current()
+        if sink.enabled:
+            sink.emit(ev.RunStart(t=ev.now(), algorithm="AGT-RAM(simulated)"))
         with obs.current().span("simulator/run"):
-            return self._run(instance)
+            result = self._run(instance)
+        if sink.enabled:
+            sink.emit(
+                ev.RunEnd(
+                    t=ev.now(),
+                    algorithm=result.algorithm,
+                    otc=result.otc,
+                    rounds=result.rounds,
+                )
+            )
+        return result
 
     def _run(self, instance: DRPInstance) -> PlacementResult:
         timer = Timer()
         tracer = obs.current()
         traced = tracer.enabled
+        sink = ev.current()
+        eventing = sink.enabled
+        series = ev.RoundSeries() if eventing else None
         metrics = RuntimeMetrics(log=MessageLog(keep_messages=self.keep_messages))
         m = instance.n_servers
 
@@ -144,6 +161,11 @@ class SemiDistributedSimulator:
                                 )
                     acting_central = new_central
                     handover_round = metrics.rounds
+                round_idx = metrics.rounds
+                msgs_before = metrics.log.total_messages()
+                bytes_before = metrics.log.bytes_total
+                if eventing:
+                    sink.emit(ev.RoundStart(t=ev.now(), round=round_idx))
                 # PARFOR bid sweep (Figure 2 lines 03-09).
                 t0 = perf_counter() if traced else 0.0
                 ordered = sorted(active)
@@ -167,14 +189,58 @@ class SemiDistributedSimulator:
                     )
                     metrics.log.record(msg)
                     bid_msgs.append(msg)
+                    if eventing:
+                        sink.emit(
+                            ev.BidEvent(
+                                t=ev.now(),
+                                round=round_idx,
+                                agent=agent_id,
+                                obj=bid.obj,
+                                value=bid.value,
+                            )
+                        )
 
                 t0 = perf_counter() if traced else 0.0
                 outcome = self.central.decide(bid_msgs, m)
                 if traced:
                     tracer.add("round/decision", perf_counter() - t0)
                 if outcome.decision is Decision.DO_NOT_REPLICATE:
+                    if eventing:
+                        sink.emit(
+                            ev.RoundEnd(
+                                t=ev.now(),
+                                round=round_idx,
+                                committed=0,
+                                otc=total_otc(state),
+                            )
+                        )
                     break
                 metrics.rounds += 1
+                if eventing:
+                    sink.emit(
+                        ev.WinnerEvent(
+                            t=ev.now(),
+                            round=round_idx,
+                            agent=outcome.winner,
+                            obj=outcome.obj,
+                            value=next(
+                                b.value
+                                for b in bid_msgs
+                                if b.sender == outcome.winner
+                            ),
+                            obj_size=int(instance.sizes[outcome.obj]),
+                            residual_before=int(state.residual[outcome.winner]),
+                        )
+                    )
+                    sink.emit(
+                        ev.PaymentEvent(
+                            t=ev.now(),
+                            round=round_idx,
+                            agent=outcome.winner,
+                            amount=outcome.payment,
+                            rule=self.central.payment_rule,
+                        )
+                    )
 
                 # OMAX broadcast (line 13) + payment (line 14).
                 t0 = perf_counter() if traced else 0.0
@@ -234,6 +300,34 @@ class SemiDistributedSimulator:
                             )
                 if traced:
                     tracer.add("round/nn_update", perf_counter() - t0)
+                if eventing:
+                    sink.emit(
+                        ev.NNUpdateEvent(
+                            t=ev.now(),
+                            round=round_idx,
+                            obj=outcome.obj,
+                            agents=len(active) if self.nn_update_period == 1 else 1,
+                        )
+                    )
+                    assert series is not None
+                    series.append(
+                        otc=total_otc(state),
+                        best_bid=next(
+                            b.value for b in bid_msgs if b.sender == outcome.winner
+                        ),
+                        payment=outcome.payment,
+                        n_bids=len(bid_msgs),
+                        messages=metrics.log.total_messages() - msgs_before,
+                        bytes=metrics.log.bytes_total - bytes_before,
+                    )
+                    sink.emit(
+                        ev.RoundEnd(
+                            t=ev.now(),
+                            round=round_idx,
+                            committed=1,
+                            otc=series.otc[-1],
+                        )
+                    )
 
             if traced:
                 tracer.count("rounds", metrics.rounds)
@@ -255,5 +349,6 @@ class SemiDistributedSimulator:
                 "agents": agents,
                 "acting_central": acting_central,
                 "central_handover_round": handover_round,
+                **({"round_series": series} if series is not None else {}),
             },
         )

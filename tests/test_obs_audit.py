@@ -1,0 +1,242 @@
+"""Unit tests for the offline mechanism audit."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.obs import events as ev
+from repro.obs.audit import audit_events, audit_file
+from repro.obs.export import write_events_jsonl
+
+
+def clean_round(
+    *, round=0, winner=0, bids=((0, 5.0), (1, 2.0), (2, 1.0)), t=1.0
+) -> list[ev.Event]:
+    """One well-formed second-price round: agent ``winner`` takes obj 3."""
+    values = dict(bids)
+    events: list[ev.Event] = [ev.RoundStart(t=t, round=round)]
+    events.extend(
+        ev.BidEvent(t=t, round=round, agent=a, obj=3, value=v)
+        for a, v in bids
+    )
+    second = max(v for a, v in bids if a != winner)
+    events += [
+        ev.WinnerEvent(
+            t=t, round=round, agent=winner, obj=3,
+            value=values[winner], obj_size=2, residual_before=10,
+        ),
+        ev.PaymentEvent(t=t, round=round, agent=winner, amount=second),
+        ev.NNUpdateEvent(t=t, round=round, obj=3, agents=3),
+        ev.RoundEnd(t=t, round=round, committed=1, otc=100.0),
+    ]
+    return events
+
+
+def wrap_run(rounds: list[ev.Event]) -> list[ev.Event]:
+    return [
+        ev.RunStart(t=0.0, algorithm="AGT-RAM"),
+        *rounds,
+        ev.RunEnd(t=9.0, algorithm="AGT-RAM", otc=100.0, rounds=1),
+    ]
+
+
+def replace_event(events, index, **changes):
+    out = list(events)
+    out[index] = dataclasses.replace(out[index], **changes)
+    return out
+
+
+class TestCleanLogs:
+    def test_synthetic_round_passes(self):
+        report = audit_events(wrap_run(clean_round()))
+        assert report.ok, report.summary()
+        assert report.rounds_audited == 1
+        assert report.payments_verified == 1
+        assert "PASS" in report.summary()
+
+    def test_real_agt_ram_log_passes(self, tiny_instance):
+        from repro.core.agt_ram import run_agt_ram
+
+        with ev.capture() as sink:
+            result = run_agt_ram(tiny_instance)
+        report = audit_events(sink.events)
+        assert report.ok, report.summary()
+        assert report.rounds_audited == result.rounds + 1
+        assert report.payments_verified == result.rounds
+
+    def test_real_batched_log_passes(self, tiny_instance):
+        from repro.core.agt_ram import AGTRam
+
+        with ev.capture() as sink:
+            AGTRam(batch_size=4).run(tiny_instance)
+        report = audit_events(sink.events)
+        assert report.ok, report.summary()
+
+    def test_real_simulator_log_passes(self, tiny_instance):
+        from repro.runtime.simulator import SemiDistributedSimulator
+
+        with ev.capture() as sink:
+            SemiDistributedSimulator().run(tiny_instance)
+        report = audit_events(sink.events)
+        assert report.ok, report.summary()
+
+    def test_audit_file_round_trip(self, tiny_instance, tmp_path):
+        from repro.core.agt_ram import run_agt_ram
+
+        with ev.capture() as sink:
+            run_agt_ram(tiny_instance)
+        path = write_events_jsonl(sink.events, tmp_path / "run.jsonl")
+        assert audit_file(path).ok
+
+
+class TestViolations:
+    def test_corrupted_payment_is_flagged(self):
+        events = wrap_run(clean_round())
+        idx = next(
+            i for i, e in enumerate(events) if isinstance(e, ev.PaymentEvent)
+        )
+        report = audit_events(replace_event(events, idx, amount=4.99))
+        assert not report.ok
+        assert any(v.kind == "payment" for v in report.violations)
+        assert "FAIL" in report.summary()
+
+    def test_wrong_winner_is_flagged(self):
+        # Agent 1 (bid 2.0) declared winner although agent 0 bid 5.0.
+        events = wrap_run(
+            clean_round(winner=1, bids=((0, 5.0), (1, 2.0), (2, 1.0)))
+        )
+        # clean_round pays the correct second price for agent 1, so only
+        # the argmax check should fire.
+        report = audit_events(events)
+        assert any(
+            v.kind == "winner" and "argmax" in v.detail
+            for v in report.violations
+        )
+
+    def test_winner_mismatching_its_bid_is_flagged(self):
+        events = wrap_run(clean_round())
+        idx = next(
+            i for i, e in enumerate(events) if isinstance(e, ev.WinnerEvent)
+        )
+        report = audit_events(replace_event(events, idx, obj=7))
+        assert any(
+            v.kind == "winner" and "does not match" in v.detail
+            for v in report.violations
+        )
+
+    def test_capacity_violation_is_flagged(self):
+        events = wrap_run(clean_round())
+        idx = next(
+            i for i, e in enumerate(events) if isinstance(e, ev.WinnerEvent)
+        )
+        report = audit_events(
+            replace_event(events, idx, obj_size=11, residual_before=10)
+        )
+        assert any(v.kind == "capacity" for v in report.violations)
+
+    def test_residual_discontinuity_across_rounds_is_flagged(self):
+        # Round 0 leaves agent 0 with residual 8; round 1 claims 10 again.
+        rounds = clean_round(round=0, t=1.0) + clean_round(round=1, t=2.0)
+        report = audit_events(wrap_run(rounds))
+        assert any(
+            v.kind == "capacity" and "remained" in v.detail
+            for v in report.violations
+        )
+
+    def test_unjustified_capacity_reject_is_flagged(self):
+        events = wrap_run(clean_round())
+        events.insert(
+            -2,  # before NNUpdate/RoundEnd — inside the round
+            ev.CapacityReject(
+                t=1.0, round=0, agent=2, obj=3, obj_size=2, residual=10,
+            ),
+        )
+        report = audit_events(events)
+        assert any(
+            v.kind == "capacity" and "rejected" in v.detail
+            for v in report.violations
+        )
+
+    def test_duplicate_reason_reject_is_not_checked_against_residual(self):
+        events = wrap_run(clean_round())
+        events.insert(
+            -2,
+            ev.CapacityReject(
+                t=1.0, round=0, agent=2, obj=3, obj_size=2, residual=10,
+                reason="duplicate",
+            ),
+        )
+        assert audit_events(events).ok
+
+    def test_first_price_rule_is_flagged_as_untruthful(self):
+        events = wrap_run(clean_round())
+        idx = next(
+            i for i, e in enumerate(events) if isinstance(e, ev.PaymentEvent)
+        )
+        report = audit_events(
+            replace_event(events, idx, rule="first_price", amount=5.0)
+        )
+        assert any(
+            "not a truthful" in v.detail for v in report.violations
+        )
+
+    def test_payment_to_non_winner_is_flagged(self):
+        events = wrap_run(clean_round())
+        end_idx = next(
+            i for i, e in enumerate(events) if isinstance(e, ev.RoundEnd)
+        )
+        events.insert(end_idx, ev.PaymentEvent(t=1.0, round=0, agent=2, amount=1.0))
+        report = audit_events(events)
+        assert any(
+            v.kind == "payment" and "non-winner" in v.detail
+            for v in report.violations
+        )
+
+    def test_duplicate_bid_is_flagged(self):
+        events = wrap_run(clean_round())
+        bid_idx = next(
+            i for i, e in enumerate(events) if isinstance(e, ev.BidEvent)
+        )
+        events.insert(bid_idx, events[bid_idx])
+        report = audit_events(events)
+        assert any("bid twice" in v.detail for v in report.violations)
+
+    def test_committed_count_mismatch_is_flagged(self):
+        events = wrap_run(clean_round())
+        idx = next(
+            i for i, e in enumerate(events) if isinstance(e, ev.RoundEnd)
+        )
+        report = audit_events(replace_event(events, idx, committed=2))
+        assert any(
+            v.kind == "structure" and "winner event" in v.detail
+            for v in report.violations
+        )
+
+    def test_truncated_log_is_flagged(self):
+        events = wrap_run(clean_round())[:-3]  # drop NN/RoundEnd/RunEnd
+        report = audit_events(events)
+        assert any(
+            "open round" in v.detail for v in report.violations
+        )
+
+
+class TestCli:
+    def test_audit_cli_exit_codes(self, tiny_instance, tmp_path):
+        from repro.cli import main
+        from repro.core.agt_ram import run_agt_ram
+
+        with ev.capture() as sink:
+            run_agt_ram(tiny_instance)
+        good = write_events_jsonl(sink.events, tmp_path / "good.jsonl")
+        assert main(["audit", str(good)]) == 0
+
+        corrupted = [
+            dataclasses.replace(e, amount=e.amount + 1.0)
+            if isinstance(e, ev.PaymentEvent)
+            else e
+            for e in sink.events
+        ]
+        bad = write_events_jsonl(corrupted, tmp_path / "bad.jsonl")
+        assert main(["audit", str(bad)]) == 1

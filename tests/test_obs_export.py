@@ -1,0 +1,228 @@
+"""Unit tests for the repro.obs exporters (JSONL / Chrome trace / OpenMetrics)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import events as ev
+from repro.obs.export import (
+    EVENTS_KIND,
+    events_to_chrome_trace,
+    lint_openmetrics,
+    openmetrics_from_bench,
+    openmetrics_from_snapshot,
+    read_events_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+
+
+def small_stream() -> list[ev.Event]:
+    """A hand-built two-round run, valid for every exporter."""
+    return [
+        ev.RunStart(t=1.0, algorithm="AGT-RAM"),
+        ev.RoundStart(t=1.1, round=0),
+        ev.BidEvent(t=1.2, round=0, agent=0, obj=3, value=5.0),
+        ev.BidEvent(t=1.2, round=0, agent=1, obj=3, value=2.0),
+        ev.WinnerEvent(
+            t=1.3, round=0, agent=0, obj=3, value=5.0,
+            obj_size=2, residual_before=10,
+        ),
+        ev.PaymentEvent(t=1.4, round=0, agent=0, amount=2.0),
+        ev.NNUpdateEvent(t=1.5, round=0, obj=3, agents=2),
+        ev.RoundEnd(t=1.6, round=0, committed=1, otc=90.0),
+        ev.RoundStart(t=1.7, round=1),
+        ev.RoundEnd(t=1.8, round=1, committed=0, otc=90.0),
+        ev.RunEnd(t=1.9, algorithm="AGT-RAM", otc=90.0, rounds=1),
+    ]
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        events = small_stream()
+        path = write_events_jsonl(events, tmp_path / "run.jsonl")
+        assert read_events_jsonl(path) == events
+
+    def test_header_is_first_line(self, tmp_path):
+        path = write_events_jsonl(small_stream(), tmp_path / "run.jsonl")
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header == {
+            "kind": EVENTS_KIND,
+            "schema_version": ev.EVENT_SCHEMA_VERSION,
+        }
+
+    def test_rejects_foreign_header(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text('{"kind": "something-else", "schema_version": 1}\n')
+        with pytest.raises(ValueError, match="not a repro-events log"):
+            read_events_jsonl(p)
+
+    def test_rejects_newer_schema(self, tmp_path):
+        p = tmp_path / "future.jsonl"
+        p.write_text(
+            json.dumps(
+                {
+                    "kind": EVENTS_KIND,
+                    "schema_version": ev.EVENT_SCHEMA_VERSION + 1,
+                }
+            )
+            + "\n"
+        )
+        with pytest.raises(ValueError, match="newer than supported"):
+            read_events_jsonl(p)
+
+    def test_rejects_empty_file(self, tmp_path):
+        p = tmp_path / "empty.jsonl"
+        p.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_events_jsonl(p)
+
+    def test_parse_error_carries_line_number(self, tmp_path):
+        path = write_events_jsonl(small_stream()[:2], tmp_path / "run.jsonl")
+        with open(path, "a") as f:
+            f.write('{"type": "martian", "t": 0.0}\n')
+        with pytest.raises(ValueError, match="line 4"):
+            read_events_jsonl(path)
+
+
+class TestChromeTrace:
+    def test_empty_stream(self):
+        doc = events_to_chrome_trace([])
+        assert doc["traceEvents"] == []
+        validate_chrome_trace(doc)
+
+    def test_rounds_become_slices_and_bids_become_instants(self):
+        doc = events_to_chrome_trace(small_stream())
+        validate_chrome_trace(doc)
+        by_ph: dict[str, list] = {}
+        for e in doc["traceEvents"]:
+            by_ph.setdefault(e["ph"], []).append(e)
+        slice_names = {e["name"] for e in by_ph["X"]}
+        assert slice_names == {"run AGT-RAM", "round 0", "round 1"}
+        instant_names = [e["name"] for e in by_ph["i"]]
+        assert instant_names.count("bid") == 2
+        assert "winner" in instant_names and "payment" in instant_names
+        # Per-agent tracks: agent 0 -> tid 1, agent 1 -> tid 2.
+        bid_tids = {e["tid"] for e in by_ph["i"] if e["name"] == "bid"}
+        assert bid_tids == {1, 2}
+        thread_names = {
+            e["args"]["name"] for e in by_ph["M"] if e["name"] == "thread_name"
+        }
+        assert thread_names == {"central", "agent 0", "agent 1"}
+
+    def test_timestamps_rebased_to_microseconds(self):
+        doc = events_to_chrome_trace(small_stream())
+        non_meta = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert non_meta[0]["ts"] == 0.0
+        run = next(e for e in non_meta if e["name"] == "run AGT-RAM")
+        assert run["dur"] == pytest.approx(0.9e6)
+
+    def test_write_produces_loadable_json(self, tmp_path):
+        path = write_chrome_trace(small_stream(), tmp_path / "trace.json")
+        doc = json.loads(path.read_text())
+        validate_chrome_trace(doc)
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_validate_rejects_decreasing_ts(self):
+        doc = {
+            "traceEvents": [
+                {"name": "a", "ph": "i", "ts": 5.0, "pid": 1, "tid": 0, "s": "t"},
+                {"name": "b", "ph": "i", "ts": 1.0, "pid": 1, "tid": 0, "s": "t"},
+            ]
+        }
+        with pytest.raises(ValueError, match="decreases"):
+            validate_chrome_trace(doc)
+
+    def test_validate_rejects_missing_keys_and_bad_dur(self):
+        with pytest.raises(ValueError, match="missing required key"):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "a", "ph": "i", "ts": 0.0, "pid": 1}]}
+            )
+        with pytest.raises(ValueError, match="dur"):
+            validate_chrome_trace(
+                {
+                    "traceEvents": [
+                        {"name": "a", "ph": "X", "ts": 0.0, "pid": 1, "tid": 0}
+                    ]
+                }
+            )
+
+    def test_mechanism_stream_is_valid(self, tiny_instance):
+        from repro.core.agt_ram import run_agt_ram
+
+        with ev.capture() as sink:
+            run_agt_ram(tiny_instance)
+        doc = events_to_chrome_trace(sink.events)
+        validate_chrome_trace(doc)
+        assert len(doc["traceEvents"]) > 10
+
+
+class TestOpenMetrics:
+    def test_snapshot_export_lints_clean(self):
+        snapshot = {
+            "spans": {
+                "mechanism/AGT-RAM": {"count": 3, "total_s": 0.5},
+                "mechanism/AGT-RAM/round/argmax": {"count": 17, "total_s": 0.01},
+            },
+            "counters": {"mechanism/AGT-RAM/rounds": 17},
+        }
+        text = openmetrics_from_snapshot(snapshot, labels={"algorithm": "AGT-RAM"})
+        assert lint_openmetrics(text) == []
+        assert 'path="mechanism/AGT-RAM"' in text
+        assert text.endswith("# EOF\n")
+
+    def test_bench_export_lints_clean(self):
+        doc = {
+            "scale": "tiny",
+            "results": [
+                {
+                    "scenario": "placement",
+                    "algorithm": "AGT-RAM",
+                    "wall_s": 0.004,
+                    "savings_percent": 17.8,
+                    "rounds": 17,
+                    "replicas": 17,
+                    "spans": {"mechanism/AGT-RAM": {"count": 1, "total_s": 0.004}},
+                },
+                {
+                    "scenario": "protocol",
+                    "algorithm": "AGT-RAM(simulated)",
+                    "wall_s": 0.01,
+                    "messages": 500,
+                    "bytes": 12_000,
+                },
+            ],
+        }
+        text = openmetrics_from_bench(doc)
+        assert lint_openmetrics(text) == []
+        assert "repro_bench_messages" in text
+        # Counter families are declared without the _total suffix.
+        assert "# TYPE repro_span_seconds counter" in text
+        assert "repro_span_seconds_total{" in text
+
+    def test_label_escaping(self):
+        text = openmetrics_from_snapshot(
+            {"spans": {}, "counters": {'weird"path\\n': 1}},
+        )
+        assert lint_openmetrics(text) == []
+        assert '\\"' in text and "\\\\" in text
+
+    def test_lint_flags_problems(self):
+        bad = "\n".join(
+            [
+                "# TYPE repro_x gauge",
+                "# TYPE repro_x gauge",  # duplicate
+                "repro_x 1.0",
+                "repro_undeclared 2.0",  # no TYPE
+                "repro_x not-a-number",  # bad value
+                "no spaces here",  # malformed
+            ]
+        )  # and no trailing # EOF
+        problems = lint_openmetrics(bad)
+        assert any("EOF" in p for p in problems)
+        assert any("duplicate TYPE" in p for p in problems)
+        assert any("undeclared" in p for p in problems)
+        assert len(problems) >= 4

@@ -91,6 +91,45 @@ class TestRunBench:
         assert record["bytes"] > 0
         assert "simulator/run" in record["spans"]
 
+    def test_agt_ram_record_has_round_series(self, tiny_doc):
+        (record,) = [
+            r
+            for r in tiny_doc["results"]
+            if r["algorithm"] == "AGT-RAM" and r["scenario"] == "placement"
+        ]
+        series = record["series"]
+        n = record["rounds"]
+        for key in ("otc", "best_bid", "payment", "n_bids"):
+            assert len(series[key]) == n, f"series[{key}] != rounds"
+        # OTC trajectory is non-increasing (every commit lowers the OTC).
+        assert all(a >= b for a, b in zip(series["otc"], series["otc"][1:]))
+
+    def test_protocol_record_has_protocol_series(self, tiny_doc):
+        (record,) = [
+            r for r in tiny_doc["results"] if r["scenario"] == "protocol"
+        ]
+        series = record["series"]
+        n = record["rounds"]
+        assert len(series["messages"]) == n
+        assert len(series["bytes"]) == n
+        # Work is recorded per bid sweep, including the terminating one.
+        assert len(series["parallel_round_work"]) == n + 1
+        assert len(series["serial_round_work"]) == n + 1
+        assert sum(series["messages"]) <= record["messages"]
+
+    def test_rejects_bad_series(self, tiny_doc):
+        doc = copy.deepcopy(tiny_doc)
+        doc["results"][0]["series"] = {"otc": "not-a-list"}
+        with pytest.raises(ValueError, match="series"):
+            validate_document(doc)
+
+    def test_v1_document_without_series_still_validates(self, tiny_doc):
+        doc = copy.deepcopy(tiny_doc)
+        doc["schema_version"] = 1
+        for record in doc["results"]:
+            record.pop("series", None)
+        validate_document(doc)
+
     def test_rejects_bad_repeats(self):
         with pytest.raises(ValueError):
             run_bench(scale="tiny", repeats=0)

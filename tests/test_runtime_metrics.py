@@ -71,4 +71,13 @@ class TestDerivedProperties:
             "total_work": 6,
             "critical_path_work": 5,
             "parallel_speedup": pytest.approx(1.2),
+            "parallel_round_work": [3, 2],
+            "serial_round_work": [4, 2],
         }
+
+    def test_summary_series_are_copies(self):
+        metrics = RuntimeMetrics()
+        metrics.record_round_work([1])
+        summary = metrics.summary()
+        summary["parallel_round_work"].append(99)
+        assert metrics.parallel_round_work == [1]
