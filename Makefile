@@ -10,7 +10,11 @@ BENCH_GATE ?= 0
 BENCH_BASELINE ?= benchmarks/baseline_tiny.json
 
 .PHONY: install test test-fast test-slow bench bench-json bench-compare \
-        trace audit lint reproduce examples clean
+        trace audit chaos lint reproduce examples clean
+
+# Chaos campaign knobs (see docs/robustness.md).
+CHAOS_SEED ?= 5
+CHAOS_MAX_DEGRADATION ?= 1.05
 
 install:
 	pip install -e . || python setup.py develop
@@ -45,6 +49,17 @@ trace:
 audit:
 	python -m repro audit events.jsonl
 
+# Seeded fault-injection campaign: lossy channel + crash schedule +
+# central crashes, gated on OTC degradation, then audited offline.
+chaos:
+	python -m repro chaos --servers 16 --objects 60 --requests 8000 \
+		--seed 101 --fault-seed $(CHAOS_SEED) \
+		--central-crash-rate 0.03 \
+		--max-degradation $(CHAOS_MAX_DEGRADATION) \
+		--events chaos_events.jsonl --report chaos_report.json \
+		--fault-log chaos_faults.json
+	python -m repro audit chaos_events.jsonl
+
 lint:
 	ruff check src/repro/obs
 	ruff format --check src/repro/obs
@@ -58,5 +73,6 @@ examples:
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .ruff_cache \
-		.mypy_cache bench.json events.jsonl trace.json metrics.prom
+		.mypy_cache bench.json events.jsonl trace.json metrics.prom \
+		chaos_events.jsonl chaos_report.json chaos_faults.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

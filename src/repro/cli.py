@@ -9,6 +9,7 @@ sweep      capacity or R/W sweep, printed as table + ASCII chart
 axioms     run AGT-RAM with an audit and verify the six axioms
 bench      machine-readable perf harness (BENCH_*.json + regression diff)
 audit      offline axiom verification of a recorded JSONL event log
+chaos      seeded fault-injection campaign vs a fault-free baseline
 
 ``run`` and ``bench`` accept ``--events`` (JSONL event log),
 ``--chrome-trace`` (Perfetto-loadable trace) and ``--metrics-out``
@@ -322,6 +323,147 @@ def cmd_audit(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Seeded chaos campaign: run the simulator under a fault plan and
+    report OTC / round / message degradation against the fault-free
+    baseline on the same instance.
+
+    The run is fully deterministic (``--fault-seed`` fixes the schedule
+    and the channel; the event log uses a logical clock, so two runs
+    with the same arguments are byte-for-byte identical).  Exit status
+    is non-zero if the final scheme is infeasible, the event log fails
+    the mechanism audit, or OTC degrades beyond ``--max-degradation``.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.drp.feasibility import check_state
+    from repro.obs import events as obs_events
+    from repro.obs.audit import audit_events
+    from repro.runtime.faults import ChannelConfig, FaultPlan, FaultSchedule, QuorumPolicy
+    from repro.runtime.simulator import SemiDistributedSimulator
+
+    instance = _instance_from_args(args)
+    m = instance.n_servers
+
+    baseline = SemiDistributedSimulator().run(instance)
+    base_log = baseline.extra["metrics"].log
+
+    schedule = FaultSchedule.random(
+        n_agents=m,
+        horizon=args.horizon,
+        seed=args.fault_seed,
+        crash_rate=args.crash_rate,
+        mean_outage=args.mean_outage,
+        straggler_rate=args.straggler_rate,
+        central_crash_rate=args.central_crash_rate,
+        central_crashes=tuple(args.central_crash_round or ()),
+    )
+    plan = FaultPlan(
+        schedule=schedule,
+        channel=ChannelConfig(
+            drop=args.drop, delay=args.delay, duplicate=args.duplicate
+        ),
+        quorum=QuorumPolicy(
+            quorum=args.quorum,
+            max_retries=args.max_retries,
+            max_stalled_rounds=args.max_stalled_rounds,
+        ),
+        checkpoint_period=args.checkpoint_period,
+        seed=args.fault_seed,
+    )
+
+    sink = obs_events.RecordingSink()
+    with obs_events.logical_time(), obs_events.capture(sink):
+        chaos = SemiDistributedSimulator(faults=plan).run(instance)
+    chaos_log = chaos.extra["metrics"].log
+
+    feasible = True
+    try:
+        check_state(chaos.state)
+    except Exception as exc:  # infeasibility details go in the report
+        feasible = False
+        print(f"INFEASIBLE final scheme: {exc}", file=sys.stderr)
+
+    audit = audit_events(sink.events)
+    degradation = chaos.otc / baseline.otc if baseline.otc else 1.0
+    summary = chaos.extra["fault_summary"]
+
+    rows = [
+        ["OTC", f"{baseline.otc:,.0f}", f"{chaos.otc:,.0f}",
+         f"x{degradation:.4f}"],
+        ["rounds (committed)", baseline.rounds, chaos.rounds, ""],
+        ["rounds (protocol)", baseline.extra["protocol_rounds"],
+         chaos.extra["protocol_rounds"], ""],
+        ["messages", base_log.total_messages(), chaos_log.total_messages(),
+         ""],
+        ["bytes", base_log.bytes_total, chaos_log.bytes_total, ""],
+    ]
+    print(
+        render_table(
+            ["metric", "fault-free", "chaos", "degradation"],
+            rows,
+            title=f"chaos campaign on {instance.name} (M={m}, "
+            f"N={instance.n_objects}, fault seed {args.fault_seed})",
+        )
+    )
+    injected = summary["injected"]
+    print(
+        "injected: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(injected.items()) if v)
+    )
+    print(f"feasible: {'yes' if feasible else 'NO'}")
+    print(f"audit:    {'PASS' if audit.ok else 'FAIL'}")
+
+    report = {
+        "kind": "repro-chaos",
+        "instance": {
+            "name": instance.name,
+            "n_servers": m,
+            "n_objects": instance.n_objects,
+            "seed": args.seed,
+        },
+        "fault_seed": args.fault_seed,
+        "baseline": {
+            "otc": baseline.otc,
+            "rounds": baseline.rounds,
+            "messages": base_log.total_messages(),
+            "bytes": base_log.bytes_total,
+        },
+        "chaos": {
+            "otc": chaos.otc,
+            "rounds": chaos.rounds,
+            "protocol_rounds": chaos.extra["protocol_rounds"],
+            "messages": chaos_log.total_messages(),
+            "bytes": chaos_log.bytes_total,
+            "message_counts": dict(sorted(chaos_log.counts.items())),
+        },
+        "otc_degradation": degradation,
+        "feasible": feasible,
+        "audit_ok": audit.ok,
+        "audit_violations": [str(v) for v in audit.violations],
+        "fault_summary": summary,
+    }
+    if args.report:
+        Path(args.report).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote chaos report -> {args.report}")
+    if args.fault_log:
+        Path(args.fault_log).write_text(json.dumps(summary, indent=2) + "\n")
+        print(f"wrote fault summary -> {args.fault_log}")
+    _write_event_exports(args, sink)
+
+    if not feasible or not audit.ok:
+        return 1
+    if args.max_degradation is not None and degradation > args.max_degradation:
+        print(
+            f"FAIL: OTC degradation x{degradation:.4f} exceeds bound "
+            f"x{args.max_degradation:.4f}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_axioms(args: argparse.Namespace) -> int:
     instance = _instance_from_args(args)
     result = run_agt_ram(instance, record_audit=True)
@@ -430,6 +572,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("log", help="JSONL event log written by --events")
     p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection campaign vs a fault-free baseline",
+    )
+    _add_instance_args(p)
+    p.add_argument(
+        "--fault-seed", type=int, default=0, dest="fault_seed",
+        help="seed for the fault schedule and the lossy channel",
+    )
+    p.add_argument(
+        "--horizon", type=int, default=200,
+        help="protocol rounds covered by the random schedule (default 200)",
+    )
+    p.add_argument("--drop", type=float, default=0.1,
+                   help="per-transmission drop probability (default 0.1)")
+    p.add_argument("--delay", type=float, default=0.05,
+                   help="past-deadline delay probability (default 0.05)")
+    p.add_argument("--duplicate", type=float, default=0.05,
+                   help="duplicate-delivery probability (default 0.05)")
+    p.add_argument("--crash-rate", type=float, default=0.02, dest="crash_rate",
+                   help="per-agent per-round crash probability (default 0.02)")
+    p.add_argument("--mean-outage", type=float, default=3.0, dest="mean_outage",
+                   help="mean crash outage length in rounds (default 3)")
+    p.add_argument("--straggler-rate", type=float, default=0.02,
+                   dest="straggler_rate",
+                   help="per-agent per-round straggler probability")
+    p.add_argument("--central-crash-rate", type=float, default=0.0,
+                   dest="central_crash_rate",
+                   help="per-round central-crash probability (default 0)")
+    p.add_argument("--central-crash-round", type=int, action="append",
+                   dest="central_crash_round", metavar="ROUND",
+                   help="crash the central at this round (repeatable)")
+    p.add_argument("--quorum", type=float, default=0.5,
+                   help="fraction of expected bids required to commit")
+    p.add_argument("--max-retries", type=int, default=2, dest="max_retries",
+                   help="bid retransmissions before the deadline (default 2)")
+    p.add_argument("--max-stalled-rounds", type=int, default=200,
+                   dest="max_stalled_rounds",
+                   help="consecutive stalls before giving up (default 200)")
+    p.add_argument("--checkpoint-period", type=int, default=8,
+                   dest="checkpoint_period",
+                   help="central checkpoint every K commits; 0 disables")
+    p.add_argument("--max-degradation", type=float, default=None,
+                   dest="max_degradation",
+                   help="fail (exit 1) if chaos OTC exceeds fault-free OTC "
+                   "by more than this ratio (e.g. 1.05)")
+    p.add_argument("--report", help="write the full chaos report JSON here")
+    p.add_argument("--fault-log", dest="fault_log",
+                   help="write the fault-plan + injection summary JSON here")
+    _add_export_args(p)
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
         "reproduce", help="regenerate the paper's figures/tables"

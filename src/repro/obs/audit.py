@@ -15,6 +15,16 @@ that
   winner's recorded residual, residuals shrink consistently across
   rounds, and every capacity rejection was justified.
 
+**Faulty runs** are audited *modulo the fault log*: a
+:class:`~repro.obs.events.TimeoutEvent` declares which agents' bids
+were lost to the channel that round, and exactly those agents are
+excluded from the argmax and second-price checks — the central body
+can only be held to the bids that reached it.  The declaration is
+itself checked: a timeout naming an agent that never bid is a
+structure violation, and a *winner* whose bid the log claims was lost
+is a winner violation.  Fault, election, checkpoint, and recovery
+events are tallied in the report.
+
 Any discrepancy — a corrupted log, a buggy reimplementation, a
 non-truthful payment rule — surfaces as a :class:`AuditViolation`.
 ``python -m repro audit run.jsonl`` is the CLI wrapper.
@@ -30,13 +40,18 @@ from typing import Iterable, Optional
 from repro.obs.events import (
     BidEvent,
     CapacityReject,
+    CheckpointEvent,
+    ElectionEvent,
     Event,
+    FaultEvent,
     NNUpdateEvent,
     PaymentEvent,
+    RecoveryEvent,
     RoundEnd,
     RoundStart,
     RunEnd,
     RunStart,
+    TimeoutEvent,
     WinnerEvent,
 )
 
@@ -69,6 +84,11 @@ class AuditReport:
     rounds_audited: int = 0
     bids_seen: int = 0
     payments_verified: int = 0
+    faults_seen: int = 0
+    timeouts_seen: int = 0
+    elections_seen: int = 0
+    checkpoints_seen: int = 0
+    recoveries_seen: int = 0
     violations: list[AuditViolation] = field(default_factory=list)
 
     @property
@@ -82,7 +102,21 @@ class AuditReport:
             f"bids seen          {self.bids_seen}",
             f"payments verified  {self.payments_verified}",
         ]
+        if self.faults_seen or self.timeouts_seen or self.recoveries_seen:
+            lines.append(
+                f"faults seen        {self.faults_seen} "
+                f"(timeouts {self.timeouts_seen}, elections "
+                f"{self.elections_seen}, checkpoints {self.checkpoints_seen}, "
+                f"recoveries {self.recoveries_seen})"
+            )
         if self.ok:
+            if self.timeouts_seen:
+                lines.append(
+                    "PASS  every round paid the true second price, picked "
+                    "the argmax bid, and respected capacity — modulo the "
+                    "declared fault log"
+                )
+                return "\n".join(lines)
             lines.append(
                 "PASS  every round paid the true second price, picked the "
                 "argmax bid, and respected capacity"
@@ -106,6 +140,9 @@ class _Round:
     winners: list[WinnerEvent] = field(default_factory=list)
     payments: list[PaymentEvent] = field(default_factory=list)
     rejects: list[CapacityReject] = field(default_factory=list)
+    #: Agents whose bids a TimeoutEvent declared lost; excluded from
+    #: argmax/payment verification.
+    missing: set[int] = field(default_factory=set)
 
 
 class _Auditor:
@@ -178,6 +215,28 @@ class _Auditor:
         elif isinstance(event, CapacityReject):
             if self._round is not None:
                 self._round.rejects.append(event)
+        elif isinstance(event, TimeoutEvent):
+            self.report.timeouts_seen += 1
+            if self._round is None:
+                self._flag(event.round, "structure", "timeout outside any round")
+                return
+            for agent in event.agents:
+                if agent not in self._round.bids:
+                    self._flag(
+                        event.round,
+                        "structure",
+                        f"timeout declares agent {agent}'s bid lost, but "
+                        f"that agent never bid this round",
+                    )
+            self._round.missing.update(event.agents)
+        elif isinstance(event, FaultEvent):
+            self.report.faults_seen += 1
+        elif isinstance(event, ElectionEvent):
+            self.report.elections_seen += 1
+        elif isinstance(event, CheckpointEvent):
+            self.report.checkpoints_seen += 1
+        elif isinstance(event, RecoveryEvent):
+            self.report.recoveries_seen += 1
         elif isinstance(event, NNUpdateEvent):
             pass
         elif isinstance(event, RoundEnd):
@@ -198,11 +257,24 @@ class _Auditor:
                 f"round committed {end.committed} replica(s) but logged "
                 f"{len(rnd.winners)} winner event(s)",
             )
-        values = {a: b.value for a, b in rnd.bids.items()}
+        # Bids declared lost by a TimeoutEvent never reached the central
+        # body, so the argmax/second-price invariants hold over the
+        # *delivered* reports only.
+        values = {
+            a: b.value for a, b in rnd.bids.items() if a not in rnd.missing
+        }
         best = max(values.values()) if values else float("-inf")
         winner_agents = {w.agent for w in rnd.winners}
 
         for w in rnd.winners:
+            if w.agent in rnd.missing:
+                self._flag(
+                    rnd.index,
+                    "winner",
+                    f"winner {w.agent}'s bid was declared lost by the "
+                    f"round's timeout — a lost bid cannot win",
+                )
+                continue
             self._verify_winner(rnd, w, values, best)
             self._verify_capacity(rnd, w)
         for p in rnd.payments:

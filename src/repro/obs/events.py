@@ -46,7 +46,13 @@ __all__ = [
     "NNUpdateEvent",
     "CapacityReject",
     "RoundEnd",
+    "FaultEvent",
+    "TimeoutEvent",
+    "ElectionEvent",
+    "CheckpointEvent",
+    "RecoveryEvent",
     "parse_event",
+    "logical_time",
     "EventSink",
     "NullSink",
     "RecordingSink",
@@ -202,6 +208,92 @@ class RoundEnd(Event):
     otc: float = 0.0
 
 
+@dataclass(frozen=True)
+class FaultEvent(Event):
+    """One injected fault (:mod:`repro.runtime.faults`).
+
+    ``kind`` names the fault: ``"drop"``, ``"delay"``, ``"duplicate"``,
+    ``"straggler"``, ``"agent_crash"``, or ``"central_crash"``.
+    ``target`` is the affected traffic class (``"bid"``,
+    ``"nn_update"``, ``"resync"``; empty for process faults) and
+    ``agent`` the affected agent (``-1`` for the central body).
+    """
+
+    type: ClassVar[str] = "fault"
+
+    round: int = 0
+    kind: str = ""
+    agent: int = -1
+    target: str = ""
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class TimeoutEvent(Event):
+    """The round's bid deadline passed with bids still missing.
+
+    ``agents`` lists the bidders whose reports never arrived in time
+    (the audit excludes exactly these from its argmax/second-price
+    re-verification — a dropped bid is not a wrong winner).
+    ``quorum_met`` records whether the central body proceeded with the
+    ``received`` of ``expected`` bids or stalled the round.
+    """
+
+    type: ClassVar[str] = "timeout"
+
+    round: int = 0
+    agents: tuple[int, ...] = ()
+    expected: int = 0
+    received: int = 0
+    quorum_met: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "agents", tuple(self.agents))
+
+
+@dataclass(frozen=True)
+class ElectionEvent(Event):
+    """A §7 central-body handover: the live agents elected a new acting
+    central.  ``voters`` counts the live electorate."""
+
+    type: ClassVar[str] = "election"
+
+    round: int = 0
+    candidate: int = -1
+    voters: int = 0
+
+
+@dataclass(frozen=True)
+class CheckpointEvent(Event):
+    """The central body snapshotted its state (round counter + replica
+    map) after ``allocations`` total commits."""
+
+    type: ClassVar[str] = "checkpoint"
+
+    round: int = 0
+    allocations: int = 0
+
+
+@dataclass(frozen=True)
+class RecoveryEvent(Event):
+    """A crashed component came back.
+
+    ``kind`` is ``"agent"`` (a crashed agent rejoined the game) or
+    ``"central"`` (the acting central restored ``checkpoint_round``'s
+    snapshot and re-learned ``replayed`` newer commits from the agents'
+    state-sync reports).
+    """
+
+    type: ClassVar[str] = "recovery"
+
+    round: int = 0
+    kind: str = "agent"
+    agent: int = -1
+    checkpoint_round: int = -1
+    replayed: int = 0
+    acting_central: int = -1
+
+
 #: ``type`` tag -> event class, for parsing serialized records.
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.type: cls
@@ -215,6 +307,11 @@ EVENT_TYPES: dict[str, type[Event]] = {
         NNUpdateEvent,
         CapacityReject,
         RoundEnd,
+        FaultEvent,
+        TimeoutEvent,
+        ElectionEvent,
+        CheckpointEvent,
+        RecoveryEvent,
     )
 }
 
@@ -231,6 +328,26 @@ def parse_event(record: dict[str, Any]) -> Event:
         raise ValueError(f"unknown event type {tag!r}")
     names = {f.name for f in fields(cls)}
     return cls(**{k: v for k, v in record.items() if k in names})
+
+
+@contextmanager
+def logical_time() -> Iterator[None]:
+    """Swap the event clock for a deterministic counter.
+
+    Inside the block every :func:`now` call returns 0.0, 1.0, 2.0, … —
+    which makes event logs byte-for-byte reproducible across runs (the
+    chaos campaign's determinism guarantee).  Ordering and structure are
+    preserved; durations become meaningless.  The swap is process-global
+    (module-level), so don't nest it with concurrent wall-clock captures.
+    """
+    global now
+    previous = now
+    counter = iter(range(1 << 62))
+    now = lambda: float(next(counter))  # noqa: E731
+    try:
+        yield
+    finally:
+        now = previous
 
 
 # -- sinks -------------------------------------------------------------------

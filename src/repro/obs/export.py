@@ -24,13 +24,18 @@ from repro.obs.events import (
     EVENT_SCHEMA_VERSION,
     BidEvent,
     CapacityReject,
+    CheckpointEvent,
+    ElectionEvent,
     Event,
+    FaultEvent,
     NNUpdateEvent,
     PaymentEvent,
+    RecoveryEvent,
     RoundEnd,
     RoundStart,
     RunEnd,
     RunStart,
+    TimeoutEvent,
     WinnerEvent,
     parse_event,
 )
@@ -211,6 +216,58 @@ def events_to_chrome_trace(events: Sequence[Event]) -> dict[str, Any]:
                 "nn_update",
                 _CENTRAL_TID,
                 {"obj": e.obj, "agents": e.agents, "round": e.round},
+            )
+        elif isinstance(e, FaultEvent):
+            tid = _CENTRAL_TID if e.agent < 0 else e.agent + 1
+            if e.agent >= 0:
+                agents_seen.add(e.agent)
+            instant(
+                e,
+                f"fault:{e.kind}",
+                tid,
+                {"target": e.target, "detail": e.detail, "round": e.round},
+            )
+        elif isinstance(e, TimeoutEvent):
+            instant(
+                e,
+                "bid_timeout",
+                _CENTRAL_TID,
+                {
+                    "agents": list(e.agents),
+                    "expected": e.expected,
+                    "received": e.received,
+                    "quorum_met": e.quorum_met,
+                    "round": e.round,
+                },
+            )
+        elif isinstance(e, ElectionEvent):
+            instant(
+                e,
+                "election",
+                _CENTRAL_TID,
+                {"candidate": e.candidate, "voters": e.voters, "round": e.round},
+            )
+        elif isinstance(e, CheckpointEvent):
+            instant(
+                e,
+                "checkpoint",
+                _CENTRAL_TID,
+                {"allocations": e.allocations, "round": e.round},
+            )
+        elif isinstance(e, RecoveryEvent):
+            tid = _CENTRAL_TID if e.agent < 0 else e.agent + 1
+            if e.agent >= 0:
+                agents_seen.add(e.agent)
+            instant(
+                e,
+                f"recovery:{e.kind}",
+                tid,
+                {
+                    "checkpoint_round": e.checkpoint_round,
+                    "replayed": e.replayed,
+                    "acting_central": e.acting_central,
+                    "round": e.round,
+                },
             )
 
     # Track naming metadata: process + central + one track per agent.

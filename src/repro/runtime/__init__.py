@@ -12,7 +12,10 @@ package simulates that protocol at message granularity:
   :class:`~repro.core.agents.ReplicaAgent` objects through Figure 2,
 * :mod:`repro.runtime.parallel` — thread-pool evaluation of the PARFOR
   loops (agents genuinely compute bids concurrently),
-* :mod:`repro.runtime.metrics` — rounds / messages / bytes accounting.
+* :mod:`repro.runtime.metrics` — rounds / messages / bytes accounting,
+* :mod:`repro.runtime.faults` — fault injection: crash/recover
+  schedules, lossy channels, bid deadlines with quorum degradation, and
+  central checkpoint/recovery.
 """
 
 from repro.runtime.messages import (
@@ -21,7 +24,21 @@ from repro.runtime.messages import (
     AllocateMessage,
     PaymentMessage,
     NNUpdateMessage,
+    NNResyncMessage,
+    StateSyncMessage,
+    ElectionMessage,
     MessageLog,
+)
+from repro.runtime.faults import (
+    ChannelConfig,
+    Checkpoint,
+    CheckpointStore,
+    Delivery,
+    FaultInjector,
+    FaultPlan,
+    FaultSchedule,
+    FaultyChannel,
+    QuorumPolicy,
 )
 from repro.runtime.central import CentralBody, Decision
 from repro.runtime.metrics import RuntimeMetrics
@@ -35,7 +52,19 @@ __all__ = [
     "AllocateMessage",
     "PaymentMessage",
     "NNUpdateMessage",
+    "NNResyncMessage",
+    "StateSyncMessage",
+    "ElectionMessage",
     "MessageLog",
+    "ChannelConfig",
+    "Checkpoint",
+    "CheckpointStore",
+    "Delivery",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSchedule",
+    "FaultyChannel",
+    "QuorumPolicy",
     "CentralBody",
     "Decision",
     "RuntimeMetrics",

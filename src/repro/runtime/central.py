@@ -51,25 +51,43 @@ class CentralBody:
     def decide(self, bids: list[BidMessage], n_agents: int) -> RoundOutcome:
         """Pick the globally dominant bid and price it.
 
-        Duplicate bids from one agent in a round violate the protocol.
+        **Tie-breaking is deterministic: on equal top bids the lowest
+        agent id wins** (``np.argmax`` returns the first maximum).  The
+        rule matters under quorum degradation, where lost bids make ties
+        between the survivors more likely; a fixed rule keeps every
+        replay of the same bid set bit-identical.
+
+        **Duplicate tolerance**: lossy links retransmit, so the same bid
+        may arrive more than once.  A copy that repeats an already-seen
+        ``(sender, seq)`` pair — or carries identical content under a
+        different sequence number — is discarded idempotently.  Two
+        bids from one agent with *conflicting* content still violate the
+        protocol and raise :class:`MechanismProtocolError`, as does a
+        bid from an out-of-range agent id.
         """
-        seen: set[int] = set()
+        seen: dict[int, tuple[int, float]] = {}
         values = np.full(n_agents, -np.inf)
         objs = np.full(n_agents, -1, dtype=np.int64)
+        any_bid = False
         for bid in bids:
-            if bid.sender in seen:
-                raise MechanismProtocolError(
-                    f"agent {bid.sender} sent two bids in one round"
-                )
             if not (0 <= bid.sender < n_agents):
                 raise MechanismProtocolError(
                     f"bid from unknown agent {bid.sender}"
                 )
-            seen.add(bid.sender)
+            content = (bid.obj, bid.value)
+            if bid.sender in seen:
+                if seen[bid.sender] == content:
+                    continue  # retransmit / network duplicate
+                raise MechanismProtocolError(
+                    f"agent {bid.sender} sent two bids with conflicting "
+                    f"content in one round"
+                )
+            seen[bid.sender] = content
             values[bid.sender] = bid.value
             objs[bid.sender] = bid.obj
+            any_bid = True
 
-        if not len(bids):
+        if not any_bid:
             return RoundOutcome(decision=Decision.DO_NOT_REPLICATE)
         winner = int(np.argmax(values))
         best = float(values[winner])

@@ -27,13 +27,21 @@ class Message:
 @dataclass(frozen=True)
 class BidMessage(Message):
     """Agent → central: dominant valuation for a desired object
-    (Figure 2 line 08)."""
+    (Figure 2 line 08).
+
+    ``seq`` is the per-round transmission sequence number: 0 for the
+    first send, incremented on every deadline-driven retransmission.
+    The central body uses it (together with the bid content) to discard
+    network-duplicated or retransmitted copies idempotently instead of
+    treating them as protocol violations.
+    """
 
     obj: int = -1
     value: float = 0.0
+    seq: int = 0
 
     def wire_bytes(self) -> int:
-        return Message.WIRE_BYTES + 4 + 8
+        return Message.WIRE_BYTES + 4 + 8 + 4
 
 
 @dataclass(frozen=True)
@@ -70,6 +78,46 @@ class NNUpdateMessage(Message):
 
     def wire_bytes(self) -> int:
         return Message.WIRE_BYTES + 4
+
+
+@dataclass(frozen=True)
+class NNResyncMessage(Message):
+    """Periodic NN-table resync under the lazy update protocol.
+
+    Where the eager protocol acknowledges one object per round
+    (:class:`NNUpdateMessage`), the lazy protocol batches: every
+    ``nn_update_period`` rounds each agent refreshes *all* objects
+    allocated since the last broadcast.  ``objs`` is that stale set, and
+    the wire size scales with it — the honest cost of the batched
+    refresh (4 bytes per object id plus a 4-byte count).
+    """
+
+    objs: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "objs", tuple(self.objs))
+
+    def wire_bytes(self) -> int:
+        return Message.WIRE_BYTES + 4 + 4 * len(self.objs)
+
+
+@dataclass(frozen=True)
+class StateSyncMessage(Message):
+    """Agent → recovering central: the agent's current replica holdings.
+
+    Sent during checkpoint recovery so the restored central body can
+    rebuild the replica map for the rounds lost since its last
+    checkpoint.  Carries one 4-byte object id per held replica plus a
+    4-byte count.
+    """
+
+    objs: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "objs", tuple(self.objs))
+
+    def wire_bytes(self) -> int:
+        return Message.WIRE_BYTES + 4 + 4 * len(self.objs)
 
 
 @dataclass(frozen=True)

@@ -6,6 +6,14 @@ every message.  Produces byte/round/critical-path accounting the
 vectorized engine cannot, and — by construction — the *same final
 replication scheme* as :class:`~repro.core.agt_ram.AGTRam` under
 truthful agents (a tested equivalence).
+
+Fault injection (:mod:`repro.runtime.faults`) layers realistic failure
+modes on top of the faithful protocol: agent crash/recover intervals,
+central-body crashes with checkpoint recovery, stragglers, and a lossy
+channel that drops/delays/duplicates bid and NN-update traffic.  Under
+a *null* :class:`~repro.runtime.faults.FaultPlan` (or ``faults=None``)
+the execution — final scheme, rounds, message stream — is identical to
+the fault-free protocol (a tested equivalence guard).
 """
 
 from __future__ import annotations
@@ -20,15 +28,19 @@ from repro.drp.benefit import BenefitEngine
 from repro.drp.cost import total_otc
 from repro.drp.instance import DRPInstance
 from repro.drp.state import ReplicationState
+from repro.errors import ConvergenceError
 from repro.result import PlacementResult
 from repro.runtime.central import CentralBody, Decision
+from repro.runtime.faults import FaultInjector, FaultPlan
 from repro.runtime.messages import (
     AllocateMessage,
     BidMessage,
     ElectionMessage,
     MessageLog,
+    NNResyncMessage,
     NNUpdateMessage,
     PaymentMessage,
+    StateSyncMessage,
 )
 from repro.obs import events as ev
 from repro.obs import tracer as obs
@@ -59,19 +71,30 @@ class SemiDistributedSimulator:
         broadcasts after every allocation; T > 1 lets agents bid on
         views up to T-1 rounds stale, trading NN-update message volume
         for solution quality (the DESIGN.md §5 ablation).  A winner's
-        own row is always fresh — it knows what it hosts.
+        own row is always fresh — it knows what it hosts.  The periodic
+        resync is accounted as one :class:`NNResyncMessage` per agent
+        carrying every object allocated since the last broadcast.
     failed_agents:
-        Servers whose agent process is down; they never bid and so
-        never receive replicas, but their primaries keep serving (data
-        survives agent failure).  Models the paper's robustness concern
-        about per-node failures in a large system.
+        Servers whose agent process is down for the whole run; they
+        never bid and so never receive replicas, but their primaries
+        keep serving (data survives agent failure).  Models the paper's
+        robustness concern about per-node failures in a large system.
     central_failure_round:
         If set, the central body crashes at the start of that round.
         The agents self-repair (paper §7): each broadcasts an election
         vote and the lowest-id live agent takes over as acting central.
         The protocol — and the final scheme — are unchanged (the
         central role is stateless); what the failure costs is one
-        election round of messages, which the metrics record.
+        election round of messages, which the metrics record and the
+        event stream reports as an :class:`~repro.obs.events.ElectionEvent`.
+    faults:
+        A :class:`~repro.runtime.faults.FaultPlan` enabling the full
+        fault-injection layer: scheduled agent crash/recover intervals
+        and stragglers, scheduled central crashes (election + checkpoint
+        recovery + state resync), and a seeded lossy channel over bid
+        and NN-update traffic with per-round bid deadlines, retries, and
+        quorum-based graceful degradation.  ``None`` (default) disables
+        the layer entirely; a null plan is behaviourally identical.
     """
 
     def __init__(
@@ -84,6 +107,7 @@ class SemiDistributedSimulator:
         nn_update_period: int = 1,
         failed_agents: Optional[set[int]] = None,
         central_failure_round: Optional[int] = None,
+        faults: Optional[FaultPlan] = None,
     ):
         if nn_update_period < 1:
             raise ValueError("nn_update_period must be >= 1")
@@ -96,6 +120,7 @@ class SemiDistributedSimulator:
         self.nn_update_period = nn_update_period
         self.failed_agents = set(failed_agents or ())
         self.central_failure_round = central_failure_round
+        self.faults = faults
 
     def run(self, instance: DRPInstance) -> PlacementResult:
         sink = ev.current()
@@ -114,6 +139,94 @@ class SemiDistributedSimulator:
             )
         return result
 
+    # -- §7 self-repair ----------------------------------------------------
+
+    def _elect(
+        self,
+        electorate: set[int],
+        metrics: RuntimeMetrics,
+        sink: ev.EventSink,
+        rnd: int,
+    ) -> int:
+        """Leader election: every live agent broadcasts a vote for the
+        lowest live id, which becomes the acting central."""
+        new_central = min(electorate)
+        for voter in sorted(electorate):
+            for peer in sorted(electorate):
+                if peer != voter:
+                    metrics.log.record(
+                        ElectionMessage(
+                            sender=voter,
+                            receiver=peer,
+                            candidate=new_central,
+                        )
+                    )
+        if sink.enabled:
+            sink.emit(
+                ev.ElectionEvent(
+                    t=ev.now(),
+                    round=rnd,
+                    candidate=new_central,
+                    voters=len(electorate),
+                )
+            )
+        return new_central
+
+    def _recover_central(
+        self,
+        injector: FaultInjector,
+        active: set[int],
+        down: set[int],
+        agents: list[ReplicaAgent],
+        metrics: RuntimeMetrics,
+        sink: ev.EventSink,
+        rnd: int,
+    ) -> int:
+        """Scheduled central crash: elect a successor, restore the last
+        checkpoint, and re-learn the newer commits from the agents'
+        state-sync reports.  Returns the new acting central."""
+        injector.summary["central_crashes"] += 1
+        if sink.enabled:
+            sink.emit(
+                ev.FaultEvent(
+                    t=ev.now(), round=rnd, kind="central_crash", agent=CENTRAL
+                )
+            )
+        electorate = set(active - down) or set(active)
+        new_central = self._elect(electorate, metrics, sink, rnd)
+        ckpt = injector.checkpoints.restore()
+        replayed = injector.checkpoints.lost_since_checkpoint
+        for agent_id in sorted(active - down):
+            if agent_id == new_central:
+                continue  # the acting central knows its own holdings
+            injector.send_reliable(
+                lambda a=agent_id: StateSyncMessage(
+                    sender=a,
+                    receiver=new_central,
+                    objs=tuple(agents[a].objects_won),
+                ),
+                rnd=rnd,
+                agent=agent_id,
+                target="resync",
+                log=metrics.log,
+            )
+        injector.summary["recoveries"] += 1
+        if sink.enabled:
+            sink.emit(
+                ev.RecoveryEvent(
+                    t=ev.now(),
+                    round=rnd,
+                    kind="central",
+                    agent=CENTRAL,
+                    checkpoint_round=ckpt.round,
+                    replayed=replayed,
+                    acting_central=new_central,
+                )
+            )
+        return new_central
+
+    # -- the protocol loop -------------------------------------------------
+
     def _run(self, instance: DRPInstance) -> PlacementResult:
         timer = Timer()
         tracer = obs.current()
@@ -123,6 +236,9 @@ class SemiDistributedSimulator:
         series = ev.RoundSeries() if eventing else None
         metrics = RuntimeMetrics(log=MessageLog(keep_messages=self.keep_messages))
         m = instance.n_servers
+        injector = (
+            FaultInjector(self.faults, m) if self.faults is not None else None
+        )
 
         agents = []
         for i in range(m):
@@ -137,6 +253,31 @@ class SemiDistributedSimulator:
             active = set(range(m)) - self.failed_agents
             acting_central = CENTRAL  # the dedicated body, until it fails
             handover_round: Optional[int] = None
+            pround = 0  # protocol rounds, including stalled ones
+            stalled = 0
+            prev_down: set[int] = set()
+            stale_objs: set[int] = set()  # lazy protocol: unsynced objects
+
+            def stall(otc_now: float) -> None:
+                """Close a round without a commit and charge the stall
+                budget; raises once the run stops making progress."""
+                nonlocal stalled, pround
+                assert injector is not None
+                stalled += 1
+                injector.summary["stalled_rounds"] += 1
+                if eventing:
+                    sink.emit(
+                        ev.RoundEnd(
+                            t=ev.now(), round=pround, committed=0, otc=otc_now
+                        )
+                    )
+                pround += 1
+                if stalled > injector.quorum.max_stalled_rounds:
+                    raise ConvergenceError(
+                        f"{stalled} consecutive stalled rounds (quorum misses "
+                        f"or blackouts) exceed max_stalled_rounds="
+                        f"{injector.quorum.max_stalled_rounds}"
+                    )
 
             while active:
                 # Self-repair (§7): the central body crashes; every live
@@ -148,27 +289,65 @@ class SemiDistributedSimulator:
                     and handover_round is None
                     and metrics.rounds >= self.central_failure_round
                 ):
-                    new_central = min(active)
-                    for voter in sorted(active):
-                        for peer in sorted(active):
-                            if peer != voter:
-                                metrics.log.record(
-                                    ElectionMessage(
-                                        sender=voter,
-                                        receiver=peer,
-                                        candidate=new_central,
-                                    )
-                                )
-                    acting_central = new_central
+                    acting_central = self._elect(
+                        active, metrics, sink, metrics.rounds
+                    )
                     handover_round = metrics.rounds
-                round_idx = metrics.rounds
+
+                round_idx = pround
+                down: set[int] = set()
+                if injector is not None:
+                    # Scheduled agent crash/recover transitions.
+                    down = {
+                        i
+                        for i in active
+                        if injector.schedule.agent_down(i, pround)
+                    }
+                    for i in sorted(down - prev_down):
+                        injector.summary["agent_crashes"] += 1
+                        if eventing:
+                            sink.emit(
+                                ev.FaultEvent(
+                                    t=ev.now(),
+                                    round=pround,
+                                    kind="agent_crash",
+                                    agent=i,
+                                )
+                            )
+                    for i in sorted((prev_down & active) - down):
+                        injector.summary["agent_recoveries"] += 1
+                        if eventing:
+                            sink.emit(
+                                ev.RecoveryEvent(
+                                    t=ev.now(),
+                                    round=pround,
+                                    kind="agent",
+                                    agent=i,
+                                )
+                            )
+                    prev_down = down
+                    # Scheduled central crash: election + checkpoint
+                    # recovery + state resync from the live agents.
+                    if injector.schedule.central_crashes_at(pround):
+                        acting_central = self._recover_central(
+                            injector, active, down, agents, metrics, sink,
+                            pround,
+                        )
+
                 msgs_before = metrics.log.total_messages()
                 bytes_before = metrics.log.bytes_total
                 if eventing:
                     sink.emit(ev.RoundStart(t=ev.now(), round=round_idx))
+
+                ordered = sorted(active - down)
+                if injector is not None and not ordered:
+                    # Total blackout: every live agent is crashed this
+                    # round; wait for the schedule to bring one back.
+                    stall(total_otc(state))
+                    continue
+
                 # PARFOR bid sweep (Figure 2 lines 03-09).
                 t0 = perf_counter() if traced else 0.0
-                ordered = sorted(active)
                 live_agents = [agents[i] for i in ordered]
                 bids = evaluator.evaluate(live_agents, engine)
                 if traced:
@@ -178,17 +357,37 @@ class SemiDistributedSimulator:
                 eligible_counts = np.isfinite(engine.matrix[ordered]).sum(axis=1)
                 metrics.record_round_work([int(c) for c in eligible_counts])
 
-                bid_msgs = []
+                bid_msgs: list[BidMessage] = []  # arrived at the central
+                missing: list[int] = []  # bids lost to the channel
+                n_senders = 0
                 for agent_id, bid in zip(ordered, bids):
                     if bid is None:
                         # Empty L_i: the agent leaves the game (line 18).
                         active.discard(agent_id)
                         continue
-                    msg = BidMessage(
-                        sender=agent_id, receiver=acting_central, obj=bid.obj, value=bid.value
-                    )
-                    metrics.log.record(msg)
-                    bid_msgs.append(msg)
+                    n_senders += 1
+                    if injector is None:
+                        msg = BidMessage(
+                            sender=agent_id,
+                            receiver=acting_central,
+                            obj=bid.obj,
+                            value=bid.value,
+                        )
+                        metrics.log.record(msg)
+                        bid_msgs.append(msg)
+                    else:
+                        copies = injector.send_bid(
+                            rnd=pround,
+                            sender=agent_id,
+                            receiver=acting_central,
+                            obj=bid.obj,
+                            value=bid.value,
+                            log=metrics.log,
+                        )
+                        if copies:
+                            bid_msgs.extend(copies)
+                        else:
+                            missing.append(agent_id)
                     if eventing:
                         sink.emit(
                             ev.BidEvent(
@@ -200,11 +399,40 @@ class SemiDistributedSimulator:
                             )
                         )
 
+                if injector is not None and missing:
+                    # The bid deadline passed with reports still in
+                    # flight: degrade gracefully if a quorum arrived,
+                    # stall and retry otherwise.
+                    received = n_senders - len(missing)
+                    required = injector.quorum.required(n_senders)
+                    quorum_met = received >= required
+                    injector.summary["timeouts"] += 1
+                    if eventing:
+                        sink.emit(
+                            ev.TimeoutEvent(
+                                t=ev.now(),
+                                round=round_idx,
+                                agents=tuple(missing),
+                                expected=n_senders,
+                                received=received,
+                                quorum_met=quorum_met,
+                            )
+                        )
+                    if not quorum_met or received == 0:
+                        stall(total_otc(state))
+                        continue
+
                 t0 = perf_counter() if traced else 0.0
                 outcome = self.central.decide(bid_msgs, m)
                 if traced:
                     tracer.add("round/decision", perf_counter() - t0)
                 if outcome.decision is Decision.DO_NOT_REPLICATE:
+                    if injector is not None and (missing or down):
+                        # The quiet view may be an artifact of lost bids
+                        # or crashed agents; only a clean round may end
+                        # the game.
+                        stall(total_otc(state))
+                        continue
                     if eventing:
                         sink.emit(
                             ev.RoundEnd(
@@ -214,8 +442,10 @@ class SemiDistributedSimulator:
                                 otc=total_otc(state),
                             )
                         )
+                    pround += 1  # the terminal probing round counts too
                     break
                 metrics.rounds += 1
+                stalled = 0
                 if eventing:
                     sink.emit(
                         ev.WinnerEvent(
@@ -255,42 +485,41 @@ class SemiDistributedSimulator:
                     )
                 metrics.log.record(
                     PaymentMessage(
-                        sender=acting_central, receiver=outcome.winner, amount=outcome.payment
+                        sender=acting_central,
+                        receiver=outcome.winner,
+                        amount=outcome.payment,
                     )
                 )
 
                 true_value = float(engine.matrix[outcome.winner, outcome.obj])
-                agents[outcome.winner].award(outcome.obj, outcome.payment, true_value)
+                agents[outcome.winner].award(
+                    outcome.obj, outcome.payment, true_value
+                )
                 if traced:
                     tracer.add("round/broadcast", perf_counter() - t0)
                     t0 = perf_counter()
 
                 state.add_replica(outcome.winner, outcome.obj)
+                if injector is not None and injector.checkpoints.commit(
+                    outcome.winner, outcome.obj, pround
+                ):
+                    injector.summary["checkpoints"] += 1
+                    if eventing:
+                        sink.emit(
+                            ev.CheckpointEvent(
+                                t=ev.now(),
+                                round=round_idx,
+                                allocations=len(
+                                    injector.checkpoints.allocations
+                                ),
+                            )
+                        )
                 if self.nn_update_period == 1:
                     # Eager protocol (the paper): broadcast after every
                     # allocation; every agent's view is always fresh.
                     engine.notify_allocation(outcome.winner, outcome.obj)
                     for agent_id in sorted(active):
-                        metrics.log.record(
-                            NNUpdateMessage(
-                                sender=agent_id, receiver=agent_id, obj=outcome.obj
-                            )
-                        )
-                else:
-                    # Lazy protocol: only the winner learns immediately
-                    # (about its own allocation); everyone else resyncs
-                    # on the periodic broadcast.
-                    engine.refresh_server(outcome.winner)
-                    metrics.log.record(
-                        NNUpdateMessage(
-                            sender=outcome.winner,
-                            receiver=outcome.winner,
-                            obj=outcome.obj,
-                        )
-                    )
-                    if metrics.rounds % self.nn_update_period == 0:
-                        engine.resync()
-                        for agent_id in sorted(active):
+                        if injector is None:
                             metrics.log.record(
                                 NNUpdateMessage(
                                     sender=agent_id,
@@ -298,6 +527,68 @@ class SemiDistributedSimulator:
                                     obj=outcome.obj,
                                 )
                             )
+                        else:
+                            injector.send_reliable(
+                                lambda a=agent_id: NNUpdateMessage(
+                                    sender=a, receiver=a, obj=outcome.obj
+                                ),
+                                rnd=pround,
+                                agent=agent_id,
+                                target="nn_update",
+                                log=metrics.log,
+                            )
+                else:
+                    # Lazy protocol: only the winner learns immediately
+                    # (about its own allocation); everyone else resyncs
+                    # on the periodic broadcast.
+                    engine.refresh_server(outcome.winner)
+                    stale_objs.add(outcome.obj)
+                    if injector is None:
+                        metrics.log.record(
+                            NNUpdateMessage(
+                                sender=outcome.winner,
+                                receiver=outcome.winner,
+                                obj=outcome.obj,
+                            )
+                        )
+                    else:
+                        injector.send_reliable(
+                            lambda: NNUpdateMessage(
+                                sender=outcome.winner,
+                                receiver=outcome.winner,
+                                obj=outcome.obj,
+                            ),
+                            rnd=pround,
+                            agent=outcome.winner,
+                            target="nn_update",
+                            log=metrics.log,
+                        )
+                    if metrics.rounds % self.nn_update_period == 0:
+                        # Batched refresh: every object allocated since
+                        # the last broadcast, for every agent — the
+                        # honest per-object accounting of the resync.
+                        engine.resync()
+                        batch = tuple(sorted(stale_objs))
+                        for agent_id in sorted(active):
+                            if injector is None:
+                                metrics.log.record(
+                                    NNResyncMessage(
+                                        sender=agent_id,
+                                        receiver=agent_id,
+                                        objs=batch,
+                                    )
+                                )
+                            else:
+                                injector.send_reliable(
+                                    lambda a=agent_id: NNResyncMessage(
+                                        sender=a, receiver=a, objs=batch
+                                    ),
+                                    rnd=pround,
+                                    agent=agent_id,
+                                    target="resync",
+                                    log=metrics.log,
+                                )
+                        stale_objs.clear()
                 if traced:
                     tracer.add("round/nn_update", perf_counter() - t0)
                 if eventing:
@@ -306,7 +597,9 @@ class SemiDistributedSimulator:
                             t=ev.now(),
                             round=round_idx,
                             obj=outcome.obj,
-                            agents=len(active) if self.nn_update_period == 1 else 1,
+                            agents=len(active)
+                            if self.nn_update_period == 1
+                            else 1,
                         )
                     )
                     assert series is not None
@@ -316,7 +609,7 @@ class SemiDistributedSimulator:
                             b.value for b in bid_msgs if b.sender == outcome.winner
                         ),
                         payment=outcome.payment,
-                        n_bids=len(bid_msgs),
+                        n_bids=len({b.sender for b in bid_msgs}),
                         messages=metrics.log.total_messages() - msgs_before,
                         bytes=metrics.log.bytes_total - bytes_before,
                     )
@@ -328,6 +621,7 @@ class SemiDistributedSimulator:
                             otc=series.otc[-1],
                         )
                     )
+                pround += 1
 
             if traced:
                 tracer.count("rounds", metrics.rounds)
@@ -349,6 +643,12 @@ class SemiDistributedSimulator:
                 "agents": agents,
                 "acting_central": acting_central,
                 "central_handover_round": handover_round,
+                "protocol_rounds": pround,
+                **(
+                    {"fault_summary": injector.summary_dict()}
+                    if injector is not None
+                    else {}
+                ),
                 **({"round_series": series} if series is not None else {}),
             },
         )

@@ -117,3 +117,50 @@ class TestSweepCsv:
         assert out.exists()
         text = out.read_text()
         assert "AGT-RAM" in text and "savings_percent" in text
+
+
+class TestChaos:
+    def test_campaign_writes_artifacts_and_passes(self, tmp_path, capsys):
+        import json
+
+        report = tmp_path / "report.json"
+        faults = tmp_path / "faults.json"
+        events = tmp_path / "events.jsonl"
+        rc = main(
+            ["chaos", *FAST, "--fault-seed", "5",
+             "--central-crash-rate", "0.03",
+             "--max-degradation", "1.5",
+             "--report", str(report), "--fault-log", str(faults),
+             "--events", str(events)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "chaos campaign" in out and "audit:    PASS" in out
+        doc = json.loads(report.read_text())
+        assert doc["kind"] == "repro-chaos"
+        assert doc["feasible"] and doc["audit_ok"]
+        assert doc["otc_degradation"] >= 0
+        assert doc["chaos"]["messages"] >= doc["baseline"]["messages"]
+        plan = json.loads(faults.read_text())
+        assert plan["plan"]["seed"] == 5
+        # The recorded log passes the offline audit CLI too.
+        assert main(["audit", str(events)]) == 0
+
+    def test_same_fault_seed_same_event_log(self, tmp_path, capsys):
+        logs = []
+        for name in ("a.jsonl", "b.jsonl"):
+            path = tmp_path / name
+            rc = main(
+                ["chaos", *FAST, "--fault-seed", "9", "--events", str(path)]
+            )
+            assert rc == 0
+            logs.append(path.read_bytes())
+        capsys.readouterr()
+        assert logs[0] == logs[1]
+
+    def test_degradation_gate_fails(self, tmp_path, capsys):
+        # An impossible bound (chaos OTC can never be 0.5x the clean
+        # OTC on the same instance) must trip the gate.
+        rc = main(["chaos", *FAST, "--max-degradation", "0.5"])
+        capsys.readouterr()
+        assert rc == 1

@@ -144,3 +144,78 @@ class TestCentralFailover:
     def test_bad_round(self):
         with pytest.raises(ValueError):
             SemiDistributedSimulator(central_failure_round=-1)
+
+    def test_handover_emits_election_event(self, tiny_instance):
+        from repro.obs import events as ev
+
+        with ev.capture() as sink:
+            res = SemiDistributedSimulator(central_failure_round=2).run(
+                tiny_instance
+            )
+        elections = [
+            e for e in sink.events if isinstance(e, ev.ElectionEvent)
+        ]
+        assert len(elections) == 1
+        assert elections[0].round == 2
+        assert elections[0].candidate == res.extra["acting_central"]
+        assert elections[0].voters == tiny_instance.n_servers
+
+    def test_immediate_failure_elects_lowest_id(self, tiny_instance):
+        res = SemiDistributedSimulator(central_failure_round=0).run(
+            tiny_instance
+        )
+        assert res.extra["central_handover_round"] == 0
+        assert res.extra["acting_central"] == 0
+
+    def test_failed_agents_with_immediate_central_failure(self, tiny_instance):
+        # Both legacy fault knobs at once: dead agents sit out the
+        # election and the game; the lowest *live* id takes over.
+        healthy = SemiDistributedSimulator(failed_agents={0, 1}).run(
+            tiny_instance
+        )
+        res = SemiDistributedSimulator(
+            central_failure_round=0, failed_agents={0, 1}
+        ).run(tiny_instance)
+        assert res.extra["acting_central"] == 2
+        m = tiny_instance.n_servers
+        live = m - 2
+        assert res.extra["metrics"].log.counts["ElectionMessage"] == live * (
+            live - 1
+        )
+        # The handover itself must not change the outcome.
+        assert np.array_equal(healthy.state.x, res.state.x)
+        # Dead agents never receive replicas beyond their primaries.
+        primaries_per_agent = np.bincount(
+            tiny_instance.primaries, minlength=m
+        )
+        for dead in (0, 1):
+            assert res.state.x[dead].sum() == primaries_per_agent[dead]
+
+    def test_all_agents_failed_with_central_failure(self, tiny_instance):
+        # Degenerate combination: nobody is left to elect or bid; the
+        # run terminates immediately on the primaries-only scheme.
+        res = SemiDistributedSimulator(
+            central_failure_round=0,
+            failed_agents=set(range(tiny_instance.n_servers)),
+        ).run(tiny_instance)
+        assert res.rounds == 0
+        assert res.extra["central_handover_round"] is None
+        assert "ElectionMessage" not in res.extra["metrics"].log.counts
+
+    def test_scheduled_central_crash_matches_legacy_knob_scheme(
+        self, tiny_instance
+    ):
+        # The legacy knob and the fault-schedule path recover through
+        # the same election protocol and converge to the same scheme.
+        from repro.runtime.faults import FaultPlan, FaultSchedule
+
+        legacy = SemiDistributedSimulator(central_failure_round=3).run(
+            tiny_instance
+        )
+        scheduled = SemiDistributedSimulator(
+            faults=FaultPlan(schedule=FaultSchedule(central_crashes={3}))
+        ).run(tiny_instance)
+        assert np.array_equal(legacy.state.x, scheduled.state.x)
+        assert scheduled.extra["acting_central"] == legacy.extra[
+            "acting_central"
+        ]

@@ -49,9 +49,12 @@ class TestEventRecords:
             ev.parse_event({"t": 0.0})
 
     def test_every_type_tag_is_registered_and_unique(self):
-        assert len(ev.EVENT_TYPES) == 9
+        assert len(ev.EVENT_TYPES) == 14
         for tag, cls in ev.EVENT_TYPES.items():
             assert cls.type == tag
+        # The five fault-layer events are part of the vocabulary.
+        for tag in ("fault", "timeout", "election", "checkpoint", "recovery"):
+            assert tag in ev.EVENT_TYPES
 
 
 class TestSinkRegistry:

@@ -9,14 +9,22 @@ from repro.runtime.messages import (
     AllocateMessage,
     BidMessage,
     MessageLog,
+    NNResyncMessage,
     NNUpdateMessage,
     PaymentMessage,
+    StateSyncMessage,
 )
 
 
 class TestWireBytes:
     def test_bid_size(self):
-        assert BidMessage(sender=0, receiver=-1, obj=1, value=2.0).wire_bytes() == 21
+        # tag+sender+receiver (9) + obj (4) + value (8) + seq (4)
+        assert BidMessage(sender=0, receiver=-1, obj=1, value=2.0).wire_bytes() == 25
+
+    def test_bid_seq_defaults_to_zero(self):
+        assert BidMessage(sender=0, receiver=-1, obj=1, value=2.0).seq == 0
+        retry = BidMessage(sender=0, receiver=-1, obj=1, value=2.0, seq=2)
+        assert retry.seq == 2 and retry.wire_bytes() == 25
 
     def test_allocate_size(self):
         assert AllocateMessage(sender=-1, receiver=0).wire_bytes() == 17
@@ -27,6 +35,17 @@ class TestWireBytes:
     def test_nn_update_size(self):
         assert NNUpdateMessage(sender=0, receiver=0, obj=2).wire_bytes() == 13
 
+    def test_nn_resync_scales_with_payload(self):
+        empty = NNResyncMessage(sender=0, receiver=0, objs=())
+        three = NNResyncMessage(sender=0, receiver=0, objs=(1, 2, 3))
+        assert empty.wire_bytes() == 13  # header + count
+        assert three.wire_bytes() == 13 + 3 * 4  # + 4 bytes per object id
+
+    def test_state_sync_scales_with_holdings(self):
+        msg = StateSyncMessage(sender=2, receiver=0, objs=(4, 9))
+        assert msg.wire_bytes() == 13 + 2 * 4
+        assert msg.objs == (4, 9)
+
 
 class TestMessageLog:
     def test_counts_and_bytes(self):
@@ -36,7 +55,7 @@ class TestMessageLog:
         log.record(PaymentMessage(sender=-1, receiver=0, amount=2.0))
         assert log.counts["BidMessage"] == 2
         assert log.total_messages() == 3
-        assert log.bytes_total == 21 + 21 + 17
+        assert log.bytes_total == 25 + 25 + 17
 
     def test_keep_messages_flag(self):
         log = MessageLog(keep_messages=True)
@@ -78,13 +97,42 @@ class TestCentralBody:
         out = CentralBody().decide([], 3)
         assert out.decision is Decision.DO_NOT_REPLICATE
 
-    def test_duplicate_bid_rejected(self):
+    def test_conflicting_duplicate_bid_rejected(self):
         bids = [
             BidMessage(sender=0, receiver=-1, obj=0, value=1.0),
             BidMessage(sender=0, receiver=-1, obj=1, value=2.0),
         ]
         with pytest.raises(MechanismProtocolError, match="two bids"):
             CentralBody().decide(bids, 2)
+
+    def test_retransmitted_duplicate_tolerated(self):
+        # A lossy link may deliver the same bid more than once (possibly
+        # under different sequence numbers); the central discards copies
+        # idempotently instead of aborting the round.
+        bids = [
+            BidMessage(sender=0, receiver=-1, obj=0, value=5.0),
+            BidMessage(sender=1, receiver=-1, obj=1, value=3.0),
+            BidMessage(sender=0, receiver=-1, obj=0, value=5.0, seq=1),
+            BidMessage(sender=0, receiver=-1, obj=0, value=5.0, seq=1),
+        ]
+        out = CentralBody().decide(bids, 2)
+        assert out.decision is Decision.REPLICATE
+        assert out.winner == 0 and out.obj == 0
+        assert out.payment == 3.0  # second price unaffected by copies
+
+    def test_tie_breaks_to_lowest_agent_id(self):
+        # Documented determinism: equal top bids go to the lowest id.
+        bids = [
+            BidMessage(sender=0, receiver=-1, obj=3, value=7.0),
+            BidMessage(sender=1, receiver=-1, obj=5, value=7.0),
+            BidMessage(sender=2, receiver=-1, obj=6, value=7.0),
+        ]
+        out = CentralBody().decide(bids, 3)
+        assert out.winner == 0 and out.obj == 3
+        assert out.payment == 7.0
+        # Order of arrival must not matter.
+        out2 = CentralBody().decide(list(reversed(bids)), 3)
+        assert out2.winner == 0 and out2.obj == 3
 
     def test_unknown_agent_rejected(self):
         with pytest.raises(MechanismProtocolError, match="unknown"):
