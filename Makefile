@@ -10,11 +10,16 @@ BENCH_GATE ?= 0
 BENCH_BASELINE ?= benchmarks/baseline_tiny.json
 
 .PHONY: install test test-fast test-slow bench bench-json bench-compare \
-        trace audit chaos lint reproduce examples clean
+        trace audit chaos adversary lint reproduce examples clean
 
 # Chaos campaign knobs (see docs/robustness.md).
 CHAOS_SEED ?= 5
 CHAOS_MAX_DEGRADATION ?= 1.05
+
+# Adversary campaign knobs (see docs/robustness.md, "Byzantine model").
+ADV_SEED ?= 3
+ADV_MAX_DEGRADATION ?= 1.10
+ADV_MIN_RECALL ?= 0.95
 
 install:
 	pip install -e . || python setup.py develop
@@ -60,6 +65,18 @@ chaos:
 		--fault-log chaos_faults.json
 	python -m repro audit chaos_events.jsonl
 
+# Seeded Byzantine campaign: misreports, malformed bids and collusion
+# injected into the bid stream, gated on detection recall, zero false
+# quarantines and OTC degradation, then audited offline.
+adversary:
+	python -m repro adversary --servers 12 --objects 40 --requests 4000 \
+		--seed 5 --adv-seed $(ADV_SEED) \
+		--fraction 0.25 --fraction 0.4 \
+		--min-recall $(ADV_MIN_RECALL) \
+		--max-degradation $(ADV_MAX_DEGRADATION) \
+		--events adversary_events.jsonl --report adversary_report.json
+	python -m repro audit adversary_events.jsonl
+
 lint:
 	ruff check src/repro/obs
 	ruff format --check src/repro/obs
@@ -74,5 +91,6 @@ examples:
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .ruff_cache \
 		.mypy_cache bench.json events.jsonl trace.json metrics.prom \
-		chaos_events.jsonl chaos_report.json chaos_faults.json
+		chaos_events.jsonl chaos_report.json chaos_faults.json \
+		adversary_events.jsonl adversary_report.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -10,6 +10,7 @@ axioms     run AGT-RAM with an audit and verify the six axioms
 bench      machine-readable perf harness (BENCH_*.json + regression diff)
 audit      offline axiom verification of a recorded JSONL event log
 chaos      seeded fault-injection campaign vs a fault-free baseline
+adversary  seeded Byzantine-agent campaign vs the honest baseline
 
 ``run`` and ``bench`` accept ``--events`` (JSONL event log),
 ``--chrome-trace`` (Perfetto-loadable trace) and ``--metrics-out``
@@ -31,6 +32,7 @@ from repro.experiments.runner import PAPER_ALGORITHMS, run_algorithms
 from repro.experiments.report import format_series
 from repro.experiments.sweeps import capacity_sweep, rw_ratio_sweep
 from repro.io import load_instance, save_instance, save_result
+from repro.runtime.adversary import BEHAVIORS
 from repro.utils.ascii_chart import ascii_chart
 from repro.utils.tables import render_table
 
@@ -464,6 +466,197 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_adversary(args: argparse.Namespace) -> int:
+    """Seeded Byzantine campaign: sweep adversary fractions on one
+    instance and report OTC degradation vs. the honest run plus online
+    detection quality (recall / precision over injected manipulations).
+
+    Deterministic like ``chaos``: ``--adv-seed`` fixes who misbehaves
+    and how, and the logical event clock makes same-seed runs
+    byte-for-byte identical.  Exit status is non-zero if any swept run
+    produces an infeasible scheme, fails the mechanism audit,
+    quarantines an honest agent, detects fewer than ``--min-recall`` of
+    the injected manipulations, or degrades OTC beyond
+    ``--max-degradation``.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.drp.feasibility import check_state
+    from repro.obs import events as obs_events
+    from repro.obs.audit import audit_events
+    from repro.runtime.adversary import AdversaryPlan, QuarantinePolicy
+    from repro.runtime.simulator import SemiDistributedSimulator
+
+    instance = _instance_from_args(args)
+    m = instance.n_servers
+
+    baseline = SemiDistributedSimulator().run(instance)
+
+    policy = QuarantinePolicy(
+        strikes=args.strikes,
+        probation=args.probation,
+        max_quarantines=args.max_quarantines,
+    )
+    fractions = args.fraction or [0.25]
+
+    rows = []
+    runs = []
+    failures = []
+    sink = obs_events.RecordingSink()
+    for fraction in fractions:
+        plan = AdversaryPlan.random(
+            n_agents=m,
+            fraction=fraction,
+            behaviors=tuple(args.behaviors) if args.behaviors else BEHAVIORS,
+            factor=args.factor,
+            activity=args.activity,
+            seed=args.adv_seed,
+        )
+        sink = obs_events.RecordingSink()
+        with obs_events.logical_time(), obs_events.capture(sink):
+            result = SemiDistributedSimulator(
+                adversary=plan, quarantine=policy
+            ).run(instance)
+
+        feasible = True
+        try:
+            check_state(result.state)
+        except Exception as exc:
+            feasible = False
+            failures.append(f"fraction {fraction}: infeasible scheme: {exc}")
+        audit = audit_events(sink.events)
+        if not audit.ok:
+            failures.append(
+                f"fraction {fraction}: audit FAIL "
+                f"({len(audit.violations)} violations)"
+            )
+
+        # Ground truth vs. what the online defences flagged, joined on
+        # (round, agent).  AdversaryEvent is emitted only for bids the
+        # injector actually altered, so recall is over real injections.
+        truth = set()
+        flagged = set()
+        quarantined_agents = set()
+        for e in sink.events:
+            d = e.to_dict()
+            if d["type"] == "adversary":
+                truth.add((d["round"], d["agent"]))
+            elif d["type"] in ("validation", "manipulation") and d["agent"] >= 0:
+                flagged.add((d["round"], d["agent"]))
+            elif d["type"] == "quarantine" and d["action"] in (
+                "quarantine",
+                "expel",
+            ):
+                quarantined_agents.add(d["agent"])
+        caught = truth & flagged
+        recall = len(caught) / len(truth) if truth else 1.0
+        precision = len(caught) / len(flagged) if flagged else 1.0
+        false_quarantines = sorted(
+            quarantined_agents - set(plan.agents)
+        )
+        if false_quarantines:
+            failures.append(
+                f"fraction {fraction}: honest agents quarantined: "
+                f"{false_quarantines}"
+            )
+        if args.min_recall is not None and recall < args.min_recall:
+            failures.append(
+                f"fraction {fraction}: recall {recall:.3f} below bound "
+                f"{args.min_recall:.3f}"
+            )
+        degradation = result.otc / baseline.otc if baseline.otc else 1.0
+        if (
+            args.max_degradation is not None
+            and degradation > args.max_degradation
+        ):
+            failures.append(
+                f"fraction {fraction}: OTC degradation x{degradation:.4f} "
+                f"exceeds bound x{args.max_degradation:.4f}"
+            )
+
+        trust = result.extra["trust_summary"]
+        rows.append(
+            [
+                f"{fraction:.2f}",
+                len(plan.agents),
+                f"{result.otc:,.0f}",
+                f"x{degradation:.4f}",
+                len(truth),
+                f"{recall:.3f}",
+                f"{precision:.3f}",
+                len(trust["agents_quarantined"]),
+                len(trust["agents_expelled"]),
+                len(false_quarantines),
+            ]
+        )
+        runs.append(
+            {
+                "fraction": fraction,
+                "plan": plan.to_dict(),
+                "otc": result.otc,
+                "otc_degradation": degradation,
+                "rounds": result.rounds,
+                "protocol_rounds": result.extra["protocol_rounds"],
+                "feasible": feasible,
+                "audit_ok": audit.ok,
+                "audit_violations": [str(v) for v in audit.violations],
+                "injected": len(truth),
+                "flagged": len(flagged),
+                "recall": recall,
+                "precision": precision,
+                "false_quarantines": false_quarantines,
+                "adversary_summary": result.extra["adversary_summary"],
+                "trust_summary": trust,
+            }
+        )
+
+    print(
+        render_table(
+            [
+                "fraction",
+                "byz",
+                "OTC",
+                "degradation",
+                "injected",
+                "recall",
+                "precision",
+                "quarantined",
+                "expelled",
+                "false-q",
+            ],
+            rows,
+            title=f"adversary campaign on {instance.name} (M={m}, "
+            f"N={instance.n_objects}, honest OTC {baseline.otc:,.0f}, "
+            f"adv seed {args.adv_seed})",
+        )
+    )
+    for line in failures:
+        print(f"FAIL: {line}", file=sys.stderr)
+    print(f"verdict: {'PASS' if not failures else 'FAIL'}")
+
+    report = {
+        "kind": "repro-adversary",
+        "instance": {
+            "name": instance.name,
+            "n_servers": m,
+            "n_objects": instance.n_objects,
+            "seed": args.seed,
+        },
+        "adv_seed": args.adv_seed,
+        "quarantine_policy": policy.to_dict(),
+        "baseline": {"otc": baseline.otc, "rounds": baseline.rounds},
+        "runs": runs,
+        "failures": failures,
+        "ok": not failures,
+    }
+    if args.report:
+        Path(args.report).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote adversary report -> {args.report}")
+    _write_event_exports(args, sink)
+    return 1 if failures else 0
+
+
 def cmd_axioms(args: argparse.Namespace) -> int:
     instance = _instance_from_args(args)
     result = run_agt_ram(instance, record_audit=True)
@@ -624,6 +817,59 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the fault-plan + injection summary JSON here")
     _add_export_args(p)
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "adversary",
+        help="seeded Byzantine-agent campaign vs the honest baseline",
+    )
+    _add_instance_args(p)
+    p.add_argument(
+        "--adv-seed", type=int, default=0, dest="adv_seed",
+        help="seed for adversary selection and behaviour (default 0)",
+    )
+    p.add_argument(
+        "--fraction", type=float, action="append", metavar="F",
+        help="fraction of agents made Byzantine; repeat to sweep "
+        "(default: one run at 0.25)",
+    )
+    p.add_argument(
+        "--behaviors", nargs="+", choices=list(BEHAVIORS), metavar="NAME",
+        help=f"restrict the behaviour mix (default: all of {', '.join(BEHAVIORS)})",
+    )
+    p.add_argument(
+        "--factor", type=float, default=2.0,
+        help="inflation/deflation factor for misreports (default 2.0)",
+    )
+    p.add_argument(
+        "--activity", type=float, default=1.0,
+        help="per-round probability an adversary misbehaves (default 1.0)",
+    )
+    p.add_argument(
+        "--strikes", type=int, default=3,
+        help="offences before quarantine (default 3)",
+    )
+    p.add_argument(
+        "--probation", type=int, default=20,
+        help="quarantine length in protocol rounds (default 20)",
+    )
+    p.add_argument(
+        "--max-quarantines", type=int, default=3, dest="max_quarantines",
+        help="quarantines before permanent expulsion (default 3)",
+    )
+    p.add_argument(
+        "--min-recall", type=float, default=None, dest="min_recall",
+        help="fail (exit 1) if the detectors flag less than this "
+        "fraction of injected manipulations (e.g. 0.95)",
+    )
+    p.add_argument(
+        "--max-degradation", type=float, default=None,
+        dest="max_degradation",
+        help="fail (exit 1) if adversarial OTC exceeds the honest OTC "
+        "by more than this ratio (e.g. 1.10)",
+    )
+    p.add_argument("--report", help="write the full campaign report JSON here")
+    _add_export_args(p)
+    p.set_defaults(func=cmd_adversary)
 
     p = sub.add_parser(
         "reproduce", help="regenerate the paper's figures/tables"

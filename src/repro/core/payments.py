@@ -40,15 +40,24 @@ def second_best_payment(reported: Sequence[float], winner: int) -> float:
         ``max_{j != winner} reported[j]``, clamped at 0.0 when no other
         agent made a (finite, positive) report — a sole bidder pays the
         reserve price of zero.
+
+    Notes
+    -----
+    The rule is total over adversarial inputs: non-finite reports
+    (``nan``, ``±inf``) are treated as non-participation rather than
+    poisoning the max, so the price is always finite and non-negative,
+    and — when the winner is the argmax of the finite reports — never
+    exceeds the winner's own bid (Hypothesis-tested properties).
     """
     arr = np.asarray(reported, dtype=np.float64)
     if not (0 <= winner < len(arr)):
         raise IndexError(f"winner index {winner} out of range for {len(arr)} agents")
     others = np.delete(arr, winner)
+    others = others[np.isfinite(others)]
     if len(others) == 0:
         return 0.0
     best = float(others.max())
-    if not np.isfinite(best) or best < 0.0:
+    if best < 0.0:
         return 0.0
     return best
 

@@ -108,6 +108,75 @@ class UnderProjection(Strategy):
         return f"UnderProjection(factor={self.factor})"
 
 
+class TopInflation(Strategy):
+    """Inflate only the dominant valuation, leaving the rest truthful.
+
+    The stealthy variant of :class:`OverProjection`: a flat inflation
+    shifts the whole reported vector and is obvious to any sanity
+    check, whereas inflating just the argmax changes exactly the one
+    number the mechanism sees.  This is the per-bid transform the
+    Byzantine layer's ``"inflate"`` behaviour applies
+    (:mod:`repro.runtime.adversary`), kept here so the equilibrium
+    checks can price it: under second-price payments the extra wins it
+    buys cost more than the agent's true value (Theorem 5), so the
+    deviation stays unprofitable.
+    """
+
+    name = "top-inflation"
+
+    def __init__(self, factor: float = 2.0):
+        if factor <= 1.0:
+            raise ConfigurationError(
+                f"top-inflation factor must be > 1, got {factor}"
+            )
+        self.factor = float(factor)
+
+    def _transform(self, true_values: np.ndarray) -> np.ndarray:
+        if not np.isfinite(true_values).any():
+            return true_values
+        top = int(np.nanargmax(np.where(np.isfinite(true_values),
+                                        true_values, -np.inf)))
+        v = true_values[top]
+        true_values[top] = v * self.factor if v >= 0 else v / self.factor
+        return true_values
+
+    def __repr__(self) -> str:
+        return f"TopInflation(factor={self.factor})"
+
+
+class ShillBid(Strategy):
+    """Report a fixed value on the dominant object, ignoring the truth.
+
+    Models a naive shill (or a collusion booster targeting a known
+    price level): whatever the agent's true data says, it reports
+    ``value`` for its best object.  Used by the Byzantine layer's
+    collusion ring to prop up the second price a ring-mate is paid;
+    the equilibrium checks verify the shill itself cannot profit from
+    the lie under second-price payments.
+    """
+
+    name = "shill-bid"
+
+    def __init__(self, value: float):
+        if not np.isfinite(value):
+            raise ConfigurationError(
+                f"shill-bid value must be finite, got {value}"
+            )
+        self.value = float(value)
+
+    def _transform(self, true_values: np.ndarray) -> np.ndarray:
+        finite = np.isfinite(true_values)
+        if not finite.any():
+            return true_values
+        top = int(np.nanargmax(np.where(finite, true_values, -np.inf)))
+        true_values[finite] = -np.inf
+        true_values[top] = self.value
+        return true_values
+
+    def __repr__(self) -> str:
+        return f"ShillBid(value={self.value})"
+
+
 class RandomProjection(Strategy):
     """Multiply each valuation by independent lognormal noise."""
 

@@ -16,7 +16,7 @@ import numpy as np
 from repro.errors import ConfigurationError, InfeasibleInstanceError
 from repro.topology import Topology, cost_matrix
 from repro.utils.rng import SeedLike, as_generator
-from repro.utils.validation import check_fraction
+from repro.utils.validation import check_finite_array, check_fraction
 from repro.workload.synthetic import SyntheticWorkload
 
 
@@ -75,22 +75,45 @@ class DRPInstance:
             raise ConfigurationError(f"capacities must have shape ({m},)")
         if self.primaries.shape != (n,):
             raise ConfigurationError(f"primaries must have shape ({n},)")
-        if not np.isfinite(self.cost).all() or (self.cost < 0).any():
-            raise ConfigurationError("cost entries must be finite and non-negative")
+        check_finite_array(self.cost, "link cost matrix", nonnegative=True)
         if not np.allclose(self.cost, self.cost.T):
             raise ConfigurationError("cost matrix must be symmetric")
         if np.any(np.diag(self.cost) != 0):
             raise ConfigurationError("cost diagonal must be zero")
-        if not np.isfinite(self.reads).all() or not np.isfinite(self.writes).all():
-            raise ConfigurationError("request counts must be finite")
-        if (self.reads < 0).any() or (self.writes < 0).any():
-            raise ConfigurationError("request counts must be non-negative")
+        check_finite_array(
+            self.reads, "read frequencies (reads)", nonnegative=True
+        )
+        check_finite_array(
+            self.writes, "write frequencies (writes)", nonnegative=True
+        )
         if (self.sizes <= 0).any():
-            raise ConfigurationError("object sizes must be positive")
+            k = int(np.nonzero(self.sizes <= 0)[0][0])
+            raise ConfigurationError(
+                f"object sizes must be positive, but object {k} has size "
+                f"{int(self.sizes[k])}"
+            )
         if (self.capacities < 0).any():
-            raise ConfigurationError("capacities must be non-negative")
+            i = int(np.nonzero(self.capacities < 0)[0][0])
+            raise ConfigurationError(
+                f"capacities must be non-negative, but server {i} has "
+                f"capacity {int(self.capacities[i])}"
+            )
         if n and (self.primaries.min() < 0 or self.primaries.max() >= m):
             raise ConfigurationError("primary server index out of range")
+
+        # An object bigger than every server is unstorable anywhere —
+        # catch it by name before the aggregate primary-load check turns
+        # it into a less specific per-server message.
+        if n and m:
+            cap_max = int(self.capacities.max())
+            oversized = np.nonzero(self.sizes > cap_max)[0]
+            if len(oversized):
+                k = int(oversized[0])
+                raise InfeasibleInstanceError(
+                    f"object {k} (size {int(self.sizes[k])}) exceeds every "
+                    f"server capacity (max {cap_max}); no server can store "
+                    f"it, not even its primary"
+                )
 
         # Primary copies must themselves fit: Σ_{k: P_k = i} o_k <= s_i.
         primary_load = np.zeros(m, dtype=np.int64)

@@ -66,15 +66,21 @@ def load_instance(path: PathLike) -> DRPInstance:
                 meta = json.loads(str(data["_meta"]))
             except (json.JSONDecodeError, TypeError):
                 meta = {}
-        return DRPInstance(
-            cost=data["cost"],
-            reads=data["reads"],
-            writes=data["writes"],
-            sizes=data["sizes"],
-            capacities=data["capacities"],
-            primaries=data["primaries"],
-            name=str(meta.get("name", path.stem)),
-        )
+        try:
+            return DRPInstance(
+                cost=data["cost"],
+                reads=data["reads"],
+                writes=data["writes"],
+                sizes=data["sizes"],
+                capacities=data["capacities"],
+                primaries=data["primaries"],
+                name=str(meta.get("name", path.stem)),
+            )
+        except ValueError as exc:
+            # ConfigurationError / InfeasibleInstanceError both subclass
+            # ValueError; add the file path so a bad instance in a sweep
+            # directory is locatable from the message alone.
+            raise type(exc)(f"{path}: {exc}") from exc
 
 
 def save_scheme(state: ReplicationState, path: PathLike) -> Path:

@@ -25,6 +25,20 @@ structure violation, and a *winner* whose bid the log claims was lost
 is a winner violation.  Fault, election, checkpoint, and recovery
 events are tallied in the report.
 
+**Byzantine runs** are audited *modulo the rejection log* the same
+way: a :class:`~repro.obs.events.ValidationEvent` declares a bid the
+trust boundary rejected, and that agent is excluded from the round's
+argmax/second-price verification (a rejected bid cannot win — if it
+does, that's a winner violation).  Additionally, the audit
+cross-references :class:`~repro.obs.events.QuarantineEvent` records
+against second-price payments: a round whose paid price was *set* by
+an agent the run later quarantined is reported as a **tainted
+payment** — the post-hoc measure of how much payment distortion a
+collusion or inflation campaign achieved before detection caught it.
+Tainted payments are reported, not flagged as violations: the central
+body priced correctly given the bids it could not yet know were
+manipulated.
+
 Any discrepancy — a corrupted log, a buggy reimplementation, a
 non-truthful payment rule — surfaces as a :class:`AuditViolation`.
 ``python -m repro audit run.jsonl`` is the CLI wrapper.
@@ -38,24 +52,34 @@ from pathlib import Path
 from typing import Iterable, Optional
 
 from repro.obs.events import (
+    AdversaryEvent,
     BidEvent,
     CapacityReject,
     CheckpointEvent,
     ElectionEvent,
     Event,
     FaultEvent,
+    ManipulationEvent,
     NNUpdateEvent,
     PaymentEvent,
+    QuarantineEvent,
     RecoveryEvent,
     RoundEnd,
     RoundStart,
     RunEnd,
     RunStart,
     TimeoutEvent,
+    ValidationEvent,
     WinnerEvent,
 )
 
-__all__ = ["AuditViolation", "AuditReport", "audit_events", "audit_file"]
+__all__ = [
+    "AuditViolation",
+    "AuditReport",
+    "TaintedPayment",
+    "audit_events",
+    "audit_file",
+]
 
 #: Relative tolerance for payment/bid float comparisons.
 REL_TOL = 1e-9
@@ -76,6 +100,28 @@ class AuditViolation:
         return f"[{self.kind}] {self.run} round {self.round}: {self.detail}"
 
 
+@dataclass(frozen=True)
+class TaintedPayment:
+    """A correctly-priced payment whose price setter was later
+    quarantined — the audit's measure of pre-detection damage."""
+
+    run: str
+    round: int
+    winner: int
+    amount: float
+    #: The agent whose bid set the second price.
+    setter: int
+    #: The round at which that agent was (first) quarantined/expelled.
+    quarantined_at: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.run} round {self.round}: payment {self.amount} to agent "
+            f"{self.winner} was priced by agent {self.setter}, quarantined "
+            f"at round {self.quarantined_at}"
+        )
+
+
 @dataclass
 class AuditReport:
     """Outcome of auditing one event log."""
@@ -89,11 +135,21 @@ class AuditReport:
     elections_seen: int = 0
     checkpoints_seen: int = 0
     recoveries_seen: int = 0
+    validations_seen: int = 0
+    manipulations_seen: int = 0
+    quarantines_seen: int = 0
+    adversarial_bids_seen: int = 0
+    tainted_payments: list[TaintedPayment] = field(default_factory=list)
     violations: list[AuditViolation] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.violations
+
+    @property
+    def tainted_payment_total(self) -> float:
+        """Sum paid in rounds priced by a later-quarantined agent."""
+        return float(sum(t.amount for t in self.tainted_payments))
 
     def summary(self) -> str:
         lines = [
@@ -109,6 +165,25 @@ class AuditReport:
                 f"{self.elections_seen}, checkpoints {self.checkpoints_seen}, "
                 f"recoveries {self.recoveries_seen})"
             )
+        if (
+            self.validations_seen
+            or self.manipulations_seen
+            or self.quarantines_seen
+            or self.adversarial_bids_seen
+        ):
+            lines.append(
+                f"byzantine log      {self.adversarial_bids_seen} injected, "
+                f"{self.validations_seen} rejected, "
+                f"{self.manipulations_seen} flagged, "
+                f"{self.quarantines_seen} quarantine action(s)"
+            )
+        if self.tainted_payments:
+            lines.append(
+                f"tainted payments   {len(self.tainted_payments)} round(s) "
+                f"priced by a later-quarantined agent, "
+                f"{self.tainted_payment_total:.6g} total"
+            )
+            lines.extend(f"  {t}" for t in self.tainted_payments)
         if self.ok:
             if self.timeouts_seen:
                 lines.append(
@@ -143,6 +218,9 @@ class _Round:
     #: Agents whose bids a TimeoutEvent declared lost; excluded from
     #: argmax/payment verification.
     missing: set[int] = field(default_factory=set)
+    #: Agents whose bids a ValidationEvent declared rejected; likewise
+    #: excluded (a rejected bid cannot win or set a price).
+    rejected: set[int] = field(default_factory=set)
 
 
 class _Auditor:
@@ -155,6 +233,11 @@ class _Auditor:
         #: Per-run, per-agent expected residual capacity after the last
         #: commit (cross-round consistency check).
         self._residuals: dict[int, float] = {}
+        #: Per-run second-price records awaiting quarantine resolution:
+        #: (round, winner, amount, price-setter agents).
+        self._priced: list[tuple[int, int, float, tuple[int, ...]]] = []
+        #: Per-run quarantine/expel rounds per agent.
+        self._quarantined_at: dict[int, list[int]] = {}
 
     # -- helpers -----------------------------------------------------------
 
@@ -169,6 +252,29 @@ class _Auditor:
             )
         )
 
+    def _finalize_run(self) -> None:
+        """Resolve buffered second-price records against the quarantine
+        log: a payment priced by a later-quarantined agent is tainted."""
+        for rnd, winner, amount, setters in self._priced:
+            for setter in setters:
+                later = [
+                    q for q in self._quarantined_at.get(setter, ()) if q >= rnd
+                ]
+                if later:
+                    self.report.tainted_payments.append(
+                        TaintedPayment(
+                            run=self._run_label,
+                            round=rnd,
+                            winner=winner,
+                            amount=amount,
+                            setter=setter,
+                            quarantined_at=min(later),
+                        )
+                    )
+                    break  # one taint per payment is enough
+        self._priced = []
+        self._quarantined_at = {}
+
     # -- event dispatch ----------------------------------------------------
 
     def feed(self, event: Event) -> None:
@@ -177,6 +283,7 @@ class _Auditor:
             self._residuals = {}
             self.report.runs_audited += 1
         elif isinstance(event, RunEnd):
+            self._finalize_run()
             if self._run_stack:
                 self._run_stack.pop()
             self._residuals = {}
@@ -229,6 +336,20 @@ class _Auditor:
                         f"that agent never bid this round",
                     )
             self._round.missing.update(event.agents)
+        elif isinstance(event, ValidationEvent):
+            self.report.validations_seen += 1
+            if self._round is not None and event.agent >= 0:
+                self._round.rejected.add(event.agent)
+        elif isinstance(event, ManipulationEvent):
+            self.report.manipulations_seen += 1
+        elif isinstance(event, QuarantineEvent):
+            self.report.quarantines_seen += 1
+            if event.action in ("quarantine", "expel"):
+                self._quarantined_at.setdefault(event.agent, []).append(
+                    event.round
+                )
+        elif isinstance(event, AdversaryEvent):
+            self.report.adversarial_bids_seen += 1
         elif isinstance(event, FaultEvent):
             self.report.faults_seen += 1
         elif isinstance(event, ElectionEvent):
@@ -258,10 +379,13 @@ class _Auditor:
                 f"{len(rnd.winners)} winner event(s)",
             )
         # Bids declared lost by a TimeoutEvent never reached the central
-        # body, so the argmax/second-price invariants hold over the
-        # *delivered* reports only.
+        # body, and bids a ValidationEvent declared rejected never
+        # entered the decision, so the argmax/second-price invariants
+        # hold over the *delivered, accepted* reports only.
         values = {
-            a: b.value for a, b in rnd.bids.items() if a not in rnd.missing
+            a: b.value
+            for a, b in rnd.bids.items()
+            if a not in rnd.missing and a not in rnd.rejected
         }
         best = max(values.values()) if values else float("-inf")
         winner_agents = {w.agent for w in rnd.winners}
@@ -273,6 +397,14 @@ class _Auditor:
                     "winner",
                     f"winner {w.agent}'s bid was declared lost by the "
                     f"round's timeout — a lost bid cannot win",
+                )
+                continue
+            if w.agent in rnd.rejected:
+                self._flag(
+                    rnd.index,
+                    "winner",
+                    f"winner {w.agent}'s bid was rejected by the trust "
+                    f"boundary — a rejected bid cannot win",
                 )
                 continue
             self._verify_winner(rnd, w, values, best)
@@ -353,6 +485,17 @@ class _Auditor:
             others = [v for a, v in values.items() if a != p.agent]
             expected = max((v for v in others), default=0.0)
             expected = expected if math.isfinite(expected) and expected > 0 else 0.0
+            if expected > 0:
+                # Remember who set this price; resolved against the
+                # quarantine log at run end (tainted-payment report).
+                setters = tuple(
+                    sorted(
+                        a
+                        for a, v in values.items()
+                        if a != p.agent and _close(v, expected)
+                    )
+                )
+                self._priced.append((rnd.index, p.agent, p.amount, setters))
         elif p.rule == "uniform":
             rejected = [
                 v
@@ -406,6 +549,9 @@ def audit_events(events: Iterable[Event]) -> AuditReport:
         auditor._flag(
             auditor._round.index, "structure", "log ends inside an open round"
         )
+    # A log truncated before its RunEnd still gets its tainted-payment
+    # resolution over whatever quarantine records were seen.
+    auditor._finalize_run()
     return auditor.report
 
 

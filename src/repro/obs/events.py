@@ -51,6 +51,10 @@ __all__ = [
     "ElectionEvent",
     "CheckpointEvent",
     "RecoveryEvent",
+    "ValidationEvent",
+    "ManipulationEvent",
+    "QuarantineEvent",
+    "AdversaryEvent",
     "parse_event",
     "logical_time",
     "EventSink",
@@ -294,6 +298,102 @@ class RecoveryEvent(Event):
     acting_central: int = -1
 
 
+@dataclass(frozen=True)
+class ValidationEvent(Event):
+    """The trust boundary rejected a malformed or infeasible bid.
+
+    Emitted by the :class:`~repro.runtime.adversary.MessageValidator`
+    in front of the central body, or by
+    :class:`~repro.runtime.central.CentralBody` itself on wire-level
+    protocol violations.  ``kind`` names the failed check:
+
+    * ``"schema"`` — non-finite value, out-of-range object id, or a
+      sequence number beyond the retry budget;
+    * ``"feasibility"`` — a bid for an object the sender already hosts;
+    * ``"overclaim"`` — a bid for an object exceeding the sender's
+      residual capacity;
+    * ``"equivocation"`` — two bids from one sender with conflicting
+      payloads in one round (all of that sender's copies are discarded);
+    * ``"unknown_sender"`` — a bid from an out-of-range agent id.
+
+    The rejected bid is excluded from the round's decision; the audit
+    excludes the named agent from that round's argmax/second-price
+    checks (a rejected bid cannot win or set a price).
+    """
+
+    type: ClassVar[str] = "validation"
+
+    round: int = 0
+    agent: int = -1
+    kind: str = ""
+    obj: int = -1
+    value: float = 0.0
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class ManipulationEvent(Event):
+    """The online detector flagged a delivered bid as manipulated.
+
+    The :class:`~repro.runtime.adversary.ManipulationDetector`
+    recomputes each delivered bid's valuation from the central body's
+    own benefit oracle; a report deviating beyond tolerance is flagged
+    here (``reported`` vs ``recomputed``) and counts one strike toward
+    quarantine.  Unlike a :class:`ValidationEvent` the bid *was*
+    well-formed and did enter the decision — detection is advisory
+    until the quarantine policy acts on it.
+    """
+
+    type: ClassVar[str] = "manipulation"
+
+    round: int = 0
+    agent: int = -1
+    kind: str = "misreport"
+    obj: int = -1
+    reported: float = 0.0
+    recomputed: float = 0.0
+
+
+@dataclass(frozen=True)
+class QuarantineEvent(Event):
+    """The quarantine policy changed an agent's standing.
+
+    ``action`` is ``"quarantine"`` (strikes reached the threshold; the
+    agent is excluded from bidding until ``until_round``),
+    ``"release"`` (probation served, the agent rejoins the game), or
+    ``"expel"`` (repeat offender removed for the rest of the run).
+    """
+
+    type: ClassVar[str] = "quarantine"
+
+    round: int = 0
+    agent: int = -1
+    action: str = "quarantine"
+    strikes: int = 0
+    until_round: int = -1
+
+
+@dataclass(frozen=True)
+class AdversaryEvent(Event):
+    """Ground truth: one injected Byzantine manipulation.
+
+    Emitted by the :class:`~repro.runtime.adversary.AdversaryInjector`
+    for every bid it actually altered (identity transforms are not
+    recorded), so a campaign can score detection precision/recall by
+    joining these records against :class:`ValidationEvent` /
+    :class:`ManipulationEvent` on ``(round, agent)``.
+    """
+
+    type: ClassVar[str] = "adversary"
+
+    round: int = 0
+    agent: int = -1
+    behavior: str = ""
+    obj: int = -1
+    value: float = 0.0
+    detail: str = ""
+
+
 #: ``type`` tag -> event class, for parsing serialized records.
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.type: cls
@@ -312,6 +412,10 @@ EVENT_TYPES: dict[str, type[Event]] = {
         ElectionEvent,
         CheckpointEvent,
         RecoveryEvent,
+        ValidationEvent,
+        ManipulationEvent,
+        QuarantineEvent,
+        AdversaryEvent,
     )
 }
 

@@ -22,20 +22,24 @@ from typing import Any, Iterable, Optional, Sequence
 
 from repro.obs.events import (
     EVENT_SCHEMA_VERSION,
+    AdversaryEvent,
     BidEvent,
     CapacityReject,
     CheckpointEvent,
     ElectionEvent,
     Event,
     FaultEvent,
+    ManipulationEvent,
     NNUpdateEvent,
     PaymentEvent,
+    QuarantineEvent,
     RecoveryEvent,
     RoundEnd,
     RoundStart,
     RunEnd,
     RunStart,
     TimeoutEvent,
+    ValidationEvent,
     WinnerEvent,
     parse_event,
 )
@@ -268,6 +272,44 @@ def events_to_chrome_trace(events: Sequence[Event]) -> dict[str, Any]:
                     "acting_central": e.acting_central,
                     "round": e.round,
                 },
+            )
+        elif isinstance(e, ValidationEvent):
+            tid = _CENTRAL_TID if e.agent < 0 else e.agent + 1
+            if e.agent >= 0:
+                agents_seen.add(e.agent)
+            instant(
+                e,
+                f"validation:{e.kind}",
+                tid,
+                {"obj": e.obj, "value": e.value, "detail": e.detail,
+                 "round": e.round},
+            )
+        elif isinstance(e, ManipulationEvent):
+            agents_seen.add(e.agent)
+            instant(
+                e,
+                f"manipulation:{e.kind}",
+                e.agent + 1,
+                {"obj": e.obj, "reported": e.reported,
+                 "recomputed": e.recomputed, "round": e.round},
+            )
+        elif isinstance(e, QuarantineEvent):
+            agents_seen.add(e.agent)
+            instant(
+                e,
+                f"quarantine:{e.action}",
+                e.agent + 1,
+                {"strikes": e.strikes, "until_round": e.until_round,
+                 "round": e.round},
+            )
+        elif isinstance(e, AdversaryEvent):
+            agents_seen.add(e.agent)
+            instant(
+                e,
+                f"adversary:{e.behavior}",
+                e.agent + 1,
+                {"obj": e.obj, "value": e.value, "detail": e.detail,
+                 "round": e.round},
             )
 
     # Track naming metadata: process + central + one track per agent.

@@ -15,7 +15,10 @@ package simulates that protocol at message granularity:
 * :mod:`repro.runtime.metrics` — rounds / messages / bytes accounting,
 * :mod:`repro.runtime.faults` — fault injection: crash/recover
   schedules, lossy channels, bid deadlines with quorum degradation, and
-  central checkpoint/recovery.
+  central checkpoint/recovery,
+* :mod:`repro.runtime.adversary` — Byzantine injection (scripted bid
+  corruption, equivocation, collusion) and the hardened trust boundary
+  (message validation, online manipulation detection, quarantine).
 """
 
 from repro.runtime.messages import (
@@ -39,6 +42,16 @@ from repro.runtime.faults import (
     FaultSchedule,
     FaultyChannel,
     QuorumPolicy,
+)
+from repro.runtime.adversary import (
+    AdversaryInjector,
+    AdversaryPlan,
+    AdversarySpec,
+    ManipulationDetector,
+    MessageValidator,
+    QuarantineManager,
+    QuarantinePolicy,
+    TrustBoundary,
 )
 from repro.runtime.central import CentralBody, Decision
 from repro.runtime.metrics import RuntimeMetrics
@@ -65,6 +78,14 @@ __all__ = [
     "FaultSchedule",
     "FaultyChannel",
     "QuorumPolicy",
+    "AdversaryInjector",
+    "AdversaryPlan",
+    "AdversarySpec",
+    "ManipulationDetector",
+    "MessageValidator",
+    "QuarantineManager",
+    "QuarantinePolicy",
+    "TrustBoundary",
     "CentralBody",
     "Decision",
     "RuntimeMetrics",

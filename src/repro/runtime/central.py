@@ -15,7 +15,8 @@ from enum import IntEnum
 import numpy as np
 
 from repro.core.payments import PAYMENT_RULES
-from repro.errors import ConfigurationError, MechanismProtocolError
+from repro.errors import ConfigurationError
+from repro.obs import events as ev
 from repro.runtime.messages import BidMessage
 
 
@@ -28,12 +29,19 @@ class Decision(IntEnum):
 
 @dataclass(frozen=True)
 class RoundOutcome:
-    """What the central body announces after one round of bids."""
+    """What the central body announces after one round of bids.
+
+    ``rejected`` lists agents whose bids were discarded as protocol
+    violations (unknown sender id, equivocation) — the Byzantine layer
+    and the simulator use it to distinguish "quiet round, game over"
+    from "every bid this round was rejected, keep playing".
+    """
 
     decision: Decision
     winner: int = -1
     obj: int = -1
     payment: float = 0.0
+    rejected: tuple[int, ...] = ()
 
 
 class CentralBody:
@@ -48,7 +56,9 @@ class CentralBody:
         self._pay = PAYMENT_RULES[payment_rule]
         self.payment_rule = payment_rule
 
-    def decide(self, bids: list[BidMessage], n_agents: int) -> RoundOutcome:
+    def decide(
+        self, bids: list[BidMessage], n_agents: int, *, rnd: int = -1
+    ) -> RoundOutcome:
         """Pick the globally dominant bid and price it.
 
         **Tie-breaking is deterministic: on equal top bids the lowest
@@ -60,43 +70,77 @@ class CentralBody:
         **Duplicate tolerance**: lossy links retransmit, so the same bid
         may arrive more than once.  A copy that repeats an already-seen
         ``(sender, seq)`` pair — or carries identical content under a
-        different sequence number — is discarded idempotently.  Two
-        bids from one agent with *conflicting* content still violate the
-        protocol and raise :class:`MechanismProtocolError`, as does a
-        bid from an out-of-range agent id.
+        different sequence number — is discarded idempotently.
+
+        **Protocol violations reject, never crash.**  A bid from an
+        out-of-range agent id is dropped; two bids from one agent with
+        *conflicting* content void **all** of that agent's copies for
+        the round (the central cannot know which payload was meant, and
+        honoring either would reward equivocation).  Each rejection is
+        logged as a typed :class:`~repro.obs.events.ValidationEvent`
+        (when a sink is active) and listed in
+        :attr:`RoundOutcome.rejected`; the round proceeds over the
+        surviving bids.  ``rnd`` tags those events with the round index.
         """
+        sink = ev.current()
+
+        def reject(bid: BidMessage, kind: str, detail: str) -> None:
+            if sink.enabled:
+                sink.emit(
+                    ev.ValidationEvent(
+                        t=ev.now(), round=rnd, agent=bid.sender, kind=kind,
+                        obj=bid.obj, value=bid.value, detail=detail,
+                    )
+                )
+
         seen: dict[int, tuple[int, float]] = {}
+        rejected: list[int] = []
+        equivocators: set[int] = set()
         values = np.full(n_agents, -np.inf)
         objs = np.full(n_agents, -1, dtype=np.int64)
-        any_bid = False
         for bid in bids:
             if not (0 <= bid.sender < n_agents):
-                raise MechanismProtocolError(
-                    f"bid from unknown agent {bid.sender}"
-                )
+                reject(bid, "unknown_sender",
+                       f"bid from unknown agent {bid.sender}")
+                rejected.append(bid.sender)
+                continue
+            if bid.sender in equivocators:
+                continue
             content = (bid.obj, bid.value)
             if bid.sender in seen:
                 if seen[bid.sender] == content:
                     continue  # retransmit / network duplicate
-                raise MechanismProtocolError(
+                reject(
+                    bid, "equivocation",
                     f"agent {bid.sender} sent two bids with conflicting "
-                    f"content in one round"
+                    f"content in one round; all its copies discarded",
                 )
+                rejected.append(bid.sender)
+                equivocators.add(bid.sender)
+                del seen[bid.sender]
+                values[bid.sender] = -np.inf
+                objs[bid.sender] = -1
+                continue
             seen[bid.sender] = content
             values[bid.sender] = bid.value
             objs[bid.sender] = bid.obj
-            any_bid = True
 
-        if not any_bid:
-            return RoundOutcome(decision=Decision.DO_NOT_REPLICATE)
+        rejected_t = tuple(rejected)
+        if not seen:
+            return RoundOutcome(
+                decision=Decision.DO_NOT_REPLICATE, rejected=rejected_t
+            )
         winner = int(np.argmax(values))
         best = float(values[winner])
         if not np.isfinite(best) or best <= 0.0:
-            return RoundOutcome(decision=Decision.DO_NOT_REPLICATE)
+            return RoundOutcome(
+                decision=Decision.DO_NOT_REPLICATE, rejected=rejected_t
+            )
         payment = self._pay(values, winner)
         return RoundOutcome(
             decision=Decision.REPLICATE,
             winner=winner,
             obj=int(objs[winner]),
             payment=payment,
+            rejected=rejected_t,
         )

@@ -14,6 +14,14 @@ channel that drops/delays/duplicates bid and NN-update traffic.  Under
 a *null* :class:`~repro.runtime.faults.FaultPlan` (or ``faults=None``)
 the execution — final scheme, rounds, message stream — is identical to
 the fault-free protocol (a tested equivalence guard).
+
+Byzantine injection (:mod:`repro.runtime.adversary`) layers *strategic*
+misbehaviour on top of both: a seeded :class:`AdversaryPlan` corrupts
+bids before they hit the (possibly lossy) channel, and a
+:class:`TrustBoundary` — validator, online manipulation detector,
+strike-based quarantine — screens everything the central body sees.
+The same null-equivalence guarantee holds: a null plan leaves the run
+byte-identical to the honest path.
 """
 
 from __future__ import annotations
@@ -22,7 +30,7 @@ from typing import Mapping, Optional
 
 import numpy as np
 
-from repro.core.agents import ReplicaAgent
+from repro.core.agents import Bid, ReplicaAgent
 from repro.core.strategies import Strategy
 from repro.drp.benefit import BenefitEngine
 from repro.drp.cost import total_otc
@@ -30,6 +38,12 @@ from repro.drp.instance import DRPInstance
 from repro.drp.state import ReplicationState
 from repro.errors import ConvergenceError
 from repro.result import PlacementResult
+from repro.runtime.adversary import (
+    AdversaryInjector,
+    AdversaryPlan,
+    QuarantinePolicy,
+    TrustBoundary,
+)
 from repro.runtime.central import CentralBody, Decision
 from repro.runtime.faults import FaultInjector, FaultPlan
 from repro.runtime.messages import (
@@ -95,6 +109,20 @@ class SemiDistributedSimulator:
         and NN-update traffic with per-round bid deadlines, retries, and
         quorum-based graceful degradation.  ``None`` (default) disables
         the layer entirely; a null plan is behaviourally identical.
+    adversary:
+        An :class:`~repro.runtime.adversary.AdversaryPlan` scripting
+        Byzantine bid corruption per agent (inflation, infeasible bids,
+        garbage fields, equivocation, collusion rings).  Corruption is
+        applied *before* the lossy channel, so the two layers compose.
+        Supplying a plan (even a null one) also arms the trust boundary
+        — validator, online detector, quarantine — in front of the
+        central body.  ``None`` (default) disables both; a null plan is
+        behaviourally identical to the honest path.
+    quarantine:
+        The :class:`~repro.runtime.adversary.QuarantinePolicy` the
+        trust boundary enforces (strike threshold, probation length,
+        expulsion).  Supplying one arms the boundary even without an
+        adversary plan; ``None`` uses the defaults when a plan is set.
     """
 
     def __init__(
@@ -108,6 +136,8 @@ class SemiDistributedSimulator:
         failed_agents: Optional[set[int]] = None,
         central_failure_round: Optional[int] = None,
         faults: Optional[FaultPlan] = None,
+        adversary: Optional[AdversaryPlan] = None,
+        quarantine: Optional[QuarantinePolicy] = None,
     ):
         if nn_update_period < 1:
             raise ValueError("nn_update_period must be >= 1")
@@ -121,6 +151,8 @@ class SemiDistributedSimulator:
         self.failed_agents = set(failed_agents or ())
         self.central_failure_round = central_failure_round
         self.faults = faults
+        self.adversary = adversary
+        self.quarantine = quarantine
 
     def run(self, instance: DRPInstance) -> PlacementResult:
         sink = ev.current()
@@ -239,6 +271,16 @@ class SemiDistributedSimulator:
         injector = (
             FaultInjector(self.faults, m) if self.faults is not None else None
         )
+        adv = (
+            AdversaryInjector(self.adversary, m)
+            if self.adversary is not None
+            else None
+        )
+        boundary = (
+            TrustBoundary(instance, self.quarantine)
+            if (self.adversary is not None or self.quarantine is not None)
+            else None
+        )
 
         agents = []
         for i in range(m):
@@ -257,6 +299,16 @@ class SemiDistributedSimulator:
             stalled = 0
             prev_down: set[int] = set()
             stale_objs: set[int] = set()  # lazy protocol: unsynced objects
+
+            fruitless = 0  # consecutive no-commit rounds behind the boundary
+            if boundary is not None:
+                policy = boundary.quarantine.policy
+                # Every quarantine is finite and expulsions are permanent,
+                # so rejection/probation wait-outs are bounded; this cap
+                # only guards against a configuration-level livelock.
+                max_fruitless = 200 + policy.probation * policy.max_quarantines
+            else:
+                max_fruitless = 200
 
             def stall(otc_now: float) -> None:
                 """Close a round without a commit and charge the stall
@@ -277,6 +329,27 @@ class SemiDistributedSimulator:
                         f"{stalled} consecutive stalled rounds (quorum misses "
                         f"or blackouts) exceed max_stalled_rounds="
                         f"{injector.quorum.max_stalled_rounds}"
+                    )
+
+            def fruitless_round(otc_now: float) -> None:
+                """Close a round whose only outcome was rejected or
+                quarantined bids; the game must not end on it (the quiet
+                view is an artifact of screening, not of convergence)."""
+                nonlocal fruitless, pround
+                assert boundary is not None
+                fruitless += 1
+                boundary.rejected_stalls += 1
+                if eventing:
+                    sink.emit(
+                        ev.RoundEnd(
+                            t=ev.now(), round=pround, committed=0, otc=otc_now
+                        )
+                    )
+                pround += 1
+                if fruitless > max_fruitless:
+                    raise ConvergenceError(
+                        f"{fruitless} consecutive rounds produced only "
+                        f"rejected or quarantined bids (adversary livelock?)"
                     )
 
             while active:
@@ -345,6 +418,17 @@ class SemiDistributedSimulator:
                     # round; wait for the schedule to bring one back.
                     stall(total_otc(state))
                     continue
+                if boundary is not None:
+                    ordered = boundary.filter_bidders(ordered, pround)
+                    if not ordered and (active - down):
+                        if boundary.quarantine.quarantined:
+                            # Every eligible bidder is quarantined; wait
+                            # out the (finite) probation.
+                            fruitless_round(total_otc(state))
+                            continue
+                        # Only expelled agents could still bid: nobody
+                        # will ever commit again, the game is over.
+                        break
 
                 # PARFOR bid sweep (Figure 2 lines 03-09).
                 t0 = perf_counter() if traced else 0.0
@@ -357,45 +441,61 @@ class SemiDistributedSimulator:
                 eligible_counts = np.isfinite(engine.matrix[ordered]).sum(axis=1)
                 metrics.record_round_work([int(c) for c in eligible_counts])
 
-                bid_msgs: list[BidMessage] = []  # arrived at the central
-                missing: list[int] = []  # bids lost to the channel
-                n_senders = 0
+                honest: dict[int, Bid] = {}
                 for agent_id, bid in zip(ordered, bids):
                     if bid is None:
                         # Empty L_i: the agent leaves the game (line 18).
                         active.discard(agent_id)
-                        continue
-                    n_senders += 1
-                    if injector is None:
-                        msg = BidMessage(
-                            sender=agent_id,
-                            receiver=acting_central,
-                            obj=bid.obj,
-                            value=bid.value,
-                        )
-                        metrics.log.record(msg)
-                        bid_msgs.append(msg)
                     else:
-                        copies = injector.send_bid(
-                            rnd=pround,
-                            sender=agent_id,
-                            receiver=acting_central,
-                            obj=bid.obj,
-                            value=bid.value,
-                            log=metrics.log,
-                        )
-                        if copies:
-                            bid_msgs.extend(copies)
+                        honest[agent_id] = bid
+                if adv is not None:
+                    # Byzantine corruption happens at the (lying) agent,
+                    # before the lossy channel sees the traffic.
+                    sends = adv.corrupt_round(round_idx, honest, state, instance)
+                else:
+                    sends = {a: [(b.obj, b.value)] for a, b in honest.items()}
+
+                bid_msgs: list[BidMessage] = []  # arrived at the central
+                missing: list[int] = []  # bids lost to the channel
+                n_senders = 0
+                for agent_id in sorted(sends):
+                    n_senders += 1
+                    arrived = False
+                    for si, (obj, value) in enumerate(sends[agent_id]):
+                        if injector is None:
+                            msg = BidMessage(
+                                sender=agent_id,
+                                receiver=acting_central,
+                                obj=obj,
+                                value=value,
+                                seq=si,
+                            )
+                            metrics.log.record(msg)
+                            bid_msgs.append(msg)
+                            arrived = True
                         else:
-                            missing.append(agent_id)
+                            copies = injector.send_bid(
+                                rnd=pround,
+                                sender=agent_id,
+                                receiver=acting_central,
+                                obj=obj,
+                                value=value,
+                                log=metrics.log,
+                            )
+                            if copies:
+                                bid_msgs.extend(copies)
+                                arrived = True
+                    if not arrived:
+                        missing.append(agent_id)
                     if eventing:
+                        obj, value = sends[agent_id][0]
                         sink.emit(
                             ev.BidEvent(
                                 t=ev.now(),
                                 round=round_idx,
                                 agent=agent_id,
-                                obj=bid.obj,
-                                value=bid.value,
+                                obj=obj,
+                                value=value,
                             )
                         )
 
@@ -423,7 +523,15 @@ class SemiDistributedSimulator:
                         continue
 
                 t0 = perf_counter() if traced else 0.0
-                outcome = self.central.decide(bid_msgs, m)
+                offended = False
+                if boundary is not None:
+                    # Validator + online detector + strike accounting in
+                    # front of the central body.
+                    bid_msgs, offended = boundary.screen(
+                        bid_msgs, state, engine.matrix, round_idx
+                    )
+                outcome = self.central.decide(bid_msgs, m, rnd=round_idx)
+                offended = offended or bool(outcome.rejected)
                 if traced:
                     tracer.add("round/decision", perf_counter() - t0)
                 if outcome.decision is Decision.DO_NOT_REPLICATE:
@@ -432,6 +540,16 @@ class SemiDistributedSimulator:
                         # or crashed agents; only a clean round may end
                         # the game.
                         stall(total_otc(state))
+                        continue
+                    if boundary is not None and (
+                        offended or boundary.quarantine.quarantined
+                    ):
+                        # Rejected/flagged bids (or bidders sitting out
+                        # a finite probation) made the round quiet; only
+                        # a clean round may end the game.  Expelled
+                        # agents never return, so they don't block
+                        # termination.
+                        fruitless_round(total_otc(state))
                         continue
                     if eventing:
                         sink.emit(
@@ -446,6 +564,7 @@ class SemiDistributedSimulator:
                     break
                 metrics.rounds += 1
                 stalled = 0
+                fruitless = 0
                 if eventing:
                     sink.emit(
                         ev.WinnerEvent(
@@ -647,6 +766,16 @@ class SemiDistributedSimulator:
                 **(
                     {"fault_summary": injector.summary_dict()}
                     if injector is not None
+                    else {}
+                ),
+                **(
+                    {"adversary_summary": adv.summary_dict()}
+                    if adv is not None
+                    else {}
+                ),
+                **(
+                    {"trust_summary": boundary.summary_dict()}
+                    if boundary is not None
                     else {}
                 ),
                 **({"round_series": series} if series is not None else {}),

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from numbers import Integral, Real
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 
@@ -47,3 +49,35 @@ def check_fraction(value, name: str, *, open_left: bool = False, open_right: boo
     if open_right and v == 1.0:
         raise ConfigurationError(f"{name} must be < 1, got {value}")
     return v
+
+
+def check_finite_array(
+    arr: np.ndarray, name: str, *, nonnegative: bool = False
+) -> np.ndarray:
+    """Validate every entry of ``arr`` is finite (and optionally >= 0).
+
+    On failure the error names the first offending index *and* its
+    value, so a NaN read count or an ``inf`` link cost in a thousand-row
+    matrix is immediately locatable instead of propagating silently into
+    the benefit math.  Returns ``arr`` unchanged.
+    """
+    arr = np.asarray(arr)
+    bad = ~np.isfinite(arr)
+    if bad.any():
+        idx = tuple(int(i) for i in np.argwhere(bad)[0])
+        pos = idx[0] if len(idx) == 1 else idx
+        raise ConfigurationError(
+            f"{name} must be finite, but entry {pos} is {float(arr[idx])!r} "
+            f"— check the generator or input file that produced it"
+        )
+    if nonnegative:
+        neg = arr < 0
+        if neg.any():
+            idx = tuple(int(i) for i in np.argwhere(neg)[0])
+            pos = idx[0] if len(idx) == 1 else idx
+            raise ConfigurationError(
+                f"{name} must be non-negative, but entry {pos} is "
+                f"{float(arr[idx])!r} — check the generator or input file "
+                f"that produced it"
+            )
+    return arr

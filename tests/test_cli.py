@@ -164,3 +164,59 @@ class TestChaos:
         rc = main(["chaos", *FAST, "--max-degradation", "0.5"])
         capsys.readouterr()
         assert rc == 1
+
+
+class TestAdversary:
+    def test_campaign_writes_artifacts_and_passes(self, tmp_path, capsys):
+        import json
+
+        report = tmp_path / "report.json"
+        events = tmp_path / "events.jsonl"
+        rc = main(
+            ["adversary", *FAST, "--adv-seed", "3",
+             "--fraction", "0.25", "--fraction", "0.4",
+             "--min-recall", "0.95", "--max-degradation", "1.5",
+             "--report", str(report), "--events", str(events)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "adversary campaign" in out and "verdict: PASS" in out
+        doc = json.loads(report.read_text())
+        assert doc["kind"] == "repro-adversary"
+        assert doc["ok"] and not doc["failures"]
+        assert len(doc["runs"]) == 2
+        for run in doc["runs"]:
+            assert run["feasible"] and run["audit_ok"]
+            assert run["recall"] >= 0.95
+            assert run["false_quarantines"] == []
+            assert run["injected"] > 0
+        # The recorded log passes the offline audit CLI too.
+        assert main(["audit", str(events)]) == 0
+
+    def test_same_adv_seed_same_report(self, tmp_path, capsys):
+        docs = []
+        for name in ("a.json", "b.json"):
+            path = tmp_path / name
+            rc = main(
+                ["adversary", *FAST, "--adv-seed", "7",
+                 "--fraction", "0.3", "--report", str(path)]
+            )
+            assert rc == 0
+            docs.append(path.read_bytes())
+        capsys.readouterr()
+        assert docs[0] == docs[1]
+
+    def test_impossible_recall_gate_fails(self, tmp_path, capsys):
+        rc = main(
+            ["adversary", *FAST, "--fraction", "0.3", "--min-recall", "1.1"]
+        )
+        capsys.readouterr()
+        assert rc == 1
+
+    def test_unknown_behavior_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                ["adversary", *FAST, "--fraction", "0.3",
+                 "--behaviors", "bribe"]
+            )
+        capsys.readouterr()

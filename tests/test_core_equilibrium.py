@@ -10,6 +10,8 @@ from repro.core.equilibrium import (
 from repro.core.strategies import (
     OverProjection,
     RandomProjection,
+    ShillBid,
+    TopInflation,
     UnderProjection,
 )
 
@@ -50,6 +52,20 @@ class TestOneShot:
     def test_gain_property(self, read_heavy_instance):
         comp = one_shot_utilities(read_heavy_instance, 0, OverProjection(2.0))
         assert comp.gain_from_deviation == comp.deviating - comp.truthful
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [TopInflation(2.0), TopInflation(10.0), ShillBid(1e6), ShillBid(0.5)],
+    )
+    def test_byzantine_strategies_stay_dominated(
+        self, read_heavy_instance, strategy
+    ):
+        # The Byzantine layer's per-bid transforms are still priced by
+        # Theorem 5: under second-price payments neither the stealthy
+        # argmax inflation nor a flat shill bid can beat truth-telling.
+        for agent in range(read_heavy_instance.n_servers):
+            comp = one_shot_utilities(read_heavy_instance, agent, strategy)
+            assert comp.deviating <= comp.truthful + 1e-9
 
 
 class TestFullRun:

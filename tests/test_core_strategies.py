@@ -6,6 +6,8 @@ import pytest
 from repro.core.strategies import (
     OverProjection,
     RandomProjection,
+    ShillBid,
+    TopInflation,
     TruthfulStrategy,
     UnderProjection,
 )
@@ -83,6 +85,42 @@ class TestRandomProjection:
     def test_bad_sigma(self):
         with pytest.raises(ConfigurationError):
             RandomProjection(0.0)
+
+
+class TestTopInflation:
+    def test_inflates_only_the_argmax(self):
+        out = TopInflation(2.0).report(vec())
+        assert out[3] == 10.0  # 5.0 is the top value
+        assert out[0] == 2.0 and out[1] == -1.0 and out[2] == -np.inf
+
+    def test_negative_top_pushed_toward_zero(self):
+        v = np.array([-4.0, -2.0])
+        out = TopInflation(2.0).report(v)
+        assert out[1] == -1.0 and out[0] == -4.0
+
+    def test_all_infinite_untouched(self):
+        v = np.full(3, -np.inf)
+        assert np.all(TopInflation(2.0).report(v) == -np.inf)
+
+    def test_factor_validation(self):
+        with pytest.raises(ConfigurationError):
+            TopInflation(1.0)
+
+
+class TestShillBid:
+    def test_reports_fixed_value_on_top_object(self):
+        out = ShillBid(8.75).report(vec())
+        assert out[3] == 8.75
+        # Every other eligible entry is withdrawn.
+        assert out[0] == -np.inf and out[1] == -np.inf
+
+    def test_value_must_be_finite(self):
+        with pytest.raises(ConfigurationError):
+            ShillBid(float("inf"))
+
+    def test_all_infinite_untouched(self):
+        v = np.full(3, -np.inf)
+        assert np.all(ShillBid(1.0).report(v) == -np.inf)
 
 
 class TestReportContract:

@@ -62,6 +62,32 @@ class TestDRPInstanceValidation:
         with pytest.raises(ConfigurationError):
             DRPInstance(**kw)
 
+    def test_nan_reads_named_by_index(self):
+        kw = valid_kwargs()
+        kw["reads"] = np.array([[1.0, np.nan], [3.0, 4.0]])
+        with pytest.raises(ConfigurationError, match=r"read.*\(0, 1\)"):
+            DRPInstance(**kw)
+
+    def test_nan_writes_rejected(self):
+        kw = valid_kwargs()
+        kw["writes"] = np.array([[0.0, 1.0], [np.nan, 0.0]])
+        with pytest.raises(ConfigurationError, match="write"):
+            DRPInstance(**kw)
+
+    def test_infinite_cost_names_entry(self):
+        kw = valid_kwargs()
+        kw["cost"] = np.array([[0.0, np.inf], [np.inf, 0.0]])
+        with pytest.raises(ConfigurationError, match=r"link cost.*\(0, 1\)"):
+            DRPInstance(**kw)
+
+    def test_object_exceeding_every_capacity(self):
+        kw = valid_kwargs()
+        kw["sizes"] = np.array([1, 99])
+        with pytest.raises(
+            InfeasibleInstanceError, match="exceeds every server capacity"
+        ):
+            DRPInstance(**kw)
+
     def test_zero_size_object(self):
         kw = valid_kwargs()
         kw["sizes"] = np.array([0, 1])

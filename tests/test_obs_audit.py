@@ -222,6 +222,96 @@ class TestViolations:
         )
 
 
+class TestByzantineAudit:
+    def rejected_round(self) -> list[ev.Event]:
+        """Agent 0's top bid is rejected by the validator; agent 1 wins
+        and is priced against agent 2 only."""
+        t = 1.0
+        return [
+            ev.RoundStart(t=t, round=0),
+            ev.BidEvent(t=t, round=0, agent=0, obj=3, value=5.0),
+            ev.BidEvent(t=t, round=0, agent=1, obj=3, value=2.0),
+            ev.BidEvent(t=t, round=0, agent=2, obj=3, value=1.0),
+            ev.ValidationEvent(
+                t=t, round=0, agent=0, kind="schema", obj=3, value=5.0,
+                detail="rejected",
+            ),
+            ev.WinnerEvent(
+                t=t, round=0, agent=1, obj=3, value=2.0,
+                obj_size=2, residual_before=10,
+            ),
+            ev.PaymentEvent(t=t, round=0, agent=1, amount=1.0),
+            ev.NNUpdateEvent(t=t, round=0, obj=3, agents=3),
+            ev.RoundEnd(t=t, round=0, committed=1, otc=100.0),
+        ]
+
+    def test_rejected_bid_excluded_from_argmax_and_price(self):
+        report = audit_events(wrap_run(self.rejected_round()))
+        assert report.ok, report.summary()
+        assert report.validations_seen == 1
+        assert "byzantine log" in report.summary()
+
+    def test_rejected_winner_is_flagged(self):
+        events = wrap_run(self.rejected_round())
+        idx = next(
+            i for i, e in enumerate(events) if isinstance(e, ev.WinnerEvent)
+        )
+        # Declare the rejected agent the winner: the audit must object.
+        events[idx] = dataclasses.replace(events[idx], agent=0, value=5.0)
+        report = audit_events(events)
+        assert not report.ok
+        assert any(
+            v.kind == "winner" and "rejected" in v.detail
+            for v in report.violations
+        )
+
+    def test_tainted_payment_reported_not_violated(self):
+        # Agent 1 sets round 0's price, then is quarantined at round 1:
+        # the payment is reported as tainted, but the log still passes.
+        events = wrap_run(
+            clean_round(round=0, winner=0)
+            + [
+                ev.RoundStart(t=2.0, round=1),
+                ev.BidEvent(t=2.0, round=1, agent=0, obj=4, value=3.0),
+                ev.QuarantineEvent(
+                    t=2.0, round=1, agent=1, action="quarantine",
+                    strikes=3, until_round=22,
+                ),
+                ev.WinnerEvent(
+                    t=2.0, round=1, agent=0, obj=4, value=3.0,
+                    obj_size=2, residual_before=8,
+                ),
+                ev.PaymentEvent(t=2.0, round=1, agent=0, amount=0.0),
+                ev.NNUpdateEvent(t=2.0, round=1, obj=4, agents=3),
+                ev.RoundEnd(t=2.0, round=1, committed=1, otc=95.0),
+            ]
+        )
+        report = audit_events(events)
+        assert report.ok, report.summary()
+        assert len(report.tainted_payments) == 1
+        tp = report.tainted_payments[0]
+        assert tp.setter == 1 and tp.round == 0 and tp.amount == 2.0
+        assert tp.quarantined_at == 1
+        assert report.tainted_payment_total == 2.0
+        assert "tainted payments" in report.summary()
+
+    def test_pre_quarantine_price_setters_are_clean(self):
+        # Quarantine strictly *before* the priced round does not taint
+        # it: the agent had been released and re-offended earlier.
+        events = wrap_run(
+            [
+                ev.QuarantineEvent(
+                    t=0.5, round=0, agent=1, action="quarantine",
+                    strikes=3, until_round=1,
+                ),
+            ]
+            + clean_round(round=2, winner=0, t=2.0)
+        )
+        report = audit_events(events)
+        assert report.ok
+        assert not report.tainted_payments
+
+
 class TestCli:
     def test_audit_cli_exit_codes(self, tiny_instance, tmp_path):
         from repro.cli import main

@@ -27,6 +27,22 @@ class TestEventRecords:
                 t=1.6, round=3, agent=5, obj=9, obj_size=4, residual=1,
             ),
             ev.RoundEnd(t=1.7, round=3, committed=1, otc=120.0),
+            ev.ValidationEvent(
+                t=1.8, round=3, agent=5, kind="schema", obj=99, value=2.0,
+                detail="object id 99 out of range",
+            ),
+            ev.ManipulationEvent(
+                t=1.9, round=3, agent=5, kind="misreport", obj=9,
+                reported=7.5, recomputed=2.5,
+            ),
+            ev.QuarantineEvent(
+                t=2.0, round=3, agent=5, action="quarantine", strikes=3,
+                until_round=24,
+            ),
+            ev.AdversaryEvent(
+                t=2.1, round=3, agent=5, behavior="inflate", obj=9,
+                value=5.0, detail="",
+            ),
         ],
     )
     def test_round_trips_through_dict(self, event):
@@ -49,11 +65,14 @@ class TestEventRecords:
             ev.parse_event({"t": 0.0})
 
     def test_every_type_tag_is_registered_and_unique(self):
-        assert len(ev.EVENT_TYPES) == 14
+        assert len(ev.EVENT_TYPES) == 18
         for tag, cls in ev.EVENT_TYPES.items():
             assert cls.type == tag
         # The five fault-layer events are part of the vocabulary.
         for tag in ("fault", "timeout", "election", "checkpoint", "recovery"):
+            assert tag in ev.EVENT_TYPES
+        # ... as are the four Byzantine-layer events.
+        for tag in ("validation", "manipulation", "quarantine", "adversary"):
             assert tag in ev.EVENT_TYPES
 
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.errors import MechanismProtocolError
 from repro.runtime.central import CentralBody, Decision
 from repro.runtime.messages import (
     AllocateMessage,
@@ -98,12 +97,38 @@ class TestCentralBody:
         assert out.decision is Decision.DO_NOT_REPLICATE
 
     def test_conflicting_duplicate_bid_rejected(self):
+        # Equivocation no longer crashes the round: every copy from the
+        # conflicting sender is voided and the round proceeds over the
+        # surviving bidders.
+        bids = [
+            BidMessage(sender=0, receiver=-1, obj=0, value=1.0),
+            BidMessage(sender=0, receiver=-1, obj=1, value=2.0),
+            BidMessage(sender=1, receiver=-1, obj=2, value=1.5),
+        ]
+        out = CentralBody().decide(bids, 2)
+        assert out.decision is Decision.REPLICATE
+        assert out.winner == 1 and out.obj == 2
+        assert 0 in out.rejected
+
+    def test_conflicting_bid_emits_validation_event(self):
+        from repro.obs import events as ev
+
+        sink = ev.RecordingSink()
         bids = [
             BidMessage(sender=0, receiver=-1, obj=0, value=1.0),
             BidMessage(sender=0, receiver=-1, obj=1, value=2.0),
         ]
-        with pytest.raises(MechanismProtocolError, match="two bids"):
-            CentralBody().decide(bids, 2)
+        with ev.capture(sink):
+            out = CentralBody().decide(bids, 2, rnd=7)
+        assert out.decision is Decision.DO_NOT_REPLICATE
+        kinds = [e.kind for e in sink.events if isinstance(e, ev.ValidationEvent)]
+        assert "equivocation" in kinds
+        equivocations = [
+            e for e in sink.events
+            if isinstance(e, ev.ValidationEvent) and e.kind == "equivocation"
+        ]
+        assert equivocations[0].agent == 0
+        assert equivocations[0].round == 7
 
     def test_retransmitted_duplicate_tolerated(self):
         # A lossy link may deliver the same bid more than once (possibly
@@ -135,10 +160,13 @@ class TestCentralBody:
         assert out2.winner == 0 and out2.obj == 3
 
     def test_unknown_agent_rejected(self):
-        with pytest.raises(MechanismProtocolError, match="unknown"):
-            CentralBody().decide(
-                [BidMessage(sender=7, receiver=-1, obj=0, value=1.0)], 3
-            )
+        # A sender outside [0, n_agents) is dropped and recorded, not a
+        # crash: Byzantine peers must not be able to abort the round.
+        out = CentralBody().decide(
+            [BidMessage(sender=7, receiver=-1, obj=0, value=1.0)], 3
+        )
+        assert out.decision is Decision.DO_NOT_REPLICATE
+        assert 7 in out.rejected
 
     def test_bad_payment_rule(self):
         from repro.errors import ConfigurationError

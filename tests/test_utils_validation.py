@@ -2,8 +2,11 @@
 
 import pytest
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.utils.validation import (
+    check_finite_array,
     check_fraction,
     check_positive,
     check_positive_int,
@@ -59,3 +62,32 @@ class TestCheckFraction:
         with pytest.raises(ConfigurationError):
             check_fraction(1.0, "f", open_right=True)
         assert check_fraction(0.9, "f", open_right=True) == 0.9
+
+
+class TestCheckFiniteArray:
+    def test_accepts_and_returns_input(self):
+        arr = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert check_finite_array(arr, "m") is arr
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(ConfigurationError, match="finite"):
+            check_finite_array(np.array([1.0, bad]), "m")
+
+    def test_names_first_offending_index_1d(self):
+        with pytest.raises(ConfigurationError, match="entry 2 is nan"):
+            check_finite_array(np.array([0.0, 1.0, np.nan]), "m")
+
+    def test_names_first_offending_index_2d(self):
+        arr = np.array([[0.0, 1.0], [np.inf, 2.0]])
+        with pytest.raises(ConfigurationError, match=r"entry \(1, 0\)"):
+            check_finite_array(arr, "m")
+
+    def test_nonnegative_gate(self):
+        check_finite_array(np.array([0.0, 1.0]), "m", nonnegative=True)
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            check_finite_array(np.array([1.0, -2.0]), "m", nonnegative=True)
+
+    def test_message_is_actionable(self):
+        with pytest.raises(ConfigurationError, match="generator or input file"):
+            check_finite_array(np.array([np.nan]), "reads")
