@@ -10,7 +10,7 @@ BENCH_GATE ?= 0
 BENCH_BASELINE ?= benchmarks/baseline_tiny.json
 
 .PHONY: install test test-fast test-slow bench bench-json bench-compare \
-        trace audit chaos adversary lint reproduce examples clean
+        trace audit chaos adversary serve lint reproduce examples clean
 
 # Chaos campaign knobs (see docs/robustness.md).
 CHAOS_SEED ?= 5
@@ -20,6 +20,12 @@ CHAOS_MAX_DEGRADATION ?= 1.05
 ADV_SEED ?= 3
 ADV_MAX_DEGRADATION ?= 1.10
 ADV_MIN_RECALL ?= 0.95
+
+# Serving campaign knobs (see docs/serving.md).
+SERVE_SEED ?= 11
+SERVE_FAULT_SEED ?= 5
+SERVE_MIN_AVAILABILITY ?= 0.99
+SERVE_MAX_P99 ?= 150
 
 install:
 	pip install -e . || python setup.py develop
@@ -77,6 +83,24 @@ adversary:
 		--events adversary_events.jsonl --report adversary_report.json
 	python -m repro audit adversary_events.jsonl
 
+# Resilient serving campaign: stream workload traffic against the
+# auctioned placement while 5% of the servers crash per round, gated on
+# availability and tail latency, then audited offline.  A second drift
+# run exercises the drift-triggered incremental re-auction path.
+serve:
+	python -m repro serve --workload worldcup \
+		--serve-seed $(SERVE_SEED) --fault-seed $(SERVE_FAULT_SEED) \
+		--crash-rate 0.05 --straggler-rate 0.02 \
+		--min-availability $(SERVE_MIN_AVAILABILITY) \
+		--max-p99 $(SERVE_MAX_P99) \
+		--events serve_events.jsonl --report serve_report.json
+	python -m repro serve --workload drift \
+		--serve-seed $(SERVE_SEED) \
+		--min-availability $(SERVE_MIN_AVAILABILITY) \
+		--events serve_drift_events.jsonl --report serve_drift_report.json
+	python -m repro audit serve_events.jsonl
+	python -m repro audit serve_drift_events.jsonl
+
 lint:
 	ruff check src/repro/obs
 	ruff format --check src/repro/obs
@@ -92,5 +116,7 @@ clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .ruff_cache \
 		.mypy_cache bench.json events.jsonl trace.json metrics.prom \
 		chaos_events.jsonl chaos_report.json chaos_faults.json \
-		adversary_events.jsonl adversary_report.json
+		adversary_events.jsonl adversary_report.json \
+		serve_events.jsonl serve_report.json serve_drift_events.jsonl \
+		serve_drift_report.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -11,6 +11,7 @@ bench      machine-readable perf harness (BENCH_*.json + regression diff)
 audit      offline axiom verification of a recorded JSONL event log
 chaos      seeded fault-injection campaign vs a fault-free baseline
 adversary  seeded Byzantine-agent campaign vs the honest baseline
+serve      resilient online serving campaign with SLO gates
 
 ``run`` and ``bench`` accept ``--events`` (JSONL event log),
 ``--chrome-trace`` (Perfetto-loadable trace) and ``--metrics-out``
@@ -33,6 +34,7 @@ from repro.experiments.report import format_series
 from repro.experiments.sweeps import capacity_sweep, rw_ratio_sweep
 from repro.io import load_instance, save_instance, save_result
 from repro.runtime.adversary import BEHAVIORS
+from repro.serving.streams import SERVE_WORKLOADS
 from repro.utils.ascii_chart import ascii_chart
 from repro.utils.tables import render_table
 
@@ -122,6 +124,47 @@ def _write_event_exports(args: argparse.Namespace, sink) -> None:
     if args.chrome_trace:
         path = write_chrome_trace(sink.events, args.chrome_trace)
         print(f"wrote Chrome trace -> {path}")
+
+
+def _campaign_instance_meta(
+    instance: DRPInstance, args: argparse.Namespace
+) -> dict:
+    """The instance block every campaign report JSON carries."""
+    return {
+        "name": instance.name,
+        "n_servers": instance.n_servers,
+        "n_objects": instance.n_objects,
+        "seed": args.seed,
+    }
+
+
+def _finish_campaign(
+    args: argparse.Namespace,
+    *,
+    label: str,
+    report: dict,
+    failures: Sequence[str],
+    sink=None,
+) -> int:
+    """Shared tail of a campaign subcommand (chaos / adversary / serve).
+
+    Prints one ``FAIL:`` line per gate violation and the verdict, writes
+    the ``--report`` JSON (stamped with ``failures`` / ``ok``), exports
+    the captured event stream, and maps failures onto the exit status.
+    """
+    import json
+    from pathlib import Path
+
+    for line in failures:
+        print(f"FAIL: {line}", file=sys.stderr)
+    print(f"verdict: {'PASS' if not failures else 'FAIL'}")
+    report = {**report, "failures": list(failures), "ok": not failures}
+    if args.report:
+        Path(args.report).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {label} report -> {args.report}")
+    if sink is not None:
+        _write_event_exports(args, sink)
+    return 1 if failures else 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -380,15 +423,25 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         chaos = SemiDistributedSimulator(faults=plan).run(instance)
     chaos_log = chaos.extra["metrics"].log
 
+    failures = []
     feasible = True
     try:
         check_state(chaos.state)
     except Exception as exc:  # infeasibility details go in the report
         feasible = False
-        print(f"INFEASIBLE final scheme: {exc}", file=sys.stderr)
+        failures.append(f"infeasible final scheme: {exc}")
 
     audit = audit_events(sink.events)
+    if not audit.ok:
+        failures.append(
+            f"mechanism audit FAIL ({len(audit.violations)} violations)"
+        )
     degradation = chaos.otc / baseline.otc if baseline.otc else 1.0
+    if args.max_degradation is not None and degradation > args.max_degradation:
+        failures.append(
+            f"OTC degradation x{degradation:.4f} exceeds bound "
+            f"x{args.max_degradation:.4f}"
+        )
     summary = chaos.extra["fault_summary"]
 
     rows = [
@@ -419,12 +472,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
     report = {
         "kind": "repro-chaos",
-        "instance": {
-            "name": instance.name,
-            "n_servers": m,
-            "n_objects": instance.n_objects,
-            "seed": args.seed,
-        },
+        "instance": _campaign_instance_meta(instance, args),
         "fault_seed": args.fault_seed,
         "baseline": {
             "otc": baseline.otc,
@@ -446,24 +494,12 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         "audit_violations": [str(v) for v in audit.violations],
         "fault_summary": summary,
     }
-    if args.report:
-        Path(args.report).write_text(json.dumps(report, indent=2) + "\n")
-        print(f"wrote chaos report -> {args.report}")
     if args.fault_log:
         Path(args.fault_log).write_text(json.dumps(summary, indent=2) + "\n")
         print(f"wrote fault summary -> {args.fault_log}")
-    _write_event_exports(args, sink)
-
-    if not feasible or not audit.ok:
-        return 1
-    if args.max_degradation is not None and degradation > args.max_degradation:
-        print(
-            f"FAIL: OTC degradation x{degradation:.4f} exceeds bound "
-            f"x{args.max_degradation:.4f}",
-            file=sys.stderr,
-        )
-        return 1
-    return 0
+    return _finish_campaign(
+        args, label="chaos", report=report, failures=failures, sink=sink
+    )
 
 
 def cmd_adversary(args: argparse.Namespace) -> int:
@@ -479,9 +515,6 @@ def cmd_adversary(args: argparse.Namespace) -> int:
     the injected manipulations, or degrades OTC beyond
     ``--max-degradation``.
     """
-    import json
-    from pathlib import Path
-
     from repro.drp.feasibility import check_state
     from repro.obs import events as obs_events
     from repro.obs.audit import audit_events
@@ -631,30 +664,164 @@ def cmd_adversary(args: argparse.Namespace) -> int:
             f"adv seed {args.adv_seed})",
         )
     )
-    for line in failures:
-        print(f"FAIL: {line}", file=sys.stderr)
-    print(f"verdict: {'PASS' if not failures else 'FAIL'}")
-
     report = {
         "kind": "repro-adversary",
-        "instance": {
-            "name": instance.name,
-            "n_servers": m,
-            "n_objects": instance.n_objects,
-            "seed": args.seed,
-        },
+        "instance": _campaign_instance_meta(instance, args),
         "adv_seed": args.adv_seed,
         "quarantine_policy": policy.to_dict(),
         "baseline": {"otc": baseline.otc, "rounds": baseline.rounds},
         "runs": runs,
-        "failures": failures,
-        "ok": not failures,
     }
-    if args.report:
-        Path(args.report).write_text(json.dumps(report, indent=2) + "\n")
-        print(f"wrote adversary report -> {args.report}")
-    _write_event_exports(args, sink)
-    return 1 if failures else 0
+    return _finish_campaign(
+        args, label="adversary", report=report, failures=failures, sink=sink
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Resilient online serving campaign with SLO gates.
+
+    Auctions a placement for the workload's measured demand, then
+    streams the workload's requests against it under an (optional)
+    fault schedule: nearest-replica routing, timeout + backoff
+    failover, hedged reads, token-bucket shedding, and drift-triggered
+    incremental re-auctions.  Deterministic like ``chaos``: the event
+    log uses a logical clock, so two runs with the same arguments are
+    byte-for-byte identical.  Exit status is non-zero if either audit
+    fails, availability drops below ``--min-availability``, or p99
+    latency exceeds ``--max-p99``.
+    """
+    import math
+
+    from repro.obs import events as obs_events
+    from repro.obs.audit import audit_events, audit_serving_events
+    from repro.runtime.faults import FaultSchedule
+    from repro.runtime.simulator import SemiDistributedSimulator
+    from repro.serving import ServeConfig, make_traffic, serve, with_demand
+
+    base = _instance_from_args(args)
+    m = base.n_servers
+
+    traffic = make_traffic(
+        args.workload, base, args.serve_requests, seed=args.serve_seed
+    )
+    instance = with_demand(base, traffic)
+    placement = SemiDistributedSimulator().run(instance)
+
+    horizon = max(
+        1, math.ceil(args.serve_requests / args.requests_per_round)
+    )
+    if args.crash_rate > 0 or args.straggler_rate > 0:
+        schedule = FaultSchedule.random(
+            n_agents=m,
+            horizon=horizon,
+            seed=args.fault_seed,
+            crash_rate=args.crash_rate,
+            mean_outage=args.mean_outage,
+            straggler_rate=args.straggler_rate,
+        )
+    else:
+        schedule = FaultSchedule.null()
+
+    config = ServeConfig(
+        timeout=args.timeout,
+        max_attempts=args.max_attempts,
+        hedge_quantile=args.hedge_quantile,
+        hedge_enabled=not args.no_hedge,
+        rate=args.rate,
+        burst=args.burst,
+        requests_per_round=args.requests_per_round,
+        drift_window=args.drift_window,
+        drift_threshold=args.drift_threshold,
+        drift_top_k=args.drift_top_k,
+        max_reauctions=args.max_reauctions,
+    )
+
+    sink = obs_events.RecordingSink()
+    with obs_events.logical_time(), obs_events.capture(sink):
+        rep = serve(
+            instance,
+            placement.state,
+            traffic.stream,
+            config=config,
+            faults=schedule,
+            seed=args.serve_seed,
+            workload=args.workload,
+            n_requests=args.serve_requests,
+        )
+
+    serving_audit = audit_serving_events(sink.events)
+    mech_audit = audit_events(sink.events)
+
+    failures = []
+    if not serving_audit.ok:
+        failures.append(
+            f"serving audit FAIL ({len(serving_audit.violations)} violations)"
+        )
+    if not mech_audit.ok:
+        failures.append(
+            f"mechanism audit FAIL ({len(mech_audit.violations)} violations)"
+        )
+    if (
+        args.min_availability is not None
+        and rep.availability < args.min_availability
+    ):
+        failures.append(
+            f"availability {rep.availability:.4f} below bound "
+            f"{args.min_availability:.4f}"
+        )
+    if args.max_p99 is not None and rep.p99 > args.max_p99:
+        failures.append(
+            f"p99 latency {rep.p99:.1f} exceeds bound {args.max_p99:.1f}"
+        )
+
+    rows = [
+        ["requests", rep.n_requests],
+        ["admitted", rep.admitted],
+        ["served", rep.served],
+        ["failed", rep.failed],
+        ["shed", rep.shed],
+        ["availability", f"{rep.availability:.4f}"],
+        ["p50 latency", f"{rep.p50:.1f}"],
+        ["p99 latency", f"{rep.p99:.1f}"],
+        ["hedges", rep.hedges],
+        ["failovers", rep.failovers],
+        ["timeouts", rep.timeouts],
+        ["re-auctions", rep.reauctions],
+    ]
+    print(
+        render_table(
+            ["metric", "value"],
+            rows,
+            title=f"serving campaign: {args.workload} on {instance.name} "
+            f"(M={m}, N={instance.n_objects}, serve seed "
+            f"{args.serve_seed}, fault seed {args.fault_seed})",
+        )
+    )
+    print(f"serving audit:   {'PASS' if serving_audit.ok else 'FAIL'}")
+    print(f"mechanism audit: {'PASS' if mech_audit.ok else 'FAIL'}")
+
+    report = {
+        "kind": "repro-serve",
+        "instance": _campaign_instance_meta(base, args),
+        "workload": args.workload,
+        "serve_seed": args.serve_seed,
+        "fault_seed": args.fault_seed,
+        "placement": {"otc": placement.otc, "rounds": placement.rounds},
+        "serving": rep.to_dict(),
+        "serving_audit_ok": serving_audit.ok,
+        "serving_audit_violations": [
+            str(v) for v in serving_audit.violations
+        ],
+        "audit_ok": mech_audit.ok,
+        "audit_violations": [str(v) for v in mech_audit.violations],
+        "gates": {
+            "min_availability": args.min_availability,
+            "max_p99": args.max_p99,
+        },
+    }
+    return _finish_campaign(
+        args, label="serve", report=report, failures=failures, sink=sink
+    )
 
 
 def cmd_axioms(args: argparse.Namespace) -> int:
@@ -870,6 +1037,102 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--report", help="write the full campaign report JSON here")
     _add_export_args(p)
     p.set_defaults(func=cmd_adversary)
+
+    p = sub.add_parser(
+        "serve",
+        help="resilient online serving campaign with SLO gates",
+    )
+    _add_instance_args(p)
+    # Serving defaults: a smoke-sized instance replicated deeply enough
+    # (capacity 0.5) that failover has somewhere to go.
+    p.set_defaults(servers=10, objects=30, requests=4000, capacity=0.5)
+    p.add_argument(
+        "--workload", default="worldcup", choices=list(SERVE_WORKLOADS),
+        help="traffic family to serve (default worldcup; drift and "
+        "flashcrowd move mid-campaign and exercise re-auction)",
+    )
+    p.add_argument(
+        "--serve-requests", type=int, default=4000, dest="serve_requests",
+        help="requests to stream through the serving loop (default 4000)",
+    )
+    p.add_argument(
+        "--serve-seed", type=int, default=11, dest="serve_seed",
+        help="seed for the request stream and the latency model",
+    )
+    p.add_argument(
+        "--fault-seed", type=int, default=0, dest="fault_seed",
+        help="seed for the random fault schedule (with --crash-rate etc.)",
+    )
+    p.add_argument(
+        "--crash-rate", type=float, default=0.0, dest="crash_rate",
+        help="per-server per-round crash probability (default 0: no faults)",
+    )
+    p.add_argument(
+        "--mean-outage", type=float, default=2.0, dest="mean_outage",
+        help="mean crash outage length in serving rounds (default 2)",
+    )
+    p.add_argument(
+        "--straggler-rate", type=float, default=0.0, dest="straggler_rate",
+        help="per-server per-round straggler probability (default 0)",
+    )
+    p.add_argument(
+        "--requests-per-round", type=int, default=500,
+        dest="requests_per_round",
+        help="request ticks per fault-schedule round (default 500)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None,
+        help="attempt deadline (default: auto from the cost diameter)",
+    )
+    p.add_argument(
+        "--max-attempts", type=int, default=3, dest="max_attempts",
+        help="attempts per request before it fails (default 3)",
+    )
+    p.add_argument(
+        "--hedge-quantile", type=float, default=0.95, dest="hedge_quantile",
+        help="hedge reads outliving this trailing quantile (default 0.95)",
+    )
+    p.add_argument(
+        "--no-hedge", action="store_true", dest="no_hedge",
+        help="disable hedged reads",
+    )
+    p.add_argument(
+        "--rate", type=float, default=1.0,
+        help="token-bucket refill per request tick (default 1.0)",
+    )
+    p.add_argument(
+        "--burst", type=float, default=50.0,
+        help="token-bucket depth (default 50)",
+    )
+    p.add_argument(
+        "--drift-window", type=int, default=800, dest="drift_window",
+        help="requests per drift-detection window (default 800)",
+    )
+    p.add_argument(
+        "--drift-threshold", type=float, default=0.15,
+        dest="drift_threshold",
+        help="total-variation distance that triggers a re-auction",
+    )
+    p.add_argument(
+        "--drift-top-k", type=int, default=8, dest="drift_top_k",
+        help="objects re-auctioned per drift trigger (default 8)",
+    )
+    p.add_argument(
+        "--max-reauctions", type=int, default=3, dest="max_reauctions",
+        help="re-auction budget; 0 disables drift response (default 3)",
+    )
+    p.add_argument(
+        "--min-availability", type=float, default=None,
+        dest="min_availability",
+        help="fail (exit 1) if served/admitted drops below this",
+    )
+    p.add_argument(
+        "--max-p99", type=float, default=None, dest="max_p99",
+        help="fail (exit 1) if p99 latency exceeds this",
+    )
+    p.add_argument("--report", help="write the serving report JSON here")
+    _add_export_args(p)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "reproduce", help="regenerate the paper's figures/tables"

@@ -52,6 +52,11 @@ from repro.core.disposition import (
     CapacityMisreportOutcome,
 )
 from repro.core.theorem3 import vcg_payment, verify_theorem3
+from repro.core.reauction import (
+    ReauctionOutcome,
+    build_sub_instance,
+    reauction_objects,
+)
 
 __all__ = [
     "second_best_payment",
@@ -86,4 +91,7 @@ __all__ = [
     "CapacityMisreportOutcome",
     "vcg_payment",
     "verify_theorem3",
+    "ReauctionOutcome",
+    "build_sub_instance",
+    "reauction_objects",
 ]

@@ -1,0 +1,181 @@
+"""Incremental re-auction: re-run the mechanism for a subset of objects.
+
+The serving layer's drift detector flags objects whose observed demand
+has moved away from the demand the current placement was auctioned for.
+Re-running the whole game from scratch would stall serving for the full
+O(MN) protocol; instead we carve out a **sub-instance** containing only
+the affected objects and re-auction those, holding every other object's
+replicas fixed.
+
+The construction preserves feasibility by design:
+
+* the sub-instance keeps the full server set and cost matrix (distances
+  to replicas of *unaffected* objects never change);
+* each server's capacity is reduced by the storage its unaffected
+  replicas keep occupying, so the sub-auction can never oversubscribe a
+  server — and the affected objects' primary copies always fit, because
+  they are stored right now under the same accounting;
+* the affected columns of the winning sub-scheme are merged back into
+  the full X matrix and the NN tables rebuilt.
+
+The result carries the replica **delta** — (server, object) pairs added
+and removed relative to the pre-auction state — which is exactly what
+the serving router swaps in and the serving audit replays
+(:class:`repro.obs.events.ReauctionEvent`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.drp.cost import otc_of_matrix
+from repro.drp.instance import DRPInstance
+from repro.drp.state import ReplicationState
+from repro.errors import ConfigurationError
+from repro.result import PlacementResult
+
+__all__ = ["ReauctionOutcome", "build_sub_instance", "reauction_objects"]
+
+
+@dataclass
+class ReauctionOutcome:
+    """Outcome of one incremental re-auction.
+
+    ``added`` / ``removed`` are (server, object) replica pairs in the
+    *full* instance's object numbering, relative to the pre-auction
+    state.  Primary copies never appear in ``removed``.
+    """
+
+    state: ReplicationState
+    objects: tuple[int, ...]
+    added: tuple[tuple[int, int], ...]
+    removed: tuple[tuple[int, int], ...]
+    otc_before: float
+    otc_after: float
+    rounds: int
+    sub_result: PlacementResult
+
+    @property
+    def improved(self) -> bool:
+        return self.otc_after < self.otc_before
+
+
+def _affected(instance: DRPInstance, objects: Sequence[int]) -> np.ndarray:
+    ks = np.unique(np.asarray(list(objects), dtype=np.int64))
+    if len(ks) == 0:
+        raise ConfigurationError("reauction needs at least one object")
+    if ks.min() < 0 or ks.max() >= instance.n_objects:
+        raise ConfigurationError(
+            f"object ids must be in [0, {instance.n_objects}); got "
+            f"{int(ks.min())}..{int(ks.max())}"
+        )
+    return ks
+
+
+def build_sub_instance(
+    instance: DRPInstance,
+    state: ReplicationState,
+    objects: Sequence[int],
+    *,
+    reads: Optional[np.ndarray] = None,
+    writes: Optional[np.ndarray] = None,
+) -> DRPInstance:
+    """The induced DRP over ``objects``, holding the rest of ``state``.
+
+    ``reads`` / ``writes`` optionally replace the instance's demand
+    matrices — full (M, N) arrays (the serving loop passes its observed
+    demand counts); only the affected columns are used.
+    """
+    ks = _affected(instance, objects)
+    r = instance.reads if reads is None else np.asarray(reads, dtype=np.float64)
+    w = instance.writes if writes is None else np.asarray(writes, dtype=np.float64)
+    m, n = instance.n_servers, instance.n_objects
+    if r.shape != (m, n) or w.shape != (m, n):
+        raise ConfigurationError(
+            f"demand overrides must have shape ({m}, {n}); got "
+            f"{r.shape} and {w.shape}"
+        )
+    # Capacity left once every *unaffected* replica keeps its storage.
+    keep = state.x.copy()
+    keep[:, ks] = False
+    used_unaffected = keep @ instance.sizes
+    return DRPInstance(
+        cost=instance.cost,
+        reads=r[:, ks],
+        writes=w[:, ks],
+        sizes=instance.sizes[ks],
+        capacities=instance.capacities - used_unaffected,
+        primaries=instance.primaries[ks],
+        name=f"{instance.name}/reauction",
+    )
+
+
+def reauction_objects(
+    instance: DRPInstance,
+    state: ReplicationState,
+    objects: Sequence[int],
+    *,
+    reads: Optional[np.ndarray] = None,
+    writes: Optional[np.ndarray] = None,
+    placer: Optional[Callable[[DRPInstance], PlacementResult]] = None,
+) -> ReauctionOutcome:
+    """Re-auction ``objects`` and merge the winners back into ``state``.
+
+    ``placer`` maps the sub-instance to a :class:`PlacementResult`; by
+    default the semi-distributed simulator runs the full message-level
+    protocol (its nested run_start/run_end event stream audits cleanly
+    inside a serving campaign's log).  ``state`` is not mutated — the
+    merged scheme comes back in the outcome.
+
+    ``otc_before`` / ``otc_after`` are evaluated against the demand the
+    re-auction optimized for (the overrides when given), so
+    :attr:`ReauctionOutcome.improved` measures the gain on the demand
+    that actually triggered the re-auction.
+    """
+    ks = _affected(instance, objects)
+    sub = build_sub_instance(
+        instance, state, ks, reads=reads, writes=writes
+    )
+    if reads is None and writes is None:
+        eval_instance = instance
+    else:
+        from dataclasses import replace
+
+        eval_instance = replace(
+            instance,
+            reads=instance.reads if reads is None else reads,
+            writes=instance.writes if writes is None else writes,
+        )
+    if placer is None:
+        from repro.runtime.simulator import SemiDistributedSimulator
+
+        sub_result = SemiDistributedSimulator().run(sub)
+    else:
+        sub_result = placer(sub)
+
+    x_new = state.x.copy()
+    x_new[:, ks] = sub_result.state.x
+    merged = ReplicationState.from_matrix(instance, x_new)
+
+    was, now = state.x[:, ks], sub_result.state.x
+    add_srv, add_col = np.nonzero(now & ~was)
+    del_srv, del_col = np.nonzero(was & ~now)
+    added = tuple(
+        (int(s), int(ks[c])) for s, c in zip(add_srv, add_col)
+    )
+    removed = tuple(
+        (int(s), int(ks[c])) for s, c in zip(del_srv, del_col)
+    )
+    return ReauctionOutcome(
+        state=merged,
+        objects=tuple(int(k) for k in ks),
+        added=added,
+        removed=removed,
+        otc_before=otc_of_matrix(eval_instance, state.x),
+        otc_after=otc_of_matrix(eval_instance, merged.x),
+        rounds=sub_result.rounds,
+        sub_result=sub_result,
+    )

@@ -58,16 +58,24 @@ from repro.obs.events import (
     CheckpointEvent,
     ElectionEvent,
     Event,
+    FailoverEvent,
     FaultEvent,
+    HedgeEvent,
     ManipulationEvent,
     NNUpdateEvent,
     PaymentEvent,
     QuarantineEvent,
+    ReauctionEvent,
     RecoveryEvent,
+    RequestEvent,
+    RequestTimeout,
     RoundEnd,
     RoundStart,
     RunEnd,
     RunStart,
+    ServeEnd,
+    ServeStart,
+    ShedEvent,
     TimeoutEvent,
     ValidationEvent,
     WinnerEvent,
@@ -79,6 +87,10 @@ __all__ = [
     "TaintedPayment",
     "audit_events",
     "audit_file",
+    "ServingViolation",
+    "ServingAuditReport",
+    "audit_serving_events",
+    "audit_serving_file",
 ]
 
 #: Relative tolerance for payment/bid float comparisons.
@@ -560,3 +572,194 @@ def audit_file(path: str | Path) -> AuditReport:
     from repro.obs.export import read_events_jsonl
 
     return audit_events(read_events_jsonl(path))
+
+
+# -- serving audit -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServingViolation:
+    """One broken serving invariant, anchored to a campaign tick."""
+
+    tick: int
+    kind: str  # "placement" | "structure"
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] tick {self.tick}: {self.detail}"
+
+
+@dataclass
+class ServingAuditReport:
+    """Outcome of auditing one serving campaign's event log.
+
+    The core check is **placement consistency**: every request the log
+    claims was served must have been answered by a server that actually
+    hosted the object at that logical time — a replica in the
+    :class:`~repro.obs.events.ServeStart` snapshot as evolved by every
+    committed :class:`~repro.obs.events.ReauctionEvent` delta, or the
+    object's primary (primaries never drop their copy).  A router that
+    silently reads from a stale or never-valid replica shows up here as
+    a placement violation.
+    """
+
+    requests_audited: int = 0
+    served_ok: int = 0
+    failed: int = 0
+    sheds_seen: int = 0
+    hedges_seen: int = 0
+    failovers_seen: int = 0
+    timeouts_seen: int = 0
+    reauctions_seen: int = 0
+    violations: list[ServingViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        lines = [
+            f"requests audited   {self.requests_audited}",
+            f"served ok          {self.served_ok}",
+            f"failed             {self.failed}",
+            f"shed               {self.sheds_seen}",
+            f"hedges             {self.hedges_seen}",
+            f"failovers          {self.failovers_seen}",
+            f"attempt timeouts   {self.timeouts_seen}",
+            f"re-auctions        {self.reauctions_seen}",
+        ]
+        if self.ok:
+            lines.append(
+                "PASS  every served request was answered by a replica in "
+                "the placement (or the primary) at that logical time"
+            )
+        else:
+            lines.append(f"FAIL  {len(self.violations)} violation(s):")
+            lines.extend(f"  {v}" for v in self.violations)
+        return "\n".join(lines)
+
+
+def audit_serving_events(events: Iterable[Event]) -> ServingAuditReport:
+    """Verify a serving campaign's log for placement consistency.
+
+    Mechanism events (including the nested re-auction runs' own
+    bid/winner/payment stream) are ignored here — feed the same log to
+    :func:`audit_events` for the axiom checks.
+    """
+    report = ServingAuditReport()
+    primaries: Optional[tuple[int, ...]] = None
+    placement: set[tuple[int, int]] = set()
+    counted = {"ok": 0, "failed": 0, "shed": 0}
+
+    def flag(tick: int, kind: str, detail: str) -> None:
+        report.violations.append(ServingViolation(tick, kind, detail))
+
+    for e in events:
+        if isinstance(e, ServeStart):
+            if primaries is not None:
+                flag(0, "structure", "second serve_start in one log")
+            primaries = e.primaries
+            placement = set(e.replicas)
+            for k, p in enumerate(primaries):
+                if (p, k) in placement:
+                    flag(
+                        0,
+                        "structure",
+                        f"replica list duplicates primary copy ({p}, {k})",
+                    )
+        elif isinstance(e, RequestEvent):
+            report.requests_audited += 1
+            if primaries is None:
+                flag(e.tick, "structure", "request before serve_start")
+                continue
+            if e.outcome == "ok":
+                report.served_ok += 1
+                counted["ok"] += 1
+                if e.replica < 0:
+                    flag(
+                        e.tick,
+                        "placement",
+                        f"request for object {e.obj} marked ok with no "
+                        "serving replica",
+                    )
+                elif not (
+                    (e.replica, e.obj) in placement
+                    or (0 <= e.obj < len(primaries) and primaries[e.obj] == e.replica)
+                ):
+                    flag(
+                        e.tick,
+                        "placement",
+                        f"object {e.obj} served by server {e.replica}, "
+                        "which holds no replica at this logical time",
+                    )
+            else:
+                report.failed += 1
+                counted["failed"] += 1
+        elif isinstance(e, ShedEvent):
+            report.sheds_seen += 1
+            counted["shed"] += 1
+        elif isinstance(e, HedgeEvent):
+            report.hedges_seen += 1
+        elif isinstance(e, FailoverEvent):
+            report.failovers_seen += 1
+        elif isinstance(e, RequestTimeout):
+            report.timeouts_seen += 1
+        elif isinstance(e, ReauctionEvent):
+            report.reauctions_seen += 1
+            if primaries is None:
+                flag(e.tick, "structure", "reauction before serve_start")
+                continue
+            for pair in e.removed:
+                server, obj = pair
+                if 0 <= obj < len(primaries) and primaries[obj] == server:
+                    flag(
+                        e.tick,
+                        "placement",
+                        f"reauction removed primary copy ({server}, {obj})",
+                    )
+                elif pair not in placement:
+                    flag(
+                        e.tick,
+                        "structure",
+                        f"reauction removed ({server}, {obj}) which was "
+                        "not in the placement",
+                    )
+                else:
+                    placement.discard(pair)
+            for pair in e.added:
+                server, obj = pair
+                if pair in placement or (
+                    0 <= obj < len(primaries) and primaries[obj] == server
+                ):
+                    flag(
+                        e.tick,
+                        "structure",
+                        f"reauction added duplicate replica ({server}, {obj})",
+                    )
+                else:
+                    placement.add(pair)
+        elif isinstance(e, ServeEnd):
+            if primaries is None:
+                flag(0, "structure", "serve_end before serve_start")
+                continue
+            for name, logged in (
+                ("served", e.served),
+                ("failed", e.failed),
+                ("shed", e.shed),
+            ):
+                seen = counted["ok" if name == "served" else name]
+                if logged != seen:
+                    flag(
+                        0,
+                        "structure",
+                        f"serve_end claims {logged} {name} request(s) but "
+                        f"the log records {seen}",
+                    )
+    return report
+
+
+def audit_serving_file(path: str | Path) -> ServingAuditReport:
+    """Load a JSONL event log and audit its serving campaign."""
+    from repro.obs.export import read_events_jsonl
+
+    return audit_serving_events(read_events_jsonl(path))

@@ -55,6 +55,14 @@ __all__ = [
     "ManipulationEvent",
     "QuarantineEvent",
     "AdversaryEvent",
+    "ServeStart",
+    "ServeEnd",
+    "RequestEvent",
+    "RequestTimeout",
+    "HedgeEvent",
+    "ShedEvent",
+    "FailoverEvent",
+    "ReauctionEvent",
     "parse_event",
     "logical_time",
     "EventSink",
@@ -394,6 +402,187 @@ class AdversaryEvent(Event):
     detail: str = ""
 
 
+def _pairs(value: Any) -> tuple[tuple[int, int], ...]:
+    """Coerce a (server, obj)-pair sequence (or its JSON list-of-lists
+    form) back into the canonical nested-tuple representation."""
+    return tuple((int(a), int(b)) for a, b in value)
+
+
+@dataclass(frozen=True)
+class ServeStart(Event):
+    """A serving campaign begins against a frozen placement snapshot.
+
+    ``primaries`` maps object -> primary server and ``replicas`` lists
+    every (server, object) replica pair in the placement at campaign
+    start.  Together they seed the serving audit's placement model,
+    which :class:`ReauctionEvent` deltas then evolve.
+    """
+
+    type: ClassVar[str] = "serve_start"
+
+    workload: str = ""
+    n_requests: int = 0
+    n_servers: int = 0
+    n_objects: int = 0
+    primaries: tuple[int, ...] = ()
+    replicas: tuple[tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "primaries", tuple(int(p) for p in self.primaries)
+        )
+        object.__setattr__(self, "replicas", _pairs(self.replicas))
+
+
+@dataclass(frozen=True)
+class ServeEnd(Event):
+    """The serving campaign's headline outcome (the SLO-gate inputs)."""
+
+    type: ClassVar[str] = "serve_end"
+
+    served: int = 0
+    shed: int = 0
+    failed: int = 0
+    hedges: int = 0
+    failovers: int = 0
+    reauctions: int = 0
+    availability: float = 1.0
+    p50: float = 0.0
+    p99: float = 0.0
+
+
+@dataclass(frozen=True)
+class RequestEvent(Event):
+    """One client request resolved (or abandoned) by the router.
+
+    ``tick`` is the request's index in the campaign (the serving loop's
+    logical clock); ``server`` is the origin server the client maps to;
+    ``replica`` is the server that actually answered (``-1`` when every
+    attempt failed).  ``outcome`` is ``"ok"`` or ``"failed"`` — shed
+    requests emit :class:`ShedEvent` instead of a ``RequestEvent``.
+    """
+
+    type: ClassVar[str] = "request"
+
+    tick: int = 0
+    client: int = -1
+    server: int = -1
+    obj: int = -1
+    kind: str = "read"
+    replica: int = -1
+    latency: float = 0.0
+    attempts: int = 1
+    hedged: bool = False
+    outcome: str = "ok"
+
+
+@dataclass(frozen=True)
+class RequestTimeout(Event):
+    """One attempt at ``replica`` exceeded the per-request deadline.
+
+    Distinct from the mechanism-layer :class:`TimeoutEvent` (a round's
+    bid deadline): this is data-path, one record per timed-out attempt,
+    so attempt counts in :class:`RequestEvent` can be cross-checked.
+    """
+
+    type: ClassVar[str] = "request_timeout"
+
+    tick: int = 0
+    obj: int = -1
+    replica: int = -1
+    attempt: int = 0
+    deadline: float = 0.0
+
+
+@dataclass(frozen=True)
+class HedgeEvent(Event):
+    """A slow read was hedged to a second replica.
+
+    The first attempt at ``primary`` exceeded the hedge ``threshold``
+    (a trailing latency quantile), so a duplicate read was issued to
+    ``backup``; ``winner`` is whichever answered first.
+    """
+
+    type: ClassVar[str] = "hedge"
+
+    tick: int = 0
+    obj: int = -1
+    primary: int = -1
+    backup: int = -1
+    winner: int = -1
+    threshold: float = 0.0
+
+
+@dataclass(frozen=True)
+class ShedEvent(Event):
+    """Admission control rejected the request before routing.
+
+    ``tokens`` is the token-bucket level at rejection time (always
+    below 1.0 — sheds happen only when the bucket cannot cover one
+    request).  Shed requests are excluded from the availability SLO's
+    denominator and reported separately.
+    """
+
+    type: ClassVar[str] = "shed"
+
+    tick: int = 0
+    client: int = -1
+    obj: int = -1
+    kind: str = "read"
+    tokens: float = 0.0
+
+
+@dataclass(frozen=True)
+class FailoverEvent(Event):
+    """The router rerouted a request off a failed replica.
+
+    ``reason`` is ``"timeout"`` (attempt deadline exceeded) or
+    ``"unhealthy"`` (EWMA health tracker marked the replica down, so it
+    was skipped without an attempt).  ``to_server == -1`` means no
+    alternative was left and the request failed.
+    """
+
+    type: ClassVar[str] = "failover"
+
+    tick: int = 0
+    obj: int = -1
+    from_server: int = -1
+    to_server: int = -1
+    reason: str = "timeout"
+
+
+@dataclass(frozen=True)
+class ReauctionEvent(Event):
+    """A drift-triggered incremental re-auction committed.
+
+    The drift detector flagged ``objects`` (popularity shifted beyond
+    tolerance), the mechanism re-ran on the induced sub-instance while
+    the router kept serving the stale placement, and the resulting
+    placement delta — ``added`` / ``removed`` (server, object) replica
+    pairs — was swapped in atomically at tick ``tick``.  The serving
+    audit replays exactly these deltas over the :class:`ServeStart`
+    snapshot.
+    """
+
+    type: ClassVar[str] = "reauction"
+
+    tick: int = 0
+    trigger: str = "drift"
+    objects: tuple[int, ...] = ()
+    added: tuple[tuple[int, int], ...] = ()
+    removed: tuple[tuple[int, int], ...] = ()
+    otc_before: float = 0.0
+    otc_after: float = 0.0
+    rounds: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "objects", tuple(int(k) for k in self.objects)
+        )
+        object.__setattr__(self, "added", _pairs(self.added))
+        object.__setattr__(self, "removed", _pairs(self.removed))
+
+
 #: ``type`` tag -> event class, for parsing serialized records.
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.type: cls
@@ -416,6 +605,14 @@ EVENT_TYPES: dict[str, type[Event]] = {
         ManipulationEvent,
         QuarantineEvent,
         AdversaryEvent,
+        ServeStart,
+        ServeEnd,
+        RequestEvent,
+        RequestTimeout,
+        HedgeEvent,
+        ShedEvent,
+        FailoverEvent,
+        ReauctionEvent,
     )
 }
 

@@ -28,16 +28,24 @@ from repro.obs.events import (
     CheckpointEvent,
     ElectionEvent,
     Event,
+    FailoverEvent,
     FaultEvent,
+    HedgeEvent,
     ManipulationEvent,
     NNUpdateEvent,
     PaymentEvent,
     QuarantineEvent,
+    ReauctionEvent,
     RecoveryEvent,
+    RequestEvent,
+    RequestTimeout,
     RoundEnd,
     RoundStart,
     RunEnd,
     RunStart,
+    ServeEnd,
+    ServeStart,
+    ShedEvent,
     TimeoutEvent,
     ValidationEvent,
     WinnerEvent,
@@ -137,6 +145,7 @@ def events_to_chrome_trace(events: Sequence[Event]) -> dict[str, Any]:
     agents_seen: set[int] = set()
     run_stack: list[RunStart] = []
     round_open: dict[int, RoundStart] = {}
+    serve_open: list[ServeStart] = []
 
     def instant(e: Event, name: str, tid: int, args: dict[str, Any]) -> None:
         trace.append(
@@ -310,6 +319,82 @@ def events_to_chrome_trace(events: Sequence[Event]) -> dict[str, Any]:
                 e.agent + 1,
                 {"obj": e.obj, "value": e.value, "detail": e.detail,
                  "round": e.round},
+            )
+        elif isinstance(e, ServeStart):
+            serve_open.append(e)
+        elif isinstance(e, ServeEnd):
+            if serve_open:
+                start = serve_open.pop()
+                complete(
+                    start,
+                    e,
+                    f"serve {start.workload}",
+                    {
+                        "served": e.served,
+                        "shed": e.shed,
+                        "failed": e.failed,
+                        "availability": e.availability,
+                        "p99": e.p99,
+                    },
+                )
+        elif isinstance(e, RequestEvent):
+            tid = _CENTRAL_TID if e.replica < 0 else e.replica + 1
+            if e.replica >= 0:
+                agents_seen.add(e.replica)
+            instant(
+                e,
+                f"request:{e.outcome}",
+                tid,
+                {"obj": e.obj, "kind": e.kind, "latency": e.latency,
+                 "attempts": e.attempts, "tick": e.tick},
+            )
+        elif isinstance(e, RequestTimeout):
+            tid = _CENTRAL_TID if e.replica < 0 else e.replica + 1
+            if e.replica >= 0:
+                agents_seen.add(e.replica)
+            instant(
+                e,
+                "request_timeout",
+                tid,
+                {"obj": e.obj, "attempt": e.attempt, "tick": e.tick},
+            )
+        elif isinstance(e, HedgeEvent):
+            tid = _CENTRAL_TID if e.backup < 0 else e.backup + 1
+            if e.backup >= 0:
+                agents_seen.add(e.backup)
+            instant(
+                e,
+                "hedge",
+                tid,
+                {"obj": e.obj, "primary": e.primary, "winner": e.winner,
+                 "tick": e.tick},
+            )
+        elif isinstance(e, ShedEvent):
+            instant(
+                e,
+                "shed",
+                _CENTRAL_TID,
+                {"obj": e.obj, "kind": e.kind, "tokens": e.tokens,
+                 "tick": e.tick},
+            )
+        elif isinstance(e, FailoverEvent):
+            tid = _CENTRAL_TID if e.to_server < 0 else e.to_server + 1
+            if e.to_server >= 0:
+                agents_seen.add(e.to_server)
+            instant(
+                e,
+                f"failover:{e.reason}",
+                tid,
+                {"obj": e.obj, "from": e.from_server, "tick": e.tick},
+            )
+        elif isinstance(e, ReauctionEvent):
+            instant(
+                e,
+                f"reauction:{e.trigger}",
+                _CENTRAL_TID,
+                {"objects": list(e.objects), "added": len(e.added),
+                 "removed": len(e.removed), "otc_after": e.otc_after,
+                 "tick": e.tick},
             )
 
     # Track naming metadata: process + central + one track per agent.

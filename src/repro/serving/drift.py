@@ -1,0 +1,113 @@
+"""Online drift detection over the served request mix.
+
+The placement was auctioned for one demand profile; when the live
+request mix wanders away from it, serving cost quietly decays.  The
+detector keeps per-object request counts over a sliding window and
+compares the window's empirical object-popularity distribution against
+the *reference* distribution (the demand the current placement was
+optimized for) by total-variation distance.  Crossing the threshold
+names the objects contributing the most mass shift — the candidate set
+for an incremental re-auction (:mod:`repro.core.reauction`) — after
+which the reference is rebased to the observed window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DriftDetector"]
+
+
+class DriftDetector:
+    """Sliding-window total-variation drift detector.
+
+    Parameters
+    ----------
+    reference:
+        (N,) non-negative weights of the demand profile the current
+        placement was built for (e.g. ``instance.reads.sum(axis=0)``).
+    window:
+        Number of requests per detection window.
+    threshold:
+        Total-variation distance (in [0, 1]) above which drift fires.
+    top_k:
+        How many objects the detector names when it fires — the
+        largest contributors to ``|observed - reference|``.
+    """
+
+    def __init__(
+        self,
+        reference: np.ndarray,
+        *,
+        window: int = 2000,
+        threshold: float = 0.25,
+        top_k: int = 8,
+    ):
+        reference = np.asarray(reference, dtype=np.float64)
+        if reference.ndim != 1 or len(reference) == 0:
+            raise ConfigurationError("reference must be a non-empty 1-D array")
+        if reference.sum() <= 0:
+            raise ConfigurationError("reference must have positive mass")
+        if window < 1:
+            raise ConfigurationError("window must be >= 1")
+        if not (0.0 < threshold <= 1.0):
+            raise ConfigurationError("threshold must be in (0, 1]")
+        if top_k < 1:
+            raise ConfigurationError("top_k must be >= 1")
+        self.reference = reference / reference.sum()
+        self.window = window
+        self.threshold = threshold
+        self.top_k = top_k
+        self.counts = np.zeros(len(reference), dtype=np.int64)
+        self.seen = 0
+
+    def observe(self, obj: int) -> bool:
+        """Count one request; True when a full window shows drift.
+
+        The window resets after every check (drifted or not), so each
+        verdict covers a disjoint span of requests.
+        """
+        self.counts[obj] += 1
+        self.seen += 1
+        if self.seen < self.window:
+            return False
+        drifted = self.distance() > self.threshold
+        if not drifted:
+            self._reset()
+        return drifted
+
+    def distance(self) -> float:
+        """Total-variation distance of the current window vs reference."""
+        if self.seen == 0:
+            return 0.0
+        observed = self.counts / self.counts.sum()
+        return float(0.5 * np.abs(observed - self.reference).sum())
+
+    def drifted_objects(self) -> list[int]:
+        """The ``top_k`` objects carrying the largest mass shift."""
+        if self.seen == 0:
+            return []
+        observed = self.counts / self.counts.sum()
+        shift = np.abs(observed - self.reference)
+        k = min(self.top_k, int((shift > 0).sum()))
+        if k == 0:
+            return []
+        top = np.argpartition(shift, -k)[-k:]
+        return sorted(int(o) for o in top)
+
+    def rebase(self) -> None:
+        """Adopt the observed window as the new reference.
+
+        Call after committing a re-auction for the drifted objects: the
+        placement now reflects the observed demand, so the detector
+        should measure future drift against it.
+        """
+        if self.seen > 0 and self.counts.sum() > 0:
+            self.reference = self.counts / self.counts.sum()
+        self._reset()
+
+    def _reset(self) -> None:
+        self.counts[:] = 0
+        self.seen = 0

@@ -1,0 +1,487 @@
+"""The request-level serving loop — the online half of the mechanism.
+
+Streams workload traffic against an AGT-RAM placement and keeps
+serving when replicas fail:
+
+* each request routes to the nearest live replica (reads) or the
+  primary (writes) via :class:`~repro.serving.router.RequestRouter`;
+* a crashed or overloaded attempt times out and **fails over** to the
+  next-nearest replica with capped exponential backoff
+  (:class:`~repro.serving.policies.BackoffPolicy`);
+* slow reads are **hedged** to a second replica once the first attempt
+  outlives a trailing latency quantile;
+* a token bucket **sheds** traffic the system cannot admit;
+* per-replica EWMA health routes around servers that keep failing
+  before wasting attempts on them;
+* a drift detector watches the served object mix and, when it moves
+  beyond tolerance, triggers an **incremental re-auction**
+  (:func:`repro.core.reauction.reauction_objects`) for the drifted
+  objects while the loop keeps serving the stale placement; the new
+  placement is swapped in atomically between requests.
+
+Everything is deterministic: all randomness derives from the campaign
+seed via :func:`repro.utils.rng.substream`, "latency" is a seeded
+function of link cost, and under
+:func:`repro.obs.events.logical_time` the emitted event log is
+byte-for-byte reproducible.  Failures come from the same
+:class:`~repro.runtime.faults.FaultSchedule` vocabulary as the chaos
+protocol campaigns — request ticks map onto fault rounds through
+``requests_per_round``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+import numpy as np
+
+from repro.core.reauction import reauction_objects
+from repro.drp.instance import DRPInstance
+from repro.drp.state import ReplicationState
+from repro.errors import ConfigurationError
+from repro.obs import events as ev
+from repro.runtime.faults import FaultSchedule
+from repro.serving.drift import DriftDetector
+from repro.serving.policies import (
+    BackoffPolicy,
+    EwmaHealth,
+    QuantileTracker,
+    TokenBucket,
+)
+from repro.serving.router import RequestRouter
+from repro.serving.streams import ServeRequest
+from repro.utils.rng import SeedLike, substream
+
+__all__ = ["ServeConfig", "ServeReport", "serve"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of the serving loop; defaults suit the smoke campaigns."""
+
+    #: Attempt deadline, in the same units as the latency model.  None
+    #: auto-calibrates to the instance's cost diameter (every healthy
+    #: origin→replica attempt comfortably fits the deadline).
+    timeout: Optional[float] = None
+    #: Attempts per request before it is declared failed.
+    max_attempts: int = 3
+    backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
+    #: Hedge reads whose first attempt outlives this trailing quantile.
+    hedge_quantile: float = 0.95
+    hedge_enabled: bool = True
+    #: Token-bucket admission: tokens per request tick / bucket depth.
+    rate: float = 1.0
+    burst: float = 50.0
+    health_alpha: float = 0.3
+    health_threshold: float = 0.5
+    #: latency = latency_scale * cost(origin, replica) + Exp(latency_noise).
+    latency_scale: float = 1.0
+    latency_noise: float = 1.0
+    #: Latency multiplier while the serving replica is a straggler.
+    straggler_factor: float = 10.0
+    #: Request ticks per fault-schedule round.
+    requests_per_round: int = 500
+    drift_window: int = 2000
+    drift_threshold: float = 0.25
+    drift_top_k: int = 8
+    #: Re-auction budget; 0 disables drift-triggered re-auctions.
+    max_reauctions: int = 4
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigurationError("timeout must be > 0")
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.requests_per_round < 1:
+            raise ConfigurationError("requests_per_round must be >= 1")
+        if self.latency_scale < 0 or self.latency_noise < 0:
+            raise ConfigurationError("latency model must be non-negative")
+        if self.straggler_factor < 1.0:
+            raise ConfigurationError("straggler_factor must be >= 1")
+        if self.max_reauctions < 0:
+            raise ConfigurationError("max_reauctions must be >= 0")
+
+
+@dataclass
+class ServeReport:
+    """Outcome of one serving campaign (wall-clock free, deterministic)."""
+
+    workload: str
+    n_requests: int
+    admitted: int = 0
+    served: int = 0
+    failed: int = 0
+    shed: int = 0
+    hedges: int = 0
+    failovers: int = 0
+    timeouts: int = 0
+    reauctions: int = 0
+    p50: float = 0.0
+    p99: float = 0.0
+    mean_latency: float = 0.0
+    reauction_log: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of *admitted* requests served; sheds are reported
+        separately (declining work is not the same as botching it)."""
+        return self.served / self.admitted if self.admitted else 1.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "n_requests": self.n_requests,
+            "admitted": self.admitted,
+            "served": self.served,
+            "failed": self.failed,
+            "shed": self.shed,
+            "hedges": self.hedges,
+            "failovers": self.failovers,
+            "timeouts": self.timeouts,
+            "reauctions": self.reauctions,
+            "availability": self.availability,
+            "p50": self.p50,
+            "p99": self.p99,
+            "mean_latency": self.mean_latency,
+            "reauction_log": list(self.reauction_log),
+        }
+
+
+def _replica_pairs(state: ReplicationState) -> tuple[tuple[int, int], ...]:
+    """Non-primary (server, object) replica pairs of ``state``."""
+    primaries = state.instance.primaries
+    servers, objs = np.nonzero(state.x)
+    return tuple(
+        (int(s), int(k))
+        for s, k in zip(servers, objs)
+        if primaries[k] != s
+    )
+
+
+def serve(
+    instance: DRPInstance,
+    state: ReplicationState,
+    stream: Iterable[ServeRequest],
+    *,
+    config: Optional[ServeConfig] = None,
+    faults: Optional[FaultSchedule] = None,
+    seed: SeedLike = 0,
+    workload: str = "custom",
+    n_requests: Optional[int] = None,
+) -> ServeReport:
+    """Serve ``stream`` against ``state``; returns the campaign report.
+
+    ``faults`` is interpreted over *serving rounds* (tick //
+    ``requests_per_round``): a crashed server answers nothing for the
+    outage, a straggler answers ``straggler_factor`` slower.  ``state``
+    is not mutated; re-auctions swap fresh states into the router.
+    Event emission follows the repro.obs discipline — nothing is
+    recorded unless a sink is installed.
+    """
+    cfg = config or ServeConfig()
+    plan = faults or FaultSchedule.null()
+    router = RequestRouter(instance, state.copy())
+    bucket = TokenBucket(cfg.rate, cfg.burst)
+    health = EwmaHealth(
+        instance.n_servers,
+        alpha=cfg.health_alpha,
+        threshold=cfg.health_threshold,
+    )
+    quantiles = QuantileTracker(cfg.hedge_quantile)
+    detector: Optional[DriftDetector] = None
+    demand_ref = instance.reads.sum(axis=0) + instance.writes.sum(axis=0)
+    if cfg.max_reauctions > 0 and demand_ref.sum() > 0:
+        detector = DriftDetector(
+            demand_ref,
+            window=cfg.drift_window,
+            threshold=cfg.drift_threshold,
+            top_k=cfg.drift_top_k,
+        )
+    lat_rng = substream(seed, "serving/latency")
+    backoff_rng = substream(seed, "serving/backoff")
+    # Auto-calibrated deadline: cover the worst origin→replica link
+    # plus an 8-mean-deviations noise allowance, so only genuinely
+    # failed/straggling attempts time out.
+    timeout = (
+        cfg.timeout
+        if cfg.timeout is not None
+        else max(
+            1.0,
+            cfg.latency_scale * float(instance.cost.max())
+            + 8.0 * cfg.latency_noise,
+        )
+    )
+
+    report = ServeReport(
+        workload=workload,
+        n_requests=0 if n_requests is None else int(n_requests),
+    )
+    # Observed demand since the last re-auction, the override matrices
+    # a drift-triggered sub-auction optimizes for.
+    obs_reads = np.zeros_like(instance.reads)
+    obs_writes = np.zeros_like(instance.writes)
+    latencies: list[float] = []
+
+    sink = ev.current()
+    if sink.enabled:
+        sink.emit(
+            ev.ServeStart(
+                t=ev.now(),
+                workload=workload,
+                n_requests=report.n_requests,
+                n_servers=instance.n_servers,
+                n_objects=instance.n_objects,
+                primaries=tuple(int(p) for p in instance.primaries),
+                replicas=_replica_pairs(router.state),
+            )
+        )
+
+    def attempt_latency(origin: int, target: int, rnd: int) -> float:
+        lat = cfg.latency_scale * float(
+            instance.cost[origin, target]
+        ) + float(lat_rng.exponential(cfg.latency_noise))
+        if plan.is_straggler(rnd, target):
+            lat *= cfg.straggler_factor
+        return lat
+
+    for tick, req in enumerate(stream):
+        rnd = tick // cfg.requests_per_round
+        if not bucket.admit():
+            report.shed += 1
+            if sink.enabled:
+                sink.emit(
+                    ev.ShedEvent(
+                        t=ev.now(),
+                        tick=tick,
+                        client=req.client,
+                        obj=req.obj,
+                        kind=req.kind,
+                        tokens=bucket.tokens,
+                    )
+                )
+            continue
+        report.admitted += 1
+        if req.kind == "read":
+            obs_reads[req.server, req.obj] += 1
+        else:
+            obs_writes[req.server, req.obj] += 1
+
+        if req.kind == "write":
+            # Writes target the primary; when it is down, the
+            # next-nearest live replica accepts the update as a hinted
+            # hand-off (it hosts the object, so the write lands on a
+            # legitimate copy and is forwarded once the primary heals).
+            primary = router.write_target(req.obj)
+            others = router.read_candidates(
+                req.server, req.obj, exclude=(primary,)
+            )
+            candidates = [primary] + others
+        else:
+            ordered = router.read_candidates(req.server, req.obj)
+            healthy = [s for s in ordered if health.healthy(s)]
+            sick = [s for s in ordered if not health.healthy(s)]
+            if healthy and sick and sick[0] == ordered[0]:
+                # The nearest replica is marked down: route around it
+                # without spending an attempt.
+                report.failovers += 1
+                if sink.enabled:
+                    sink.emit(
+                        ev.FailoverEvent(
+                            t=ev.now(),
+                            tick=tick,
+                            obj=req.obj,
+                            from_server=sick[0],
+                            to_server=healthy[0],
+                            reason="unhealthy",
+                        )
+                    )
+            candidates = healthy + sick
+
+        # A request may retry a server it already tried (cycling) when
+        # it has fewer distinct candidates than the attempt budget.
+        plan_targets = [
+            candidates[a % len(candidates)]
+            for a in range(cfg.max_attempts)
+        ] if candidates else []
+
+        total_latency = 0.0
+        replica = -1
+        attempts = 0
+        hedged = False
+        for pos, target in enumerate(plan_targets):
+            attempts += 1
+            crashed = plan.agent_down(target, rnd)
+            lat = (
+                float("inf")
+                if crashed
+                else attempt_latency(req.server, target, rnd)
+            )
+            if lat > timeout:
+                report.timeouts += 1
+                health.record(target, False)
+                total_latency += timeout
+                if sink.enabled:
+                    sink.emit(
+                        ev.RequestTimeout(
+                            t=ev.now(),
+                            tick=tick,
+                            obj=req.obj,
+                            replica=target,
+                            attempt=attempts,
+                            deadline=timeout,
+                        )
+                    )
+                if pos + 1 < len(plan_targets):
+                    total_latency += cfg.backoff.delay(attempts, backoff_rng)
+                    report.failovers += 1
+                    if sink.enabled:
+                        sink.emit(
+                            ev.FailoverEvent(
+                                t=ev.now(),
+                                tick=tick,
+                                obj=req.obj,
+                                from_server=target,
+                                to_server=plan_targets[pos + 1],
+                                reason="timeout",
+                            )
+                        )
+                continue
+            # Attempt succeeded.  Hedge slow reads to the next-nearest
+            # replica: the duplicate is issued once the first attempt
+            # outlives the trailing quantile, and whichever answer
+            # lands first wins.
+            threshold = quantiles.quantile()
+            final = lat
+            winner = target
+            if (
+                cfg.hedge_enabled
+                and req.kind == "read"
+                and lat > threshold
+            ):
+                backups = [
+                    s
+                    for s in candidates
+                    if s != target and not plan.agent_down(s, rnd)
+                ]
+                if backups:
+                    backup = backups[0]
+                    lat2 = threshold + attempt_latency(
+                        req.server, backup, rnd
+                    )
+                    report.hedges += 1
+                    hedged = True
+                    if lat2 < final:
+                        final = lat2
+                        winner = backup
+                    if sink.enabled:
+                        sink.emit(
+                            ev.HedgeEvent(
+                                t=ev.now(),
+                                tick=tick,
+                                obj=req.obj,
+                                primary=target,
+                                backup=backup,
+                                winner=winner,
+                                threshold=threshold,
+                            )
+                        )
+            total_latency += final
+            replica = winner
+            health.record(winner, True)
+            quantiles.observe(final)
+            break
+
+        ok = replica >= 0
+        if ok:
+            report.served += 1
+            latencies.append(total_latency)
+        else:
+            report.failed += 1
+        if sink.enabled:
+            sink.emit(
+                ev.RequestEvent(
+                    t=ev.now(),
+                    tick=tick,
+                    client=req.client,
+                    server=req.server,
+                    obj=req.obj,
+                    kind=req.kind,
+                    replica=replica,
+                    latency=total_latency,
+                    attempts=attempts,
+                    hedged=hedged,
+                    outcome="ok" if ok else "failed",
+                )
+            )
+
+        # Drift check after serving: the router keeps answering from
+        # the stale placement until the re-auction commits.
+        if detector is not None and detector.observe(req.obj):
+            objects = detector.drifted_objects()
+            scale = float(demand_ref.sum()) / max(
+                1.0, float(obs_reads.sum() + obs_writes.sum())
+            )
+            outcome = reauction_objects(
+                instance,
+                router.state,
+                objects,
+                reads=obs_reads * scale,
+                writes=obs_writes * scale,
+            )
+            router.swap_state(outcome.state)
+            report.reauctions += 1
+            report.reauction_log.append(
+                {
+                    "tick": tick,
+                    "objects": list(outcome.objects),
+                    "added": len(outcome.added),
+                    "removed": len(outcome.removed),
+                    "otc_before": outcome.otc_before,
+                    "otc_after": outcome.otc_after,
+                    "rounds": outcome.rounds,
+                }
+            )
+            if sink.enabled:
+                sink.emit(
+                    ev.ReauctionEvent(
+                        t=ev.now(),
+                        tick=tick,
+                        trigger="drift",
+                        objects=outcome.objects,
+                        added=outcome.added,
+                        removed=outcome.removed,
+                        otc_before=outcome.otc_before,
+                        otc_after=outcome.otc_after,
+                        rounds=outcome.rounds,
+                    )
+                )
+            detector.rebase()
+            obs_reads[:] = 0.0
+            obs_writes[:] = 0.0
+            if report.reauctions >= cfg.max_reauctions:
+                detector = None
+
+    if report.n_requests == 0:
+        report.n_requests = report.admitted + report.shed
+    if latencies:
+        arr = np.asarray(latencies)
+        report.p50 = float(np.percentile(arr, 50))
+        report.p99 = float(np.percentile(arr, 99))
+        report.mean_latency = float(arr.mean())
+    if sink.enabled:
+        sink.emit(
+            ev.ServeEnd(
+                t=ev.now(),
+                served=report.served,
+                shed=report.shed,
+                failed=report.failed,
+                hedges=report.hedges,
+                failovers=report.failovers,
+                reauctions=report.reauctions,
+                availability=report.availability,
+                p50=report.p50,
+                p99=report.p99,
+            )
+        )
+    return report

@@ -1,0 +1,74 @@
+"""Request routing over the placement's NN structure.
+
+The router answers one question per request: *which server should this
+origin read ``obj`` from (or write it to) right now?*  Reads prefer the
+nearest replica by link cost — the same metric the mechanism's NN
+tables encode — and fall back outward through the remaining replicas,
+ending at the primary (which, per the paper, can never drop its copy).
+Writes always target the primary, matching the cost model's
+ship-to-primary-then-broadcast semantics (Eq. 2).
+
+The placement is swappable: a drift-triggered re-auction builds a new
+:class:`~repro.drp.state.ReplicationState` off to the side and
+:meth:`RequestRouter.swap_state` installs it atomically between
+requests, so the router serves the stale placement while the
+re-auction runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.drp.instance import DRPInstance
+from repro.drp.state import ReplicationState
+
+__all__ = ["RequestRouter"]
+
+
+class RequestRouter:
+    """Nearest-replica-first routing with failover ordering."""
+
+    def __init__(self, instance: DRPInstance, state: ReplicationState):
+        self.instance = instance
+        self.state = state
+
+    def swap_state(self, state: ReplicationState) -> ReplicationState:
+        """Install a new placement; returns the one it replaced."""
+        previous = self.state
+        self.state = state
+        return previous
+
+    def read_candidates(
+        self, origin: int, obj: int, *, exclude: Iterable[int] = ()
+    ) -> list[int]:
+        """Replica servers for a read, nearest first, primary included.
+
+        Ordered by link cost from ``origin`` (ties break to the lower
+        server id, keeping the order deterministic); ``exclude`` drops
+        servers the caller already knows are unusable (crashed,
+        unhealthy, or already tried).
+        """
+        reps = self.state.replica_set(obj)
+        dropped = set(int(s) for s in exclude)
+        if dropped:
+            reps = np.array(
+                [s for s in reps if int(s) not in dropped], dtype=np.int64
+            )
+        if len(reps) == 0:
+            return []
+        costs = self.instance.cost[origin, reps]
+        order = np.lexsort((reps, costs))
+        return [int(s) for s in reps[order]]
+
+    def write_target(self, obj: int) -> int:
+        """Writes go to the primary (the cost model's update path)."""
+        return int(self.instance.primaries[obj])
+
+    def route_read(
+        self, origin: int, obj: int, *, exclude: Iterable[int] = ()
+    ) -> int:
+        """Best read target, or ``-1`` when every replica is excluded."""
+        candidates = self.read_candidates(origin, obj, exclude=exclude)
+        return candidates[0] if candidates else -1

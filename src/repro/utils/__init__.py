@@ -1,6 +1,6 @@
 """Shared utilities: RNG fan-out, timing, validation, table rendering."""
 
-from repro.utils.rng import RngFactory, as_generator, spawn_children
+from repro.utils.rng import RngFactory, as_generator, spawn_children, substream
 from repro.utils.timing import Timer, format_seconds
 from repro.utils.validation import (
     check_fraction,
@@ -16,6 +16,7 @@ __all__ = [
     "RngFactory",
     "as_generator",
     "spawn_children",
+    "substream",
     "Timer",
     "format_seconds",
     "check_fraction",

@@ -46,6 +46,34 @@ def spawn_children(seed: SeedLike, n: int) -> list[np.random.Generator]:
     return [np.random.default_rng(s) for s in ss.spawn(n)]
 
 
+def substream(seed: SeedLike, name: str) -> np.random.Generator:
+    """Derive the named, order-independent substream of ``seed``.
+
+    The stream is keyed by hashing ``name`` into the seed sequence's
+    spawn key, so ``substream(s, "serving/latency")`` yields the same
+    generator no matter which — or how many — *other* substreams were
+    derived from ``s`` before it.  That null-composition identity is
+    what keeps composed subsystems (serving loop, fault plan, workload
+    draws) byte-reproducible: arming one subsystem cannot perturb
+    another's draws.
+
+    Passing a :class:`numpy.random.Generator` keys off the entropy its
+    bit generator was seeded with (the generator's current position is
+    irrelevant — substreams are derived, not consumed).
+    """
+    if isinstance(seed, np.random.Generator):
+        root = seed.bit_generator.seed_seq
+    elif isinstance(seed, np.random.SeedSequence):
+        root = seed
+    else:
+        root = np.random.SeedSequence(seed)
+    key = np.frombuffer(name.encode("utf-8"), dtype=np.uint8)
+    child = np.random.SeedSequence(
+        entropy=root.entropy, spawn_key=tuple(int(x) for x in key)
+    )
+    return np.random.default_rng(child)
+
+
 class RngFactory:
     """Named, reproducible RNG streams derived from one root seed.
 

@@ -20,7 +20,7 @@ The real trace is not redistributable, so this package provides:
 """
 
 from repro.workload.zipf import zipf_weights, sample_zipf
-from repro.workload.trace import Request, Trace, ObjectCatalog
+from repro.workload.trace import Request, RequestStream, Trace, ObjectCatalog
 from repro.workload.clients import map_clients_to_servers
 from repro.workload.worldcup import (
     WorldCupLogGenerator,
@@ -42,6 +42,7 @@ __all__ = [
     "zipf_weights",
     "sample_zipf",
     "Request",
+    "RequestStream",
     "Trace",
     "ObjectCatalog",
     "map_clients_to_servers",

@@ -69,6 +69,46 @@ class ObjectCatalog:
 
 
 @dataclass
+class RequestStream:
+    """A *lazy* request stream over a catalog.
+
+    Where :class:`Trace` materializes every :class:`Request` up front,
+    a ``RequestStream`` wraps a generator so million-request serving
+    campaigns hold one chunk of requests in memory at a time.  The
+    stream is single-pass: iterate it once, or call
+    :meth:`materialize` to collect it into a :class:`Trace` (tests,
+    small campaigns).
+
+    ``length`` is the declared number of requests the generator will
+    yield (serving campaigns use it for progress/SLO accounting without
+    consuming the stream).
+    """
+
+    catalog: ObjectCatalog
+    requests: Iterator[Request]
+    n_clients: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.n_clients < 0 or self.length < 0:
+            raise ConfigurationError("n_clients and length must be >= 0")
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self.requests)
+
+    def __len__(self) -> int:
+        return self.length
+
+    def materialize(self) -> "Trace":
+        """Drain the stream into an ordinary :class:`Trace`."""
+        return Trace(
+            catalog=self.catalog,
+            requests=list(self.requests),
+            n_clients=self.n_clients,
+        )
+
+
+@dataclass
 class Trace:
     """An ordered request stream over a catalog."""
 

@@ -31,7 +31,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.utils.rng import SeedLike, as_generator, spawn_children
 from repro.utils.validation import check_fraction, check_positive, check_positive_int
-from repro.workload.trace import ObjectCatalog, Request, Trace
+from repro.workload.trace import ObjectCatalog, Request, RequestStream, Trace
 from repro.workload.zipf import zipf_weights
 
 #: Apache common log format:
@@ -128,6 +128,45 @@ class WorldCupLogGenerator:
         """Draw ``n_requests`` synthetic requests (vectorized)."""
         if n_requests < 0:
             raise ConfigurationError("n_requests must be >= 0")
+        return self._sample_batch(n_requests)
+
+    def iter_requests(
+        self, n_requests: int, *, chunk_size: int = 65_536
+    ) -> Iterator[Request]:
+        """Yield ``n_requests`` requests lazily, drawing ``chunk_size``
+        at a time.
+
+        Memory stays bounded by one chunk, which is what lets serving
+        campaigns stream millions of requests.  The draw is a
+        deterministic function of ``(seed, chunk_size)``: with
+        ``chunk_size >= n_requests`` it is byte-identical to
+        :meth:`sample_requests`; smaller chunks reorder the underlying
+        RNG consumption (and sort timestamps per chunk), so they are a
+        *different* — but equally reproducible — sample.
+        """
+        if n_requests < 0:
+            raise ConfigurationError("n_requests must be >= 0")
+        if chunk_size < 1:
+            raise ConfigurationError("chunk_size must be >= 1")
+        remaining = n_requests
+        while remaining > 0:
+            batch = self._sample_batch(min(chunk_size, remaining))
+            remaining -= len(batch)
+            yield from batch
+
+    def request_stream(
+        self, n_requests: int, *, chunk_size: int = 65_536
+    ) -> "RequestStream":
+        """Wrap :meth:`iter_requests` as a single-pass
+        :class:`~repro.workload.trace.RequestStream`."""
+        return RequestStream(
+            catalog=self.catalog,
+            requests=self.iter_requests(n_requests, chunk_size=chunk_size),
+            n_clients=self.n_clients,
+            length=n_requests,
+        )
+
+    def _sample_batch(self, n_requests: int) -> list[Request]:
         if n_requests == 0:
             return []
         objs = self._obj_perm[

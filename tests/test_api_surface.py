@@ -19,7 +19,7 @@ class TestPublicAPI:
     @pytest.mark.parametrize(
         "subpackage",
         ["topology", "workload", "drp", "core", "baselines", "runtime",
-         "experiments", "analysis", "utils"],
+         "experiments", "analysis", "serving", "utils"],
     )
     def test_subpackage_all_resolves(self, subpackage):
         import importlib

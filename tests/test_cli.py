@@ -220,3 +220,73 @@ class TestAdversary:
                  "--behaviors", "bribe"]
             )
         capsys.readouterr()
+
+SERVE_FAST = [
+    "--servers", "8", "--objects", "24", "--requests", "3000",
+    "--capacity", "0.5", "--seed", "3", "--serve-requests", "1500",
+]
+
+
+class TestServe:
+    def test_campaign_writes_artifacts_and_passes(self, tmp_path, capsys):
+        import json
+
+        report = tmp_path / "report.json"
+        events = tmp_path / "events.jsonl"
+        rc = main(
+            ["serve", *SERVE_FAST, "--workload", "worldcup",
+             "--crash-rate", "0.05", "--straggler-rate", "0.02",
+             "--fault-seed", "5", "--min-availability", "0.98",
+             "--report", str(report), "--events", str(events)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serving campaign" in out and "verdict: PASS" in out
+        doc = json.loads(report.read_text())
+        assert doc["kind"] == "repro-serve"
+        assert doc["ok"] and not doc["failures"]
+        assert doc["serving_audit_ok"] and doc["audit_ok"]
+        assert doc["serving"]["availability"] >= 0.98
+        assert doc["serving"]["served"] + doc["serving"]["failed"] == 1500
+        # The recorded log passes the offline audit CLI too.
+        assert main(["audit", str(events)]) == 0
+
+    def test_same_seed_byte_identical_artifacts(self, tmp_path, capsys):
+        artifacts = []
+        for name in ("a", "b"):
+            report = tmp_path / f"{name}.json"
+            events = tmp_path / f"{name}.jsonl"
+            rc = main(
+                ["serve", *SERVE_FAST, "--crash-rate", "0.05",
+                 "--fault-seed", "7",
+                 "--report", str(report), "--events", str(events)]
+            )
+            assert rc == 0
+            artifacts.append(report.read_bytes() + events.read_bytes())
+        capsys.readouterr()
+        assert artifacts[0] == artifacts[1]
+
+    def test_drift_workload_reauctions(self, tmp_path, capsys):
+        import json
+
+        report = tmp_path / "report.json"
+        rc = main(
+            ["serve", *SERVE_FAST, "--workload", "drift",
+             "--drift-window", "400", "--report", str(report)]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        doc = json.loads(report.read_text())
+        assert doc["serving"]["reauctions"] >= 1
+        assert doc["serving_audit_ok"] and doc["audit_ok"]
+
+    def test_availability_gate_fails(self, capsys):
+        rc = main(["serve", *SERVE_FAST, "--min-availability", "1.01"])
+        out = capsys.readouterr()
+        assert rc == 1
+        assert "verdict: FAIL" in out.out
+
+    def test_unknown_workload_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", *SERVE_FAST, "--workload", "nope"])
+        capsys.readouterr()

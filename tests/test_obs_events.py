@@ -43,6 +43,34 @@ class TestEventRecords:
                 t=2.1, round=3, agent=5, behavior="inflate", obj=9,
                 value=5.0, detail="",
             ),
+            ev.ServeStart(
+                t=3.0, workload="worldcup", n_requests=1000, n_servers=4,
+                n_objects=8, primaries=(0, 1, 2, 3, 0, 1, 2, 3),
+                replicas=((0, 1), (2, 5)),
+            ),
+            ev.ServeEnd(
+                t=4.0, served=990, shed=5, failed=5, hedges=12,
+                failovers=3, reauctions=1, availability=0.995,
+                p50=1.5, p99=9.0,
+            ),
+            ev.RequestEvent(
+                t=3.1, tick=7, client=12, server=2, obj=5, kind="read",
+                replica=2, latency=1.25, attempts=2, hedged=True,
+                outcome="ok",
+            ),
+            ev.RequestTimeout(t=3.2, tick=7, obj=5, replica=3, attempt=1,
+                              deadline=8.0),
+            ev.HedgeEvent(t=3.3, tick=7, obj=5, primary=3, backup=2,
+                          winner=2, threshold=4.5),
+            ev.ShedEvent(t=3.4, tick=8, client=12, obj=5, kind="write",
+                         tokens=0.25),
+            ev.FailoverEvent(t=3.5, tick=7, obj=5, from_server=3,
+                             to_server=2, reason="timeout"),
+            ev.ReauctionEvent(
+                t=3.6, tick=500, trigger="drift", objects=(5, 6),
+                added=((2, 5),), removed=((3, 6),), otc_before=100.0,
+                otc_after=90.0, rounds=2,
+            ),
         ],
     )
     def test_round_trips_through_dict(self, event):
@@ -65,7 +93,7 @@ class TestEventRecords:
             ev.parse_event({"t": 0.0})
 
     def test_every_type_tag_is_registered_and_unique(self):
-        assert len(ev.EVENT_TYPES) == 18
+        assert len(ev.EVENT_TYPES) == 26
         for tag, cls in ev.EVENT_TYPES.items():
             assert cls.type == tag
         # The five fault-layer events are part of the vocabulary.
@@ -73,6 +101,12 @@ class TestEventRecords:
             assert tag in ev.EVENT_TYPES
         # ... as are the four Byzantine-layer events.
         for tag in ("validation", "manipulation", "quarantine", "adversary"):
+            assert tag in ev.EVENT_TYPES
+        # ... and the eight serving-layer events.
+        for tag in (
+            "serve_start", "serve_end", "request", "request_timeout",
+            "hedge", "shed", "failover", "reauction",
+        ):
             assert tag in ev.EVENT_TYPES
 
 

@@ -1,0 +1,120 @@
+"""Property tests for the serving policies and router failover.
+
+Backoff: for any policy and any attempt, the jittered delay is
+non-negative, bounded by the cap, monotone (un-jittered) in the
+attempt number, and a pure function of the seed.  Router: failover
+never selects a crashed (excluded) replica, and when every non-primary
+replica is down the primary — which can never drop its copy — still
+serves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.drp.state import ReplicationState
+from repro.serving import BackoffPolicy, RequestRouter
+
+from _strategies import drp_instances
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+attempts = st.integers(min_value=1, max_value=12)
+
+
+@st.composite
+def backoff_policies(draw):
+    base = draw(st.floats(0.0, 10.0, allow_nan=False))
+    factor = draw(st.floats(1.0, 4.0, allow_nan=False))
+    cap = draw(st.floats(0.0, 50.0, allow_nan=False))
+    jitter = draw(st.floats(0.0, 1.0, allow_nan=False))
+    return BackoffPolicy(base=base, factor=factor, cap=cap, jitter=jitter)
+
+
+class TestBackoffProperties:
+    @given(backoff_policies(), attempts, seeds)
+    @settings(max_examples=200, deadline=None)
+    def test_delay_bounded_and_non_negative(self, policy, attempt, seed):
+        d = policy.delay(attempt, np.random.default_rng(seed))
+        assert 0.0 <= d <= policy.cap
+        assert d <= policy.raw_delay(attempt)
+
+    @given(backoff_policies(), attempts)
+    @settings(max_examples=100, deadline=None)
+    def test_raw_delay_monotone_until_cap(self, policy, attempt):
+        assert policy.raw_delay(attempt) <= policy.raw_delay(attempt + 1)
+        assert policy.raw_delay(attempt) <= policy.cap
+
+    @given(backoff_policies(), attempts, seeds)
+    @settings(max_examples=100, deadline=None)
+    def test_deterministic_per_seed(self, policy, attempt, seed):
+        d1 = policy.delay(attempt, np.random.default_rng(seed))
+        d2 = policy.delay(attempt, np.random.default_rng(seed))
+        assert d1 == d2
+
+
+@st.composite
+def placements(draw):
+    """A random instance plus a random feasible-by-construction
+    replication state (primaries plus whatever extra copies fit)."""
+    instance = draw(drp_instances())
+    state = ReplicationState.primaries_only(instance)
+    extra = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, instance.n_servers - 1),
+                st.integers(0, instance.n_objects - 1),
+            ),
+            max_size=8,
+        )
+    )
+    for server, obj in extra:
+        try:
+            state.add_replica(server, obj)
+        except Exception:
+            pass  # already present or over capacity — skip
+    return instance, state
+
+
+class TestRouterProperties:
+    @given(placements(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_never_selects_crashed_replica(self, placed, data):
+        instance, state = placed
+        router = RequestRouter(instance, state)
+        origin = data.draw(st.integers(0, instance.n_servers - 1))
+        obj = data.draw(st.integers(0, instance.n_objects - 1))
+        crashed = data.draw(
+            st.sets(st.integers(0, instance.n_servers - 1), max_size=4)
+        )
+        target = router.route_read(origin, obj, exclude=crashed)
+        if target >= 0:
+            assert target not in crashed
+            assert state.x[target, obj]
+        else:
+            live = set(int(s) for s in state.replica_set(obj)) - crashed
+            assert not live
+
+    @given(placements(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_primary_serves_when_all_replicas_down(self, placed, data):
+        instance, state = placed
+        router = RequestRouter(instance, state)
+        origin = data.draw(st.integers(0, instance.n_servers - 1))
+        obj = data.draw(st.integers(0, instance.n_objects - 1))
+        primary = int(instance.primaries[obj])
+        others = set(int(s) for s in state.replica_set(obj)) - {primary}
+        target = router.route_read(origin, obj, exclude=others)
+        assert target == primary
+
+    @given(placements(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_candidates_sorted_by_cost(self, placed, data):
+        instance, state = placed
+        router = RequestRouter(instance, state)
+        origin = data.draw(st.integers(0, instance.n_servers - 1))
+        obj = data.draw(st.integers(0, instance.n_objects - 1))
+        cands = router.read_candidates(origin, obj)
+        costs = [instance.cost[origin, s] for s in cands]
+        assert costs == sorted(costs)

@@ -1,0 +1,159 @@
+"""Unit tests for the serving data-path policies and drift detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serving import (
+    BackoffPolicy,
+    DriftDetector,
+    EwmaHealth,
+    QuantileTracker,
+    TokenBucket,
+)
+
+
+class TestBackoffPolicy:
+    def test_raw_delay_exponential_until_cap(self):
+        b = BackoffPolicy(base=1.0, factor=2.0, cap=8.0)
+        assert [b.raw_delay(a) for a in (1, 2, 3, 4, 5)] == [
+            1.0, 2.0, 4.0, 8.0, 8.0,
+        ]
+
+    def test_jittered_delay_within_band(self):
+        b = BackoffPolicy(base=1.0, factor=2.0, cap=8.0, jitter=0.5)
+        rng = np.random.default_rng(3)
+        for attempt in range(1, 10):
+            raw = b.raw_delay(attempt)
+            d = b.delay(attempt, rng)
+            assert raw * 0.5 <= d <= raw
+
+    def test_zero_jitter_is_exact(self):
+        b = BackoffPolicy(jitter=0.0)
+        rng = np.random.default_rng(0)
+        assert b.delay(3, rng) == b.raw_delay(3)
+
+    def test_deterministic_per_seed(self):
+        b = BackoffPolicy()
+        seq1 = [b.delay(a, np.random.default_rng(7)) for a in range(1, 6)]
+        seq2 = [b.delay(a, np.random.default_rng(7)) for a in range(1, 6)]
+        assert seq1 == seq2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(factor=0.5)
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(jitter=1.5)
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy().raw_delay(0)
+
+
+class TestTokenBucket:
+    def test_rate_one_never_sheds(self):
+        bucket = TokenBucket(rate=1.0, burst=5.0)
+        assert all(bucket.admit() for _ in range(1000))
+
+    def test_half_rate_sheds_half_in_steady_state(self):
+        bucket = TokenBucket(rate=0.5, burst=2.0)
+        decisions = [bucket.admit() for _ in range(1000)]
+        # After the burst drains, every other request is shed.
+        steady = decisions[100:]
+        assert abs(sum(steady) / len(steady) - 0.5) < 0.05
+
+    def test_burst_absorbs_initial_spike(self):
+        bucket = TokenBucket(rate=0.0, burst=10.0)
+        admitted = sum(bucket.admit() for _ in range(20))
+        assert admitted == 10
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=-1.0)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(burst=0.5)
+
+
+class TestQuantileTracker:
+    def test_inf_until_warm(self):
+        t = QuantileTracker(0.95, min_samples=8)
+        for _ in range(7):
+            t.observe(1.0)
+        assert t.quantile() == float("inf")
+        t.observe(1.0)
+        assert t.quantile() == 1.0
+
+    def test_tracks_trailing_window(self):
+        t = QuantileTracker(0.5, window=100, min_samples=10, refresh=1)
+        for _ in range(100):
+            t.observe(1.0)
+        assert t.quantile() == pytest.approx(1.0)
+        for _ in range(100):
+            t.observe(9.0)
+        assert t.quantile() == pytest.approx(9.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            QuantileTracker(1.5)
+        with pytest.raises(ConfigurationError):
+            QuantileTracker(0.9, window=0)
+
+
+class TestEwmaHealth:
+    def test_starts_healthy(self):
+        h = EwmaHealth(4)
+        assert all(h.healthy(s) for s in range(4))
+
+    def test_failures_sink_below_threshold_and_recover(self):
+        h = EwmaHealth(2, alpha=0.5, threshold=0.5)
+        h.record(0, False)
+        h.record(0, False)
+        assert not h.healthy(0)
+        assert h.healthy(1)  # untouched server unaffected
+        h.record(0, True)
+        h.record(0, True)
+        assert h.healthy(0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EwmaHealth(0)
+        with pytest.raises(ConfigurationError):
+            EwmaHealth(2, alpha=0.0)
+
+
+class TestDriftDetector:
+    def test_quiet_on_matching_traffic(self):
+        ref = np.array([3.0, 1.0])
+        d = DriftDetector(ref, window=40, threshold=0.2)
+        rng = np.random.default_rng(0)
+        fired = [
+            d.observe(int(rng.choice(2, p=[0.75, 0.25])))
+            for _ in range(400)
+        ]
+        assert not any(fired)
+
+    def test_fires_on_shifted_traffic_and_names_objects(self):
+        ref = np.array([10.0, 1.0, 1.0])
+        d = DriftDetector(ref, window=50, threshold=0.3, top_k=1)
+        fired = False
+        for _ in range(50):
+            fired = d.observe(2) or fired
+        assert fired
+        assert d.drifted_objects() == [2]
+
+    def test_rebase_silences_the_new_regime(self):
+        ref = np.array([10.0, 1.0])
+        d = DriftDetector(ref, window=20, threshold=0.3)
+        for _ in range(20):
+            d.observe(1)
+        assert d.distance() > 0.3
+        d.rebase()
+        assert not any(d.observe(1) for _ in range(40))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DriftDetector(np.array([0.0, 0.0]))
+        with pytest.raises(ConfigurationError):
+            DriftDetector(np.array([1.0]), threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            DriftDetector(np.array([1.0]), window=0)

@@ -1,0 +1,72 @@
+"""Unit tests for nearest-replica routing and placement swapping."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.drp.state import ReplicationState
+from repro.serving import RequestRouter
+
+
+def router_on(line_instance, extra=()):
+    state = ReplicationState.primaries_only(line_instance)
+    for server, obj in extra:
+        state.add_replica(server, obj)
+    return RequestRouter(line_instance, state)
+
+
+class TestReadCandidates:
+    def test_primaries_only_routes_to_primary(self, line_instance):
+        r = router_on(line_instance)
+        assert r.read_candidates(0, 0) == [0]
+        assert r.read_candidates(0, 1) == [2]
+
+    def test_nearest_first_with_replica(self, line_instance):
+        # Object 1 (primary at 2) replicated at 0: origin 0 prefers 0.
+        r = router_on(line_instance, extra=[(0, 1)])
+        assert r.read_candidates(0, 1) == [0, 2]
+        assert r.read_candidates(2, 1) == [2, 0]
+
+    def test_tie_breaks_to_lower_server_id(self, line_instance):
+        # Origin 1 is at distance 1 from both 0 and 2.
+        r = router_on(line_instance, extra=[(0, 1)])
+        assert r.read_candidates(1, 1) == [0, 2]
+
+    def test_exclude_drops_servers(self, line_instance):
+        r = router_on(line_instance, extra=[(0, 1)])
+        assert r.read_candidates(0, 1, exclude=(0,)) == [2]
+        assert r.read_candidates(0, 1, exclude=(0, 2)) == []
+
+    def test_route_read_returns_minus_one_when_empty(self, line_instance):
+        r = router_on(line_instance)
+        assert r.route_read(0, 0, exclude=(0,)) == -1
+        assert r.route_read(1, 0) == 0
+
+
+class TestWritesAndSwap:
+    def test_write_target_is_primary(self, line_instance):
+        r = router_on(line_instance, extra=[(0, 1)])
+        assert r.write_target(0) == 0
+        assert r.write_target(1) == 2
+
+    def test_swap_state_changes_routing(self, line_instance):
+        r = router_on(line_instance)
+        assert r.read_candidates(0, 1) == [2]
+        replicated = ReplicationState.primaries_only(line_instance)
+        replicated.add_replica(0, 1)
+        old = r.swap_state(replicated)
+        assert r.read_candidates(0, 1) == [0, 2]
+        assert not old.x[0, 1]
+
+    def test_candidates_match_replica_set(self, tiny_instance):
+        from repro.runtime.simulator import SemiDistributedSimulator
+
+        result = SemiDistributedSimulator().run(tiny_instance)
+        r = RequestRouter(tiny_instance, result.state)
+        for obj in range(0, tiny_instance.n_objects, 7):
+            cands = r.read_candidates(3, obj)
+            assert sorted(cands) == sorted(
+                int(s) for s in result.state.replica_set(obj)
+            )
+            costs = tiny_instance.cost[3, np.array(cands)]
+            assert all(costs[i] <= costs[i + 1] for i in range(len(costs) - 1))
