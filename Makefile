@@ -2,15 +2,26 @@
 #
 # CI (.github/workflows/ci.yml) invokes these exact targets, so local
 # `make <target>` and the CI jobs cannot drift.  Knobs:
-#   BENCH_SCALE ?= tiny|small|medium   instance preset for bench targets
-#   BENCH_GATE  ?= 0|1                 1 makes bench-compare fail on regression
+#   BENCH_SCALE     ?= tiny|small|medium|large  instance preset for bench targets
+#   BENCH_GATE      ?= 0|1             1 makes bench-compare fail on regression
+#   BENCH_JSON      ?= path            fresh document bench-compare diffs
+#   BENCH_TOLERANCE ?= fraction        wall-time slack for bench-compare (0.5 =
+#                                      +50%; generous because the committed
+#                                      baseline and the runner differ)
+#   EQ_SCALE        ?= preset          scale for the speedup-gated equivalence leg
+#   EQ_MIN_SPEEDUP  ?= factor          required vectorized-over-naive speedup
 
 BENCH_SCALE ?= tiny
 BENCH_GATE ?= 0
 BENCH_BASELINE ?= benchmarks/baseline_tiny.json
+BENCH_JSON ?= bench.json
+BENCH_TOLERANCE ?= 0.5
+EQ_SCALE ?= small
+EQ_MIN_SPEEDUP ?= 3
 
 .PHONY: install test test-fast test-slow bench bench-json bench-compare \
-        trace audit chaos adversary serve lint reproduce examples clean
+        equivalence trace audit chaos adversary serve lint reproduce \
+        examples clean
 
 # Chaos campaign knobs (see docs/robustness.md).
 CHAOS_SEED ?= 5
@@ -46,8 +57,19 @@ bench-json:
 	REPRO_BENCH_SCALE=$(BENCH_SCALE) python -m repro bench --out bench.json
 
 bench-compare:
-	python -m repro bench --compare $(BENCH_BASELINE) bench.json \
+	python -m repro bench --compare $(BENCH_BASELINE) $(BENCH_JSON) \
+		--tolerance $(BENCH_TOLERANCE) \
 		$(if $(filter 1,$(BENCH_GATE)),--fail-on-regression,)
+
+# Prove the naive and vectorized AGT-RAM engines are bit-for-bit
+# identical (winners, second prices, placements, full event stream) and
+# that the vectorized engine actually earns its keep.  The tiny leg is
+# an identity-only check; the $(EQ_SCALE) leg also enforces the speedup
+# floor (see docs/performance.md for why tiny is excluded from it).
+equivalence:
+	python -m repro audit --compare-engines --scale tiny
+	python -m repro audit --compare-engines --scale $(EQ_SCALE) \
+		--repeats 5 --min-speedup $(EQ_MIN_SPEEDUP)
 
 # bench-json plus the full observability exports: JSONL event log,
 # Perfetto-loadable Chrome trace, OpenMetrics textfile.

@@ -1,11 +1,16 @@
-"""Runtime scaling of AGT-RAM vs Greedy with system size.
+"""Runtime scaling of the AGT-RAM engines with system size.
 
 Theorem 4's O(M·N²) worst case aside, the practical scaling story is
-the per-round costs: AGT-RAM pays O(M + N) incremental updates plus an
-O(MN) argmax per allocation, while Greedy pays an extra O(M²) exact
-column refresh.  Doubling M should therefore widen the gap — the
-mechanism's scalability claim, measured.
+the per-round cost: the naive engine rebuilds the full (M, N) benefit
+matrix and argmaxes it every round, while the vectorized engine
+delta-maintains each agent's dominant report from the NN broadcast's
+dirty set — O(M + |dirty|·N) per round (see docs/performance.md).
+Doubling the system should therefore *widen* the gap, while the
+placements stay bit-for-bit identical.  Greedy rides along as the
+baseline the paper compares against.
 """
+
+import time
 
 import numpy as np
 
@@ -16,6 +21,17 @@ from repro.experiments.instances import paper_instance
 from repro.utils.tables import render_table
 
 SIZES = ((40, 200), (80, 400), (160, 800))
+REPEATS = 3
+
+
+def _best_wall(instance, engine):
+    best = None
+    wall = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        best = run_agt_ram(instance, engine=engine)
+        wall = min(wall, time.perf_counter() - t0)
+    return wall, best
 
 
 def run_scaling():
@@ -31,15 +47,19 @@ def run_scaling():
             name=f"scale-{m}x{n}",
         )
         inst = paper_instance(cfg)
-        agt = run_agt_ram(inst)
+        naive_s, naive = _best_wall(inst, "naive")
+        vec_s, vec = _best_wall(inst, "vectorized")
         greedy = GreedyPlacer().place(inst)
+        assert np.array_equal(naive.state.x, vec.state.x), (m, n)
+        assert naive.otc == vec.otc, (m, n)
         out.append(
             {
                 "m": m,
                 "n": n,
-                "agt_s": agt.runtime_s,
+                "naive_s": naive_s,
+                "vec_s": vec_s,
                 "greedy_s": greedy.runtime_s,
-                "agt_savings": agt.savings_percent,
+                "agt_savings": vec.savings_percent,
                 "greedy_savings": greedy.savings_percent,
             }
         )
@@ -51,11 +71,11 @@ def test_runtime_scaling(benchmark, report):
     rows = [
         [
             f"M={d['m']}, N={d['n']}",
-            d["agt_s"],
-            d["greedy_s"],
-            d["greedy_s"] / d["agt_s"],
+            d["naive_s"] * 1e3,
+            d["vec_s"] * 1e3,
+            d["naive_s"] / d["vec_s"],
+            d["greedy_s"] * 1e3,
             d["agt_savings"],
-            d["greedy_savings"],
         ]
         for d in data
     ]
@@ -63,21 +83,25 @@ def test_runtime_scaling(benchmark, report):
         render_table(
             [
                 "size",
-                "AGT-RAM (s)",
-                "Greedy (s)",
-                "Greedy/AGT-RAM",
+                "naive (ms)",
+                "vectorized (ms)",
+                "speedup",
+                "Greedy (ms)",
                 "AGT-RAM savings (%)",
-                "Greedy savings (%)",
             ],
             rows,
-            title="Runtime scaling with system size (request density fixed)",
+            title="Engine scaling with system size (request density fixed; "
+            "placements verified identical)",
         )
     )
-    # AGT-RAM stays ahead at every size and the gap does not shrink as
-    # the system quadruples twice.
-    ratios = [d["greedy_s"] / d["agt_s"] for d in data]
+    speedups = [d["naive_s"] / d["vec_s"] for d in data]
+    # The vectorized engine wins at every size, decisively at the
+    # largest (the gated CI thresholds live in `make equivalence`; this
+    # one is deliberately loose — it shares a runner with other work).
     for d in data:
-        assert d["agt_s"] < d["greedy_s"], d
-    assert ratios[-1] > 0.8 * ratios[0]
-    benchmark.extra_info["speedup_smallest"] = round(ratios[0], 2)
-    benchmark.extra_info["speedup_largest"] = round(ratios[-1], 2)
+        assert d["vec_s"] < d["naive_s"], d
+    assert speedups[-1] > 1.5
+    # AGT-RAM (vectorized) also stays ahead of the Greedy baseline.
+    assert data[-1]["vec_s"] < data[-1]["greedy_s"]
+    benchmark.extra_info["speedup_smallest"] = round(speedups[0], 2)
+    benchmark.extra_info["speedup_largest"] = round(speedups[-1], 2)

@@ -59,8 +59,13 @@ class ReplicaAgent:
 
     def true_valuations(self, engine: BenefitEngine) -> np.ndarray:
         """The agent's private CoR vector over all objects; ``-inf`` marks
-        objects outside its eligible list L_i."""
-        return engine.matrix[self.server].copy()
+        objects outside its eligible list L_i.
+
+        Asks the engine for one row rather than slicing ``matrix`` —
+        the delta engine materializes rows on demand and would pay an
+        O(M·N) full-matrix build per agent otherwise.
+        """
+        return np.array(engine.row(self.server), dtype=np.float64)
 
     def make_bid(self, engine: BenefitEngine) -> Bid | None:
         """Compute the dominant report under this agent's strategy.

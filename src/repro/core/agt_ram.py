@@ -30,8 +30,13 @@ import numpy as np
 from repro.core.mechanism import Mechanism, MechanismAudit, RoundRecord
 from repro.core.payments import PAYMENT_RULES
 from repro.core.strategies import Strategy, TruthfulStrategy
-from repro.drp.benefit import BenefitEngine
 from repro.drp.cost import total_otc
+from repro.drp.delta import (
+    DeltaBenefitEngine,
+    ENGINE_NAMES,
+    make_local_engine,
+    resolve_engine,
+)
 from repro.drp.global_engine import GlobalBenefitEngine
 from repro.drp.instance import DRPInstance
 from repro.drp.state import ReplicationState
@@ -70,6 +75,17 @@ class AGTRam(Mechanism):
         which stays independent of every winner's own bid.  Rounds drop
         ~B-fold; bids within a round are mutually stale, the same
         trade-off as the concurrent hierarchical mode.
+    engine:
+        Local-CoR oracle implementation: ``"naive"`` keeps the full
+        (M, N) benefit matrix fresh and argmaxes it every round;
+        ``"vectorized"`` delta-maintains only the per-agent dominant
+        reports from the NN-broadcast dirty set
+        (:class:`~repro.drp.delta.DeltaBenefitEngine`) — bit-identical
+        winners/payments/events, O(M + |dirty|·N) per round instead of
+        O(M·N).  ``"auto"`` (default) picks the vectorized engine when
+        the declared numpy bound is available.  Only meaningful for
+        ``valuation="local"``; the global-oracle ablation always uses
+        its own engine.
     """
 
     name = "AGT-RAM"
@@ -82,6 +98,7 @@ class AGTRam(Mechanism):
         strategies: Optional[Mapping[int, Strategy]] = None,
         max_rounds: Optional[int] = None,
         batch_size: int = 1,
+        engine: str = "auto",
     ):
         if payment_rule not in PAYMENT_RULES:
             raise ConfigurationError(
@@ -96,6 +113,16 @@ class AGTRam(Mechanism):
             raise ConfigurationError("max_rounds must be >= 0")
         if batch_size < 1:
             raise ConfigurationError("batch_size must be >= 1")
+        if engine not in ENGINE_NAMES:
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; expected one of {ENGINE_NAMES}"
+            )
+        if engine == "vectorized" and valuation != "local":
+            raise ConfigurationError(
+                "engine='vectorized' delta-maintains the local CoR oracle; "
+                "the global-oracle ablation only supports engine='naive'/'auto'"
+            )
+        self.engine = engine
         self.payment_rule = payment_rule
         self.valuation = valuation
         self.strategies = dict(strategies) if strategies else {}
@@ -105,21 +132,22 @@ class AGTRam(Mechanism):
     # -- internals ---------------------------------------------------------
 
     def _reports(
-        self, true_vals: np.ndarray, true_objs: np.ndarray, engine_matrix: np.ndarray
+        self, true_vals: np.ndarray, true_objs: np.ndarray, engine
     ) -> tuple[np.ndarray, np.ndarray]:
         """Apply agent strategies to the truthful per-agent reports.
 
         Truthful agents report (true_vals, true_objs) unchanged.  A
         deviating agent transforms its full valuation row, then reports
         the argmax of the *transformed* row — matching how a selfish
-        agent would actually play.
+        agent would actually play.  Rows come from ``engine.row`` so the
+        delta engine materializes only the deviating agents' rows.
         """
         if not self.strategies:
             return true_vals, true_objs
         reported_vals = true_vals.copy()
         reported_objs = true_objs.copy()
         for server, strategy in self.strategies.items():
-            row = strategy.report(engine_matrix[server])
+            row = strategy.report(engine.row(server))
             if not np.isfinite(row).any():
                 reported_vals[server] = -np.inf
                 continue
@@ -127,6 +155,52 @@ class AGTRam(Mechanism):
             reported_objs[server] = obj
             reported_vals[server] = row[obj]
         return reported_vals, reported_objs
+
+    def _fast_loop(
+        self,
+        state: ReplicationState,
+        engine: DeltaBenefitEngine,
+        pay,
+        cap: int,
+        payments: np.ndarray,
+        utilities: np.ndarray,
+    ) -> int:
+        """Figure 2's loop over the delta engine's cached bests.
+
+        Only reachable for truthful, unbatched, non-observed runs, where
+        reports == true bests and no per-round scaffolding is needed.
+        Allocations, payments and utilities are bit-identical to the
+        generic loop (same values through the same payment rule, same
+        first-index argmax tie-break).
+        """
+        vals, objs = engine.best_view()
+        # Inline Vickrey price via a swap instead of np.delete: the max
+        # over the other agents is unchanged (−inf never wins it), and in
+        # this loop ``vals`` is NaN-free by construction (finite Eq. 5
+        # arithmetic, ineligible cells exactly −inf), so the non-finite
+        # filtering of ``second_best_payment`` is vacuous.
+        second_price = self.payment_rule == "second_price"
+        neg_inf = -np.inf
+        rounds = 0
+        while rounds < cap:
+            winner = int(vals.argmax())
+            best = float(vals[winner])
+            if not np.isfinite(best) or best <= 0.0:
+                break
+            obj = int(objs[winner])
+            if second_price:
+                vals[winner] = neg_inf
+                runner_up = float(vals.max())
+                vals[winner] = best
+                payment = runner_up if runner_up > 0.0 else 0.0
+            else:
+                payment = pay(vals, winner)
+            payments[winner] += payment
+            utilities[winner] += best - payment
+            state.add_replica(winner, obj)
+            engine.notify_allocation(winner, obj)
+            rounds += 1
+        return rounds
 
     # -- mechanism entry ---------------------------------------------------
 
@@ -166,8 +240,10 @@ class AGTRam(Mechanism):
             else:
                 state = ReplicationState.primaries_only(instance)
             if self.valuation == "local":
-                engine = BenefitEngine(instance, state)
+                engine_name = resolve_engine(self.engine)
+                engine = make_local_engine(engine_name, instance, state)
             else:
+                engine_name = "naive"
                 engine = GlobalBenefitEngine(instance, state)
             if traced:
                 tracer.add("engine_init", perf_counter() - t0)
@@ -175,6 +251,25 @@ class AGTRam(Mechanism):
             rounds = 0
             round_idx = 0  # event-stream round label (includes the closing round)
             cap = self.max_rounds if self.max_rounds is not None else m * instance.n_objects
+
+            # Tight loop for the vectorized engine when nothing needs the
+            # per-round observability scaffolding: same allocations, same
+            # payments (bit-identical — the equivalence tests pin it),
+            # but ~10 numpy calls per round instead of a full O(M·N)
+            # sweep plus event/tracer bookkeeping.
+            fast = (
+                isinstance(engine, DeltaBenefitEngine)
+                and not self.strategies
+                and self.batch_size == 1
+                and not eventing
+                and not traced
+                and audit is None
+            )
+            if fast:
+                rounds = self._fast_loop(
+                    state, engine, pay, cap, payments, utilities
+                )
+                cap = rounds  # generic loop below is skipped
             while rounds < cap:
                 round_idx = rounds
                 if eventing:
@@ -183,7 +278,7 @@ class AGTRam(Mechanism):
                 t0 = perf_counter() if traced else 0.0
                 true_vals, true_objs = engine.best_per_server()
                 reported_vals, reported_objs = self._reports(
-                    true_vals, true_objs, engine.matrix
+                    true_vals, true_objs, engine
                 )
                 if traced:
                     tracer.add("round/bid_sweep", perf_counter() - t0)
@@ -236,7 +331,7 @@ class AGTRam(Mechanism):
                     # The winner's *true* value for the object it was
                     # awarded (not necessarily its truthful argmax when
                     # deviating).
-                    true_value = float(engine.matrix[winner, obj])
+                    true_value = engine.value_at(winner, obj)
                     payments[winner] += payment
                     utilities[winner] += true_value - payment
                     if traced:
@@ -320,6 +415,14 @@ class AGTRam(Mechanism):
                 clearing = (
                     float(reported_vals[rejected[0]]) if rejected else 0.0
                 )
+                # True values captured before any commit: bids within a
+                # batch are mutually stale by design, and the delta
+                # engine computes cells from the *live* state, so reading
+                # after a commit would see the relaxed NN distances the
+                # naive engine's (deliberately stale) matrix does not.
+                batch_true = {
+                    w: engine.value_at(w, int(reported_objs[w])) for w in batch
+                }
                 committed = 0
                 for w in batch:
                     obj = int(reported_objs[w])
@@ -342,7 +445,7 @@ class AGTRam(Mechanism):
                                 )
                             )
                         continue
-                    true_value = float(engine.matrix[w, obj])
+                    true_value = batch_true[w]
                     if eventing:
                         sink.emit(
                             ev.WinnerEvent(
@@ -432,6 +535,7 @@ class AGTRam(Mechanism):
             "utilities": utilities,
             "payment_rule": self.payment_rule,
             "valuation": self.valuation,
+            "engine": engine_name,
         }
         if audit is not None:
             extra["audit"] = audit
@@ -455,6 +559,7 @@ def run_agt_ram(
     strategies: Optional[Mapping[int, Strategy]] = None,
     record_audit: bool = False,
     max_rounds: Optional[int] = None,
+    engine: str = "auto",
 ) -> PlacementResult:
     """Functional one-shot entry point for :class:`AGTRam`.
 
@@ -466,5 +571,6 @@ def run_agt_ram(
         valuation=valuation,
         strategies=strategies,
         max_rounds=max_rounds,
+        engine=engine,
     )
     return mech.run(instance, record_audit=record_audit)

@@ -24,8 +24,14 @@ from repro.drp.cost import (
     otc_of_matrix,
 )
 from repro.drp.benefit import BenefitEngine, global_benefit, global_benefit_column
+from repro.drp.delta import (
+    DeltaBenefitEngine,
+    ENGINE_NAMES,
+    make_local_engine,
+    resolve_engine,
+)
 from repro.drp.global_engine import GlobalBenefitEngine, RegionalBenefitEngine
-from repro.drp.savings import otc_savings_percent
+from repro.drp.savings import otc_savings_percent, savings_percent_curve
 from repro.drp.feasibility import check_state, check_instance
 from repro.drp.transforms import (
     delta_update_instance,
@@ -42,11 +48,16 @@ __all__ = [
     "otc_breakdown",
     "otc_of_matrix",
     "BenefitEngine",
+    "DeltaBenefitEngine",
+    "ENGINE_NAMES",
+    "make_local_engine",
+    "resolve_engine",
     "GlobalBenefitEngine",
     "RegionalBenefitEngine",
     "global_benefit",
     "global_benefit_column",
     "otc_savings_percent",
+    "savings_percent_curve",
     "check_state",
     "check_instance",
     "delta_update_instance",

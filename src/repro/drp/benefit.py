@@ -52,17 +52,18 @@ class BenefitEngine:
     the winner's capacity row change.
     """
 
+    engine_name = "naive"
+
     def __init__(self, instance: DRPInstance, state: ReplicationState):
         if state.instance is not instance:
             raise ValueError("state does not belong to instance")
         with obs.current().span("benefit_engine/init"):
             self.instance = instance
             self.state = state
-            o = instance.sizes.astype(np.float64)
-            cp = instance.primary_cost_rows()  # (N, M); cp[k, i] = c(P_k, i)
-            w_total = instance.total_write_counts().astype(np.float64)
-            self.wterm = (cp.T * o) * (w_total - instance.writes)  # (M, N)
-            self.rstat = instance.reads.astype(np.float64) * o  # (M, N)
+            # Static Eq. 5 terms, cached on the (immutable) instance and
+            # shared with the delta engine — identical array objects are
+            # what make the two engines' arithmetic bit-for-bit equal.
+            self.rstat, self.wterm = instance.local_value_terms()  # (M, N)
             self._benefit = np.full((instance.n_servers, instance.n_objects), NEG_INF)
             self._refresh_all()
 
@@ -129,6 +130,18 @@ class BenefitEngine:
         objs = self._benefit.argmax(axis=1)
         vals = self._benefit[np.arange(self._benefit.shape[0]), objs]
         return vals, objs
+
+    def row(self, server: int) -> np.ndarray:
+        """(N,) masked benefit row of one agent.  Live view — do not mutate."""
+        return self._benefit[server]
+
+    def value_at(self, server: int, k: int) -> float:
+        """One masked benefit cell (``-inf`` when ineligible)."""
+        return float(self._benefit[server, k])
+
+    def eligible_counts(self, servers: np.ndarray) -> np.ndarray:
+        """Per-agent count of eligible objects (|L_i|) for the given rows."""
+        return np.isfinite(self._benefit[servers]).sum(axis=1)
 
     def local_benefit(self, server: int, k: int) -> float:
         """Eq. 5 valuation of one cell, ignoring eligibility masking."""

@@ -38,24 +38,23 @@ class OTCBreakdown:
 
 
 def otc_breakdown(state: ReplicationState) -> OTCBreakdown:
-    """Exact OTC of ``state``, split into read and write components."""
+    """Exact OTC of ``state``, split into read and write components.
+
+    The Eq. 5 terms cached on the instance make this two contiguous
+    (M, N) reductions.  Reads are
+    ``Σ_ik rstat_ik nn_dist_ik`` (``nn_dist`` is 0 for replicators).
+    For writes, the broadcast cost over all writers minus each
+    replicator's own-copy refund telescopes exactly into the Eq. 5
+    update-keeping term summed over the scheme:
+    ``Σ_k W_k o_k B_k - Σ_ik x_ik w_ik o_k c(P_k, i)
+    = Σ_ik x_ik o_k c(P_k, i) (W_k - w_ik) = Σ_ik x_ik wterm_ik``,
+    leaving only the scheme-independent ship-to-primary total.
+    """
     inst = state.instance
-    o = inst.sizes.astype(np.float64)
-
-    # Reads: Σ_ik r_ik o_k nn_dist_ik (nn_dist is 0 for replicators).
-    read_cost = float(np.einsum("ik,ik,k->", inst.reads, state.nn_dist, o))
-
-    # Writes.  cp[k, i] = c(P_k, i); broadcast term B_k = Σ_{j in R_k} cp[k, j]
-    # (including j = P_k contributes 0).  Writer i pays
-    # w_ik (c(i, P_k) + B_k - X_ik cp[k, i]).
-    cp = inst.primary_cost_rows()  # (N, M)
-    b = np.einsum("ik,ki->k", state.x, cp)  # (N,)
-    w_total = inst.writes.sum(axis=0).astype(np.float64)  # (N,)
-    to_primary = np.einsum("ik,ki,k->", inst.writes, cp, o)
-    broadcast = float((w_total * b * o).sum())
-    own_copy_refund = np.einsum("ik,ik,ki,k->", inst.writes, state.x, cp, o)
-    write_cost = float(to_primary + broadcast - own_copy_refund)
-
+    rstat, wterm = inst.local_value_terms()
+    read_cost = float(np.dot(rstat.reshape(-1), state.nn_dist.reshape(-1)))
+    kept = float(np.einsum("ik,ik->", state.x, wterm))
+    write_cost = inst.primary_ship_total() + kept
     return OTCBreakdown(read_cost=read_cost, write_cost=write_cost)
 
 

@@ -26,6 +26,8 @@ from repro.obs import tracer as obs
 class GlobalBenefitEngine:
     """Exact ΔOTC for every (server, object) candidate, kept fresh."""
 
+    engine_name = "global"
+
     def __init__(self, instance: DRPInstance, state: ReplicationState):
         if state.instance is not instance:
             raise ValueError("state does not belong to instance")
@@ -72,6 +74,18 @@ class GlobalBenefitEngine:
         objs = self._benefit.argmax(axis=1)
         vals = self._benefit[np.arange(self._benefit.shape[0]), objs]
         return vals, objs
+
+    def row(self, server: int) -> np.ndarray:
+        """(N,) masked benefit row of one agent.  Live view — do not mutate."""
+        return self._benefit[server]
+
+    def value_at(self, server: int, k: int) -> float:
+        """One masked benefit cell (``-inf`` when ineligible)."""
+        return float(self._benefit[server, k])
+
+    def eligible_counts(self, servers: np.ndarray) -> np.ndarray:
+        """Per-agent count of eligible objects for the given rows."""
+        return np.isfinite(self._benefit[servers]).sum(axis=1)
 
 
 class RegionalBenefitEngine:

@@ -151,6 +151,76 @@ class DRPInstance:
         read-only."""
         return self._primary_cost_rows
 
+    def primary_cost_cols(self) -> np.ndarray:
+        """(M, N) C-contiguous matrix ``c(i, P_k)`` — column layout of
+        :meth:`primary_cost_rows`.
+
+        This is the initial NN-distance table (with only primaries, every
+        server's nearest replica of k is P_k), so
+        :class:`~repro.drp.state.ReplicationState` construction becomes a
+        plain memcpy instead of an O(M·N) column gather per state.
+        Lazily computed once per instance; treat as read-only.
+        """
+        cached = getattr(self, "_primary_cost_cols", None)
+        if cached is None:
+            cached = np.ascontiguousarray(self.cost[:, self.primaries])
+            object.__setattr__(self, "_primary_cost_cols", cached)
+        return cached
+
+    def _primary_cost_rows_t(self) -> np.ndarray:
+        """(M, N) C-contiguous transpose of :meth:`primary_cost_rows`.
+
+        ``[i, k] = c(P_k, i)`` — kept distinct from
+        :meth:`primary_cost_cols` (``c(i, P_k)``) because symmetry is only
+        validated to tolerance, and the cost model's write legs price the
+        primary→server direction specifically.
+        """
+        cached = getattr(self, "_primary_cost_rows_T", None)
+        if cached is None:
+            cached = np.ascontiguousarray(self._primary_cost_rows.T)
+            object.__setattr__(self, "_primary_cost_rows_T", cached)
+        return cached
+
+    def local_value_terms(self) -> tuple[np.ndarray, np.ndarray]:
+        """Static struct-of-arrays terms of the Eq. 5 local CoR valuation.
+
+        Returns ``(rstat, wterm)``, both float64 (M, N):
+
+        * ``rstat[i, k] = r_ik * o_k`` — read-rate scale,
+        * ``wterm[i, k] = o_k * c(P_k, i) * (W_k - w_ik)`` — update-keeping
+          cost.
+
+        Both depend only on the immutable instance, so they are computed
+        once and shared by every benefit engine (naive and delta) and
+        every run — the arrays are identical objects, which is also what
+        makes the two engines' arithmetic bit-for-bit identical.  Treat
+        as read-only.
+        """
+        cached = getattr(self, "_local_value_terms", None)
+        if cached is None:
+            o = self.sizes.astype(np.float64)
+            w_total = self._w_total.astype(np.float64)
+            wterm = (self._primary_cost_rows.T * o) * (w_total - self.writes)
+            rstat = self.reads.astype(np.float64) * o
+            cached = (np.ascontiguousarray(rstat), np.ascontiguousarray(wterm))
+            object.__setattr__(self, "_local_value_terms", cached)
+        return cached
+
+    def primary_ship_total(self) -> float:
+        """Scheme-independent write cost ``Σ_ik w_ik o_k c(i, P_k)``.
+
+        Every update is first shipped to the object's primary (Eq. 2);
+        that leg does not depend on the replication scheme, so it is
+        computed once and cached.
+        """
+        cached = getattr(self, "_primary_ship_total", None)
+        if cached is None:
+            o = self.sizes.astype(np.float64)
+            cp_t = self._primary_cost_rows_t()
+            cached = float(np.einsum("ik,ik,k->", self.writes, cp_t, o))
+            object.__setattr__(self, "_primary_ship_total", cached)
+        return cached
+
     def total_write_counts(self) -> np.ndarray:
         """(N,) total writes per object, the paper's Σ_x w_xk.  Cached;
         treat as read-only."""

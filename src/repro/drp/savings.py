@@ -8,6 +8,8 @@ primary copies exist."
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.drp.cost import primary_only_otc, total_otc
 from repro.drp.state import ReplicationState
 
@@ -26,3 +28,17 @@ def otc_savings_percent(state: ReplicationState) -> float:
     if baseline == 0.0:
         return 0.0
     return 100.0 * (baseline - total_otc(state)) / baseline
+
+
+def savings_percent_curve(baseline_otc: float, otc_values) -> np.ndarray:
+    """Vectorized savings-% over a whole per-round OTC series.
+
+    One batched sweep over the round series (e.g.
+    ``RoundSeries.otc``) instead of a Python loop per round; returns an
+    all-zero curve for a zero baseline, matching
+    :func:`otc_savings_percent`.
+    """
+    otc = np.asarray(otc_values, dtype=np.float64)
+    if baseline_otc == 0.0:
+        return np.zeros_like(otc)
+    return 100.0 * (baseline_otc - otc) / baseline_otc

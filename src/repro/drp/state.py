@@ -37,10 +37,17 @@ class ReplicationState:
         self.x = np.zeros((m, n), dtype=bool)
         self.x[instance.primaries, np.arange(n)] = True
         # With only primaries, NN of every server for object k is P_k.
-        self.nn_dist = instance.cost[:, instance.primaries].copy()
+        # The instance caches the column gather, so this is a memcpy.
+        self.nn_dist = instance.primary_cost_cols().copy()
         self.nn_server = np.broadcast_to(instance.primaries, (m, n)).copy()
         self.used = instance.primary_load.copy()
         self.n_replicas_added = 0
+        # (M,) bool mask of the agents whose NN entry changed in the most
+        # recent :meth:`add_replica` broadcast.  Delta-maintained benefit
+        # engines consume it as their dirty set; all-False before the
+        # first allocation and after bulk NN rebuilds.  The buffer is
+        # reused by every broadcast — read it before the next mutation.
+        self.last_nn_changed = np.zeros(m, dtype=bool)
 
     # -- factories ----------------------------------------------------------
 
@@ -78,6 +85,7 @@ class ReplicationState:
         dup.nn_server = self.nn_server.copy()
         dup.used = self.used.copy()
         dup.n_replicas_added = self.n_replicas_added
+        dup.last_nn_changed = self.last_nn_changed.copy()
         return dup
 
     # -- queries ------------------------------------------------------------
@@ -122,18 +130,22 @@ class ReplicationState:
                 f"server {server} already replicates object {k}"
             )
         size = int(self.instance.sizes[k])
-        if size > self.residual[server]:
+        residual_server = int(self.instance.capacities[server] - self.used[server])
+        if size > residual_server:
             raise CapacityError(
                 f"object {k} (size {size}) exceeds residual "
-                f"{int(self.residual[server])} of server {server}"
+                f"{residual_server} of server {server}"
             )
         self.x[server, k] = True
         self.used[server] += size
         self.n_replicas_added += 1
         d_new = self.instance.cost[:, server]
-        closer = d_new < self.nn_dist[:, k]
-        self.nn_dist[closer, k] = d_new[closer]
-        self.nn_server[closer, k] = server
+        # Column views + copyto-with-where instead of boolean fancy
+        # indexing: same relaxation, no index-array materialization.
+        dist_col = self.nn_dist[:, k]
+        closer = np.less(d_new, dist_col, out=self.last_nn_changed)
+        np.copyto(dist_col, d_new, where=closer)
+        np.copyto(self.nn_server[:, k], server, where=closer)
 
     def recompute_nn(self) -> None:
         """Rebuild NN tables from X (vectorized per object).
@@ -141,6 +153,8 @@ class ReplicationState:
         Cost O(Σ_k M·|R_k|); used after bulk edits to X.
         """
         inst = self.instance
+        # A bulk rebuild invalidates any notion of "the last broadcast".
+        self.last_nn_changed = np.zeros(inst.n_servers, dtype=bool)
         for k in range(inst.n_objects):
             reps = np.nonzero(self.x[:, k])[0]
             block = inst.cost[:, reps]

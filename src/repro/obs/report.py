@@ -11,14 +11,15 @@ Document layout (``SCHEMA_VERSION`` = 2)::
     {
       "schema_version": 2,
       "kind": "repro-bench",
-      "scale": "tiny",                  # tiny | small | medium
+      "scale": "tiny",                  # tiny | small | medium | large
       "seed": 2007,
       "repeats": 3,
       "env": {"python": ..., "numpy": ..., "platform": ...},
-      "config": {"n_servers": ..., "n_objects": ..., "total_requests": ...},
+      "config": {"n_servers": ..., "n_objects": ..., "total_requests": ...,
+                 "engine": "auto"},
       "results": [
         {
-          "scenario": "placement",      # or "protocol"
+          "scenario": "placement",      # or "protocol" / "engine_compare"
           "algorithm": "AGT-RAM",
           "wall_s": 0.0123,             # best of `repeats` runs
           "otc": ..., "savings_percent": ..., "replicas": ..., "rounds": ...,
@@ -38,7 +39,10 @@ Document layout (``SCHEMA_VERSION`` = 2)::
     }
 
 Schema history: v2 added the per-round ``series`` trajectories (taken
-from the best run); v1 documents remain loadable.
+from the best run); v1 documents remain loadable.  The
+``engine_compare`` record (naive-vs-vectorized identity verdict and
+uninstrumented speedup, see :mod:`repro.obs.equivalence`) is additive
+within v2 — documents without it still compare cleanly.
 
 Span paths are hierarchical (see :mod:`repro.obs.tracer`); the AGT-RAM
 per-round phases land under ``mechanism/AGT-RAM/...`` and the baseline
@@ -73,15 +77,36 @@ QUALITY_TOLERANCE = 1.0
 
 #: Benchmark instance presets — single source of truth shared with
 #: ``benchmarks/_config.py`` (which imports :func:`bench_config`).
+#:
+#: ``tiny`` is the CI smoke preset (committed baseline, second-resolution
+#: runs).  ``small`` upward are sized so the mechanism loop — not numpy
+#: per-call dispatch — dominates the wall clock; they are what the
+#: engine-speedup gates measure (see docs/performance.md).  ``large`` is
+#: the nightly scaling preset.
 BENCH_SCALE_CONFIGS: dict[str, ExperimentConfig] = {
     "tiny": ExperimentConfig(
         n_servers=16, n_objects=64, total_requests=8_000, seed=2007, name="bench"
     ),
     "small": ExperimentConfig(
-        n_servers=40, n_objects=160, total_requests=30_000, seed=2007, name="bench"
+        n_servers=240,
+        n_objects=1200,
+        total_requests=1_350_000,
+        seed=2007,
+        name="bench",
     ),
     "medium": ExperimentConfig(
-        n_servers=80, n_objects=400, total_requests=120_000, seed=2007, name="bench"
+        n_servers=320,
+        n_objects=1600,
+        total_requests=2_400_000,
+        seed=2007,
+        name="bench",
+    ),
+    "large": ExperimentConfig(
+        n_servers=640,
+        n_objects=3200,
+        total_requests=9_600_000,
+        seed=2007,
+        name="bench",
     ),
 }
 
@@ -101,7 +126,7 @@ def bench_scale(default: str = "small") -> str:
 
 
 def bench_config(scale: str) -> ExperimentConfig:
-    """The benchmark instance preset for ``scale`` (tiny/small/medium)."""
+    """The benchmark instance preset for ``scale`` (tiny … large)."""
     try:
         return BENCH_SCALE_CONFIGS[scale]
     except KeyError:
@@ -130,13 +155,17 @@ def _placement_record(
     repeats: int,
     seed: int,
     sink: ev.EventSink,
+    engine: str = "auto",
 ) -> dict[str, Any]:
     from repro.experiments.runner import run_algorithms
 
+    placer_kwargs = {"AGT-RAM": {"engine": engine}} if algorithm == "AGT-RAM" else None
     best = None
     with capture() as tracer, ev.capture(sink):
         for _ in range(repeats):
-            result = run_algorithms(instance, [algorithm], seed=seed)[algorithm]
+            result = run_algorithms(
+                instance, [algorithm], seed=seed, placer_kwargs=placer_kwargs
+            )[algorithm]
             if best is None or result.runtime_s < best.runtime_s:
                 best = result
     assert best is not None
@@ -195,6 +224,33 @@ def _protocol_record(
     return record
 
 
+def _engine_compare_record(instance: Any, repeats: int) -> dict[str, Any]:
+    """Extra ``engine_compare`` scenario record for the bench document.
+
+    ``wall_s`` is the *vectorized* uninstrumented wall so document
+    comparisons track the engine the repo actually ships; the naive
+    wall, speedup, and bit-for-bit identity verdict ride along.
+    Scenarios present in only one document are never flagged by
+    :func:`compare_documents`, so older baselines stay comparable.
+    """
+    from repro.obs.equivalence import compare_engines
+
+    cmp = compare_engines(instance, repeats=repeats)
+    return {
+        "scenario": "engine_compare",
+        "algorithm": "AGT-RAM",
+        "wall_s": cmp.vectorized_wall_s,
+        "naive_wall_s": cmp.naive_wall_s,
+        "speedup": cmp.speedup,
+        "identical": cmp.identical,
+        "audit_ok": cmp.audit_ok,
+        "mismatches": list(cmp.mismatches),
+        "rounds": cmp.rounds,
+        "spans": {},
+        "counters": {},
+    }
+
+
 def run_bench(
     *,
     scale: Optional[str] = None,
@@ -203,6 +259,8 @@ def run_bench(
     repeats: int = 3,
     include_protocol: bool = True,
     event_sink: Optional[ev.EventSink] = None,
+    engine: str = "auto",
+    include_engine_compare: bool = True,
 ) -> dict[str, Any]:
     """Execute the benchmark scenarios and return the JSON document.
 
@@ -226,7 +284,17 @@ def run_bench(
         JSONL log / Chrome trace afterwards).  A fresh recording sink is
         used when omitted: the per-round ``series`` in the document are
         derived from the event machinery either way.
+    engine:
+        AGT-RAM benefit engine (``auto`` / ``naive`` / ``vectorized``);
+        recorded in the document config.  Other algorithms are
+        unaffected.
+    include_engine_compare:
+        Also emit an ``engine_compare`` record proving the two engines
+        are bit-for-bit identical on this preset and measuring the
+        uninstrumented speedup (requires AGT-RAM among the algorithms
+        and vectorized support; silently skipped otherwise).
     """
+    from repro.drp.delta import HAVE_NUMPY
     from repro.experiments.instances import paper_instance
 
     if repeats < 1:
@@ -238,11 +306,13 @@ def run_bench(
     sink = event_sink if event_sink is not None else ev.RecordingSink()
 
     results = [
-        _placement_record(alg, instance, repeats, seed, sink)
+        _placement_record(alg, instance, repeats, seed, sink, engine=engine)
         for alg in algorithms
     ]
     if include_protocol:
         results.append(_protocol_record(instance, repeats, sink))
+    if include_engine_compare and HAVE_NUMPY and "AGT-RAM" in algorithms:
+        results.append(_engine_compare_record(instance, repeats))
 
     return {
         "schema_version": SCHEMA_VERSION,
@@ -258,6 +328,7 @@ def run_bench(
             "rw_ratio": cfg.rw_ratio,
             "capacity_fraction": cfg.capacity_fraction,
             "seed": cfg.seed,
+            "engine": engine,
         },
         "results": results,
     }

@@ -551,21 +551,29 @@ class ManipulationDetector:
     def inspect(
         self,
         bids: list[BidMessage],
-        matrix: np.ndarray,
+        oracle: "np.ndarray | Any",
         rnd: int,
     ) -> list[ev.ManipulationEvent]:
         """Flag accepted bids whose value mismatches the recomputation.
 
-        ``matrix`` is the oracle's (M, N) valuation view at bid time
-        (before this round's commit mutates it).
+        ``oracle`` is the valuation view at bid time (before this
+        round's commit mutates it): either a raw (M, N) matrix or a
+        benefit engine exposing ``value_at`` — the delta engine never
+        materializes the full matrix, so the detector asks for single
+        cells.
         """
+        cell = (
+            (lambda i, k: float(oracle[i, k]))
+            if isinstance(oracle, np.ndarray)
+            else oracle.value_at
+        )
         events: list[ev.ManipulationEvent] = []
         checked: set[int] = set()
         for bid in bids:
             if bid.sender in checked:
                 continue  # retransmitted copies carry the same payload
             checked.add(bid.sender)
-            true_value = float(matrix[bid.sender, bid.obj])
+            true_value = float(cell(bid.sender, bid.obj))
             if not math.isfinite(true_value):
                 # The validator's feasibility screen should have caught
                 # this; flag defensively rather than crash.
@@ -743,17 +751,19 @@ class TrustBoundary:
 
     def screen(
         self, bids: list[BidMessage], state: ReplicationState,
-        matrix: np.ndarray, rnd: int,
+        oracle: "np.ndarray | Any", rnd: int,
     ) -> tuple[list[BidMessage], bool]:
         """Validate + detect over one round's delivered bids.
 
-        Returns ``(accepted, offended)`` where ``offended`` says at
-        least one bid was rejected or flagged this round (the simulator
-        must not treat a quiet view as game termination then).
+        ``oracle`` is forwarded to the detector: a raw valuation matrix
+        or a benefit engine exposing ``value_at``.  Returns
+        ``(accepted, offended)`` where ``offended`` says at least one
+        bid was rejected or flagged this round (the simulator must not
+        treat a quiet view as game termination then).
         """
         accepted, vevents = self.validator.screen(bids, state, rnd)
         self._emit_all(vevents)
-        mevents = self.detector.inspect(accepted, matrix, rnd)
+        mevents = self.detector.inspect(accepted, oracle, rnd)
         self._emit_all(mevents)
         offenders = sorted(
             {e.agent for e in vevents if e.agent >= 0}

@@ -32,11 +32,11 @@ import numpy as np
 
 from repro.core.agents import Bid, ReplicaAgent
 from repro.core.strategies import Strategy
-from repro.drp.benefit import BenefitEngine
 from repro.drp.cost import total_otc
+from repro.drp.delta import make_local_engine, resolve_engine
 from repro.drp.instance import DRPInstance
 from repro.drp.state import ReplicationState
-from repro.errors import ConvergenceError
+from repro.errors import ConfigurationError, ConvergenceError
 from repro.result import PlacementResult
 from repro.runtime.adversary import (
     AdversaryInjector,
@@ -123,6 +123,14 @@ class SemiDistributedSimulator:
         trust boundary enforces (strike threshold, probation length,
         expulsion).  Supplying one arms the boundary even without an
         adversary plan; ``None`` uses the defaults when a plan is set.
+    engine:
+        Local-CoR oracle implementation: ``"naive"`` (default — the
+        full-matrix :class:`~repro.drp.benefit.BenefitEngine`),
+        ``"vectorized"`` (the delta-maintained
+        :class:`~repro.drp.delta.DeltaBenefitEngine`; requires the
+        eager protocol, ``nn_update_period=1``) or ``"auto"``.  The
+        final scheme, payments and message stream are engine-invariant
+        (a tested equivalence).
     """
 
     def __init__(
@@ -138,9 +146,18 @@ class SemiDistributedSimulator:
         faults: Optional[FaultPlan] = None,
         adversary: Optional[AdversaryPlan] = None,
         quarantine: Optional[QuarantinePolicy] = None,
+        engine: str = "naive",
     ):
         if nn_update_period < 1:
             raise ValueError("nn_update_period must be >= 1")
+        self.engine = resolve_engine(engine)
+        if self.engine == "vectorized" and nn_update_period != 1:
+            raise ConfigurationError(
+                "engine='vectorized' requires the eager protocol "
+                "(nn_update_period=1): the delta engine computes agent "
+                "views from the live state and cannot model the lazy "
+                "protocol's deliberately stale views"
+            )
         if central_failure_round is not None and central_failure_round < 0:
             raise ValueError("central_failure_round must be >= 0")
         self.central = CentralBody(payment_rule)
@@ -291,7 +308,7 @@ class SemiDistributedSimulator:
 
         with timer, ParallelBidEvaluator(self.max_workers) as evaluator:
             state = ReplicationState.primaries_only(instance)
-            engine = BenefitEngine(instance, state)
+            engine = make_local_engine(self.engine, instance, state)
             active = set(range(m)) - self.failed_agents
             acting_central = CENTRAL  # the dedicated body, until it fails
             handover_round: Optional[int] = None
@@ -438,7 +455,7 @@ class SemiDistributedSimulator:
                     tracer.add("round/bid_sweep", perf_counter() - t0)
 
                 # Per-agent work this round = |L_i| object evaluations.
-                eligible_counts = np.isfinite(engine.matrix[ordered]).sum(axis=1)
+                eligible_counts = engine.eligible_counts(np.asarray(ordered))
                 metrics.record_round_work([int(c) for c in eligible_counts])
 
                 honest: dict[int, Bid] = {}
@@ -528,7 +545,7 @@ class SemiDistributedSimulator:
                     # Validator + online detector + strike accounting in
                     # front of the central body.
                     bid_msgs, offended = boundary.screen(
-                        bid_msgs, state, engine.matrix, round_idx
+                        bid_msgs, state, engine, round_idx
                     )
                 outcome = self.central.decide(bid_msgs, m, rnd=round_idx)
                 offended = offended or bool(outcome.rejected)
@@ -610,7 +627,7 @@ class SemiDistributedSimulator:
                     )
                 )
 
-                true_value = float(engine.matrix[outcome.winner, outcome.obj])
+                true_value = engine.value_at(outcome.winner, outcome.obj)
                 agents[outcome.winner].award(
                     outcome.obj, outcome.payment, true_value
                 )
@@ -758,6 +775,7 @@ class SemiDistributedSimulator:
             extra={
                 "payments": payments,
                 "utilities": utilities,
+                "engine": self.engine,
                 "metrics": metrics,
                 "agents": agents,
                 "acting_central": acting_central,

@@ -43,6 +43,54 @@ class TestRun:
         assert rc == 0
         assert alg in capsys.readouterr().out
 
+    @pytest.mark.parametrize("engine", ["naive", "vectorized"])
+    def test_engine_flag_reported(self, engine, capsys):
+        rc = main(["run", *FAST, "-a", "AGT-RAM", "--engine", engine])
+        assert rc == 0
+        assert f"engine {engine}" in capsys.readouterr().out
+
+    def test_engines_agree_on_otc(self, capsys):
+        main(["run", *FAST, "--engine", "naive"])
+        naive_out = capsys.readouterr().out
+        main(["run", *FAST, "--engine", "vectorized"])
+        vec_out = capsys.readouterr().out
+        # Identical OTC / savings / replicas; only runtime+engine differ.
+        assert naive_out.split("  runtime")[0] == vec_out.split("  runtime")[0]
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", *FAST, "--engine", "turbo"])
+
+
+class TestAuditCompareEngines:
+    def test_identity_check_passes(self, capsys):
+        rc = main(["audit", "--compare-engines", "--scale", "tiny",
+                   "--repeats", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "identity : OK" in out
+        assert "audit    : OK" in out
+        assert "speedup" in out
+
+    def test_impossible_speedup_gate_fails(self, capsys):
+        rc = main(["audit", "--compare-engines", "--scale", "tiny",
+                   "--repeats", "1", "--min-speedup", "1000000",
+                   "--retries", "0"])
+        assert rc == 1
+        assert "below required" in capsys.readouterr().err
+
+    def test_speedup_gate_retries_before_failing(self, capsys):
+        rc = main(["audit", "--compare-engines", "--scale", "tiny",
+                   "--repeats", "1", "--min-speedup", "1000000",
+                   "--retries", "2"])
+        assert rc == 1
+        assert capsys.readouterr().err.count("re-measuring") == 2
+
+    def test_no_log_and_no_compare_is_usage_error(self, capsys):
+        rc = main(["audit"])
+        assert rc == 2
+        assert "provide an event log" in capsys.readouterr().err
+
 
 class TestCompare:
     def test_subset(self, capsys):

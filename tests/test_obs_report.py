@@ -34,7 +34,7 @@ def tiny_doc():
 
 class TestBenchConfig:
     def test_scales_exist(self):
-        assert set(BENCH_SCALE_CONFIGS) == {"tiny", "small", "medium"}
+        assert set(BENCH_SCALE_CONFIGS) == {"tiny", "small", "medium", "large"}
 
     def test_bench_config_rejects_unknown(self):
         with pytest.raises(ValueError):
@@ -266,3 +266,92 @@ class TestCli:
             ["bench", "--compare", str(old), str(old), "--fail-on-regression"]
         )
         assert rc == 0
+
+
+class TestEngineCompareRecord:
+    def test_record_present_and_identical(self, tiny_doc):
+        (record,) = [
+            r for r in tiny_doc["results"] if r["scenario"] == "engine_compare"
+        ]
+        assert record["identical"] is True
+        assert record["audit_ok"] is True
+        assert record["mismatches"] == []
+        assert record["speedup"] > 0
+        assert record["naive_wall_s"] > 0
+        assert record["wall_s"] > 0  # the vectorized wall
+
+    def test_engine_recorded_in_config(self, tiny_doc):
+        assert tiny_doc["config"]["engine"] == "auto"
+
+    def test_opt_out_and_engine_override(self):
+        doc = run_bench(
+            scale="tiny",
+            algorithms=["AGT-RAM"],
+            repeats=1,
+            include_protocol=False,
+            engine="naive",
+            include_engine_compare=False,
+        )
+        assert doc["config"]["engine"] == "naive"
+        assert [r["scenario"] for r in doc["results"]] == ["placement"]
+
+    def test_skipped_without_agt_ram(self):
+        doc = run_bench(
+            scale="tiny",
+            algorithms=["Greedy"],
+            repeats=1,
+            include_protocol=False,
+        )
+        assert not any(
+            r["scenario"] == "engine_compare" for r in doc["results"]
+        )
+
+    def test_old_baseline_without_record_compares_clean(self, tiny_doc):
+        old = copy.deepcopy(tiny_doc)
+        old["results"] = [
+            r for r in old["results"] if r["scenario"] != "engine_compare"
+        ]
+        cmp = compare_documents(old, tiny_doc)
+        assert cmp["regressions"] == []
+        assert cmp["only_in_new"] == ["engine_compare/AGT-RAM"]
+
+    def test_cli_engine_flag(self, tmp_path):
+        out = tmp_path / "bench.json"
+        rc = main(
+            [
+                "bench",
+                "--scale",
+                "tiny",
+                "--repeats",
+                "1",
+                "--algorithms",
+                "AGT-RAM",
+                "--engine",
+                "naive",
+                "--no-protocol",
+                "--no-engine-compare",
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        assert load_document(out)["config"]["engine"] == "naive"
+
+    def test_cli_prints_engine_compare_line(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        rc = main(
+            [
+                "bench",
+                "--scale",
+                "tiny",
+                "--repeats",
+                "1",
+                "--algorithms",
+                "AGT-RAM",
+                "--no-protocol",
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        assert "engine compare:" in capsys.readouterr().out
