@@ -10,6 +10,8 @@
 #                                      baseline and the runner differ)
 #   EQ_SCALE        ?= preset          scale for the speedup-gated equivalence leg
 #   EQ_MIN_SPEEDUP  ?= factor          required vectorized-over-naive speedup
+#   OBS_SCALE       ?= preset          scale for the emission-overhead gate
+#   OBS_RETRIES     ?= n               re-measure attempts for the obs gate
 
 BENCH_SCALE ?= tiny
 BENCH_GATE ?= 0
@@ -18,10 +20,12 @@ BENCH_JSON ?= bench.json
 BENCH_TOLERANCE ?= 0.5
 EQ_SCALE ?= small
 EQ_MIN_SPEEDUP ?= 3
+OBS_SCALE ?= tiny
+OBS_RETRIES ?= 2
 
 .PHONY: install test test-fast test-slow bench bench-json bench-compare \
-        equivalence trace audit chaos adversary serve lint reproduce \
-        examples clean
+        equivalence obs-gate trace audit chaos adversary serve lint \
+        reproduce examples clean
 
 # Chaos campaign knobs (see docs/robustness.md).
 CHAOS_SEED ?= 5
@@ -70,6 +74,15 @@ equivalence:
 	python -m repro audit --compare-engines --scale tiny
 	python -m repro audit --compare-engines --scale $(EQ_SCALE) \
 		--repeats 5 --min-speedup $(EQ_MIN_SPEEDUP)
+
+# Emission gate: prove the buffered columnar path is byte-equivalent to
+# the legacy per-object path (deterministic, hard fail) and bound the
+# eventing-on overhead against the per-scale budget (noisy half;
+# re-measures on failure, keeping the best attempt — see
+# docs/observability.md "The emission gate").
+obs-gate:
+	python -m repro audit --emission-gate --scale $(OBS_SCALE) \
+		--retries $(OBS_RETRIES)
 
 # bench-json plus the full observability exports: JSONL event log,
 # Perfetto-loadable Chrome trace, OpenMetrics textfile.

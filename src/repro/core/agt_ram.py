@@ -47,6 +47,138 @@ from repro.result import PlacementResult
 from repro.utils.timing import Timer, perf_counter
 
 
+class _OtcLedger:
+    """Flush-time OTC settlement for the buffered (columnar) loop.
+
+    The per-object path delta-maintains the system OTC inside
+    :meth:`~repro.drp.state.ReplicationState.add_replica` — one O(M)
+    pass over the just-relaxed (strided) NN column per commit.  Strided
+    column walks are an order of magnitude slower than contiguous row
+    passes, so the buffered loop does no OTC arithmetic at all: each
+    flush *reconstructs* every committed round's relaxed NN column as
+    ``min(c(·, P_k), c(·, winner), …)`` from the instance's contiguous
+    cost-column rows (:meth:`~repro.drp.instance.DRPInstance.cost_col_rows`),
+    batch-gathered and min-chained per chunk, then settles the rounds
+    with one batched ``einsum("rj,rj->r", ...)`` and a scalar replay of
+    the tracker's exact accumulation.  The reconstruction is value-exact
+    (a min-chain of the same floats the broadcast relaxed), the rows are
+    contiguous like the tracker's scratch, and chunked batched einsum
+    reduces each row independently — so the resulting ``RoundEnd`` OTC
+    floats are bit-identical to the per-object path's; the
+    byte-equivalence gate pins it.
+
+    Requires a primaries-only start: with pre-existing replicas the
+    primary column is not the pre-commit state (the buffered loop is
+    not taken for warm starts).
+    """
+
+    #: Rows settled per gather/einsum call — sized so the three
+    #: ``_CHUNK × M`` scratch blocks stay L2-resident between the gather
+    #: and the einsum that re-reads them (measured optimum; 128 spills).
+    _CHUNK = 32
+
+    __slots__ = (
+        "rstat_rows",
+        "cost_rows",
+        "pmap",
+        "wterm",
+        "otc",
+        "read_k",
+        "chains",
+        "_pc",
+        "_sc",
+        "_rs",
+        "_dots",
+    )
+
+    def __init__(self, state: ReplicationState) -> None:
+        inst = state.instance
+        # Seed exactly like the per-commit tracker's fresh path — same
+        # cached ``primary_otc_terms`` floats — without ever arming the
+        # tracker on the state (the loop's commits must not pay it).
+        otc0, read_k = inst.primary_otc_terms()
+        self.otc = otc0
+        self.read_k = read_k.tolist()
+        self.rstat_rows = inst.read_scale_rows()
+        self.cost_rows = inst.cost_col_rows()
+        self.pmap = inst.primaries
+        self.wterm = inst.local_value_terms()[1]
+        #: Commit history per object (winner lists) — repeat commits of
+        #: one object must min-chain every prior replicator.
+        self.chains: dict[int, list[int]] = {}
+        c, m = self._CHUNK, inst.n_servers
+        self._pc = np.empty((c, m))
+        self._sc = np.empty((c, m))
+        self._rs = np.empty((c, m))
+        self._dots = np.empty(c)
+
+    def _read_costs(
+        self, ks: np.ndarray, ws: np.ndarray, objs_l: list, winners_l: list
+    ) -> list[float]:
+        """Each committed round's refreshed read cost
+        ``Σ_i rstat_ik · nn_ik`` over its reconstructed column."""
+        out: list[float] = []
+        chunk = self._CHUNK
+        crows = self.cost_rows
+        pmap = self.pmap
+        chains = self.chains
+        for s in range(0, len(ks), chunk):
+            e = min(s + chunk, len(ks))
+            b = e - s
+            rows = self._pc[:b]
+            np.take(crows, pmap[ks[s:e]], axis=0, out=rows)
+            np.take(crows, ws[s:e], axis=0, out=self._sc[:b])
+            np.minimum(rows, self._sc[:b], out=rows)
+            for j in range(b):
+                k = objs_l[s + j]
+                hist = chains.get(k)
+                if hist is None:
+                    chains[k] = [winners_l[s + j]]
+                else:
+                    # Repeat commit: rebuild the full relax chain.
+                    hist.append(winners_l[s + j])
+                    row = rows[j]
+                    np.minimum(crows[int(pmap[k])], crows[hist[0]], out=row)
+                    for w in hist[1:]:
+                        np.minimum(row, crows[w], out=row)
+            np.take(self.rstat_rows, ks[s:e], axis=0, out=self._rs[:b])
+            np.einsum(
+                "rj,rj->r", self._rs[:b], rows, out=self._dots[:b]
+            )
+            out.extend(self._dots[:b].tolist())
+        return out
+
+    def fill(self, buf) -> None:
+        """Compute ``buf.otcs[:buf.n]`` for the staged rounds."""
+        n = buf.n
+        if n == 0:
+            return
+        winners_l = buf.winners[:n].tolist()
+        objs_l = buf.objs[:n].tolist()
+        # The loop's invariant: every staged row committed except, at
+        # most, one terminal row at the very end — so the committed rows
+        # are a prefix and plain slices (no index gathers) cover them.
+        c = n - (1 if winners_l[-1] < 0 else 0)
+        otc = self.otc
+        read_k = self.read_k
+        otcs = [0.0] * n
+        if c:
+            ks = buf.objs[:c]
+            ws = buf.winners[:c]
+            wds = self.wterm[ws, ks].tolist()
+            new_rks = self._read_costs(ks, ws, objs_l, winners_l)
+            for i in range(c):
+                k = objs_l[i]
+                new_rk = new_rks[i]
+                otc += wds[i] + (new_rk - read_k[k])
+                read_k[k] = new_rk
+                otcs[i] = otc
+        if c < n:
+            otcs[c] = otc
+        buf.otcs[:n] = otcs
+        self.otc = otc
+
+
 class AGTRam(Mechanism):
     """The paper's mechanism, configurable for the ablation studies.
 
@@ -86,9 +218,24 @@ class AGTRam(Mechanism):
         the declared numpy bound is available.  Only meaningful for
         ``valuation="local"``; the global-oracle ablation always uses
         its own engine.
+    emission:
+        Event-emission path when a sink is active.  ``"object"`` is the
+        legacy per-decision path (one Python object per bid/winner/
+        payment); ``"columnar"`` stages rounds in a preallocated
+        struct-of-arrays ring buffer
+        (:class:`~repro.obs.events.ColumnarRoundBuffer`) flushed into
+        the sink as :class:`~repro.obs.events.RoundBlock`\\ s — same
+        events after expansion, byte-identical under logical event
+        time, but the hot loop never builds objects.  ``"auto"``
+        (default) uses the columnar path whenever the run qualifies for
+        the vectorized tight loop (truthful, unbatched, untraced); other
+        configurations fall back to the per-object path.
     """
 
     name = "AGT-RAM"
+
+    #: Valid ``emission`` knob values.
+    EMISSION_MODES = ("auto", "object", "columnar")
 
     def __init__(
         self,
@@ -99,6 +246,7 @@ class AGTRam(Mechanism):
         max_rounds: Optional[int] = None,
         batch_size: int = 1,
         engine: str = "auto",
+        emission: str = "auto",
     ):
         if payment_rule not in PAYMENT_RULES:
             raise ConfigurationError(
@@ -122,6 +270,12 @@ class AGTRam(Mechanism):
                 "engine='vectorized' delta-maintains the local CoR oracle; "
                 "the global-oracle ablation only supports engine='naive'/'auto'"
             )
+        if emission not in self.EMISSION_MODES:
+            raise ConfigurationError(
+                f"unknown emission mode {emission!r}; "
+                f"expected one of {self.EMISSION_MODES}"
+            )
+        self.emission = emission
         self.engine = engine
         self.payment_rule = payment_rule
         self.valuation = valuation
@@ -202,6 +356,132 @@ class AGTRam(Mechanism):
             rounds += 1
         return rounds
 
+    def _flush_block(self, buf, sink, series, ledger=None) -> None:
+        """Flush the ring into the sink and fill the round series.
+
+        Series values come off the block columns via ``tolist()`` —
+        python-native scalars, the same bits the per-object path's
+        ``float()``/``int()`` casts produce.  When a ``ledger`` is given
+        its :meth:`_OtcLedger.fill` settles the ring's ``otcs`` column
+        first — the hot loop never touches OTC at all.
+        """
+        if ledger is not None:
+            ledger.fill(buf)
+        block = buf.flush()
+        if block is None:
+            return
+        if series is not None:
+            idx = np.nonzero(block.winners >= 0)[0]
+            if len(idx):
+                series.otc.extend(block.otcs[idx].tolist())
+                series.best_bid.extend(
+                    block.bid_vals[idx, block.winners[idx]].tolist()
+                )
+                series.payment.extend(block.payments[idx].tolist())
+                series.n_bids.extend(block.n_bids[idx].tolist())
+        sink.emit_block(block)
+
+    def _buffered_loop(
+        self,
+        instance: DRPInstance,
+        state: ReplicationState,
+        engine: DeltaBenefitEngine,
+        pay,
+        cap: int,
+        payments: np.ndarray,
+        utilities: np.ndarray,
+        sink,
+        series,
+    ) -> int:
+        """The :meth:`_fast_loop` arithmetic with columnar eventing.
+
+        Each round stages its pre-commit bid vectors and commit scalars
+        into a preallocated ring (plain array stores — no per-decision
+        objects); the ring flushes into the sink as
+        :class:`~repro.obs.events.RoundBlock`\\ s when full and once at
+        the end.  Expansion reproduces the per-object event stream
+        exactly (byte-identical under logical time); ``RoundEnd.otc`` is
+        settled per *flush* by the :class:`_OtcLedger`, which rebuilds
+        the committed NN columns from contiguous cost rows — the loop
+        itself does no OTC arithmetic, matching the per-object path's
+        tracker bit-for-bit.
+        """
+        vals, objs = engine.best_view()
+        # Inline Vickrey price via the same swap as _fast_loop — vals is
+        # NaN-free here, so this is bit-identical to second_best_payment.
+        second_price = self.payment_rule == "second_price"
+        neg_inf = -np.inf
+        capacities = instance.capacities
+        used = state.used
+        ledger = _OtcLedger(state)
+        buf = ev.ColumnarRoundBuffer(
+            instance.n_servers,
+            instance.sizes,
+            capacity=min(512, cap + 1),
+            payment_rule=self.payment_rule,
+        )
+        # The loop counts finite reports per round while the bid vector
+        # is cache-hot; the flush then skips its whole-ring scan.
+        buf.staged_n_bids = True
+        fin = np.empty(instance.n_servers, dtype=bool)
+        # Bind the ring columns locally; the flush re-arms the buffer
+        # with fresh arrays, so rebind after each one.
+        bid_vals, bid_objs = buf.bid_vals, buf.bid_objs
+        win_col, obj_col = buf.winners, buf.objs
+        res_col, pay_col, nb_col = buf.residuals, buf.payments, buf.n_bids
+        ring_cap = buf.capacity
+        n = 0
+        rounds = 0
+        while rounds < cap:
+            winner = int(vals.argmax())
+            best = float(vals[winner])
+            bid_vals[n] = vals  # staged pre-commit, rows are copies
+            bid_objs[n] = objs
+            np.isfinite(vals, out=fin)
+            nb_col[n] = np.count_nonzero(fin)
+            if not np.isfinite(best) or best <= 0.0:
+                # Central body's binary decision: (0) do not replicate.
+                win_col[n] = -1
+                obj_col[n] = -1
+                res_col[n] = 0
+                pay_col[n] = 0.0
+                buf.n = n + 1
+                break
+            obj = int(objs[winner])
+            if second_price:
+                vals[winner] = neg_inf
+                runner_up = float(vals.max())
+                vals[winner] = best
+                payment = runner_up if runner_up > 0.0 else 0.0
+            else:
+                payment = pay(vals, winner)
+            payments[winner] += payment
+            utilities[winner] += best - payment
+            residual_before = int(capacities[winner]) - int(used[winner])
+            state.add_replica(winner, obj)
+            engine.notify_allocation(winner, obj)
+            win_col[n] = winner
+            obj_col[n] = obj
+            res_col[n] = residual_before
+            pay_col[n] = payment
+            n += 1
+            rounds += 1
+            if n == ring_cap:
+                buf.n = n
+                self._flush_block(buf, sink, series, ledger)
+                bid_vals, bid_objs = buf.bid_vals, buf.bid_objs
+                win_col, obj_col = buf.winners, buf.objs
+                res_col, pay_col, nb_col = (
+                    buf.residuals,
+                    buf.payments,
+                    buf.n_bids,
+                )
+                n = 0
+        else:
+            buf.n = n
+        self._flush_block(buf, sink, series, ledger)
+        return rounds
+
     # -- mechanism entry ---------------------------------------------------
 
     def _run(
@@ -257,17 +537,49 @@ class AGTRam(Mechanism):
             # payments (bit-identical — the equivalence tests pin it),
             # but ~10 numpy calls per round instead of a full O(M·N)
             # sweep plus event/tracer bookkeeping.
-            fast = (
+            tight = (
                 isinstance(engine, DeltaBenefitEngine)
                 and not self.strategies
                 and self.batch_size == 1
-                and not eventing
                 and not traced
                 and audit is None
             )
+            fast = tight and not eventing
+            # The columnar path keeps eventing ON through the tight
+            # loop: rounds are staged in a preallocated ring and flushed
+            # as blocks, instead of bailing to the per-object loop.  Its
+            # ledger reconstructs NN columns from the primaries, so it
+            # needs a primaries-only start; warm starts take the
+            # per-object path.
+            buffered = (
+                tight
+                and eventing
+                and self.emission != "object"
+                and state.n_replicas_added == 0
+            )
+            if eventing and not buffered:
+                # Per-round OTC telemetry (RoundEnd / series) comes from
+                # the state's incremental tracker — one O(M) einsum per
+                # commit instead of an O(M·N) recompute per round.  The
+                # buffered loop skips even that: its _OtcLedger settles
+                # OTC per flush, producing the same floats bit-for-bit.
+                state.begin_otc_tracking()
             if fast:
                 rounds = self._fast_loop(
                     state, engine, pay, cap, payments, utilities
+                )
+                cap = rounds  # generic loop below is skipped
+            elif buffered:
+                rounds = self._buffered_loop(
+                    instance,
+                    state,
+                    engine,
+                    pay,
+                    cap,
+                    payments,
+                    utilities,
+                    sink,
+                    series,
                 )
                 cap = rounds  # generic loop below is skipped
             while rounds < cap:
@@ -307,7 +619,7 @@ class AGTRam(Mechanism):
                                 t=ev.now(),
                                 round=round_idx,
                                 committed=0,
-                                otc=total_otc(state),
+                                otc=state.tracked_otc(),
                             )
                         )
                     if audit is not None:
@@ -373,7 +685,7 @@ class AGTRam(Mechanism):
                         )
                         assert series is not None
                         series.append(
-                            otc=total_otc(state),
+                            otc=state.tracked_otc(),
                             best_bid=best,
                             payment=payment,
                             n_bids=int(np.isfinite(reported_vals).sum()),
@@ -491,7 +803,7 @@ class AGTRam(Mechanism):
                                 t=ev.now(),
                                 round=round_idx,
                                 committed=0,
-                                otc=total_otc(state),
+                                otc=state.tracked_otc(),
                             )
                         )
                     break
@@ -513,7 +825,7 @@ class AGTRam(Mechanism):
                     )
                     assert series is not None
                     series.append(
-                        otc=total_otc(state),
+                        otc=state.tracked_otc(),
                         best_bid=best,
                         payment=clearing,
                         n_bids=int(np.isfinite(reported_vals).sum()),
@@ -560,6 +872,7 @@ def run_agt_ram(
     record_audit: bool = False,
     max_rounds: Optional[int] = None,
     engine: str = "auto",
+    emission: str = "auto",
 ) -> PlacementResult:
     """Functional one-shot entry point for :class:`AGTRam`.
 
@@ -572,5 +885,6 @@ def run_agt_ram(
         strategies=strategies,
         max_rounds=max_rounds,
         engine=engine,
+        emission=emission,
     )
     return mech.run(instance, record_audit=record_audit)

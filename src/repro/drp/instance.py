@@ -221,6 +221,58 @@ class DRPInstance:
             object.__setattr__(self, "_primary_ship_total", cached)
         return cached
 
+    def cost_col_rows(self) -> np.ndarray:
+        """(M, M) C-contiguous transpose of :attr:`cost`: row j is the
+        cost *column* ``c(·, j)`` — every server's distance to a replica
+        hosted on j.  Kept distinct from :attr:`cost` itself because
+        symmetry is only validated to tolerance.  The columnar flush
+        path reconstructs committed NN columns by min-chaining these
+        rows, so its per-commit settlement never walks a strided column.
+        Cached; treat as read-only.
+        """
+        cached = getattr(self, "_cost_col_rows", None)
+        if cached is None:
+            cached = np.ascontiguousarray(self.cost.T)
+            object.__setattr__(self, "_cost_col_rows", cached)
+        return cached
+
+    def read_scale_rows(self) -> np.ndarray:
+        """(N, M) C-contiguous transpose of ``rstat``
+        (:meth:`local_value_terms`): row k is object k's read-rate scale
+        across servers.  The incremental OTC tracker dots one object's
+        column per commit — contiguous in this layout, a cache miss per
+        element in the (M, N) one.  Cached; treat as read-only.
+        """
+        cached = getattr(self, "_read_scale_rows", None)
+        if cached is None:
+            rstat, _ = self.local_value_terms()
+            cached = np.ascontiguousarray(rstat.T)
+            object.__setattr__(self, "_read_scale_rows", cached)
+        return cached
+
+    def primary_otc_terms(self) -> tuple[float, np.ndarray]:
+        """Seed values for the incremental OTC tracker
+        (:meth:`~repro.drp.state.ReplicationState.begin_otc_tracking`).
+
+        Returns ``(otc0, read_k)`` for the primaries-only scheme:
+        ``read_k[k] = Σ_i rstat_ik c(i, P_k)`` — the per-object read
+        cost the tracker delta-maintains — and ``otc0`` the scheme's
+        total OTC.  Both depend only on the immutable instance, so a
+        fresh state starts tracking with an O(N) memcpy instead of an
+        O(M·N) reduction.  Cached; treat the array as read-only.
+        """
+        cached = getattr(self, "_primary_otc_terms", None)
+        if cached is None:
+            rstat, wterm = self.local_value_terms()
+            read_k = np.einsum("ik,ik->k", rstat, self.primary_cost_cols())
+            kept0 = float(
+                wterm[self.primaries, np.arange(self.n_objects)].sum()
+            )
+            otc0 = float(read_k.sum()) + self.primary_ship_total() + kept0
+            cached = (otc0, read_k)
+            object.__setattr__(self, "_primary_otc_terms", cached)
+        return cached
+
     def total_write_counts(self) -> np.ndarray:
         """(N,) total writes per object, the paper's Σ_x w_xk.  Cached;
         treat as read-only."""

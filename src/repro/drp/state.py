@@ -31,6 +31,10 @@ class ReplicationState:
         (M,) storage units consumed on each server.
     """
 
+    #: Class-level default: incremental OTC tracking is opt-in
+    #: (:meth:`begin_otc_tracking`), so untracked states pay nothing.
+    _otc_track = False
+
     def __init__(self, instance: DRPInstance):
         self.instance = instance
         m, n = instance.n_servers, instance.n_objects
@@ -86,6 +90,13 @@ class ReplicationState:
         dup.used = self.used.copy()
         dup.n_replicas_added = self.n_replicas_added
         dup.last_nn_changed = self.last_nn_changed.copy()
+        if self._otc_track:
+            dup._otc_track = True
+            dup._otc_value = self._otc_value
+            dup._otc_read_k = self._otc_read_k.copy()
+            dup._otc_rstat_rows = self._otc_rstat_rows
+            dup._otc_wterm = self._otc_wterm
+            dup._otc_scratch = np.empty_like(self._otc_scratch)
         return dup
 
     # -- queries ------------------------------------------------------------
@@ -117,6 +128,62 @@ class ReplicationState:
             self.instance.sizes[k] <= self.residual[server]
         )
 
+    # -- incremental OTC tracking -------------------------------------------
+
+    def begin_otc_tracking(self) -> float:
+        """Start delta-maintaining the scheme's total OTC across commits.
+
+        After this call :meth:`tracked_otc` returns the current OTC in
+        O(1), and each :meth:`add_replica` keeps it fresh with one O(M)
+        dot product on top of the broadcast it already performs — the
+        per-round recompute the event stream used to pay
+        (:func:`~repro.drp.cost.total_otc`, O(M·N)) disappears from the
+        hot path.  The commit delta is exact: adding a replica of ``k``
+        on ``server`` changes only the update-keeping term
+        ``wterm[server, k]`` and object ``k``'s read column, whose new
+        total is ``Σ_i rstat_ik · nn_dist_ik`` over the relaxed column.
+
+        Tracked values accumulate float rounding commit by commit, so
+        headline results should still report the closed-form
+        :func:`~repro.drp.cost.total_otc`; the tracker is for per-round
+        telemetry.  Returns the starting OTC.
+        """
+        inst = self.instance
+        rstat, wterm = inst.local_value_terms()
+        if self.n_replicas_added == 0:
+            otc0, read_k = inst.primary_otc_terms()
+            self._otc_value = otc0
+            self._otc_read_k = read_k.copy()
+        else:
+            read_k = np.einsum("ik,ik->k", rstat, self.nn_dist)
+            kept = float(np.einsum("ik,ik->", self.x, wterm))
+            self._otc_read_k = read_k
+            self._otc_value = (
+                float(read_k.sum()) + inst.primary_ship_total() + kept
+            )
+        # Transposed copy: the per-commit delta dots one object's
+        # read-scale row — contiguous in (N, M) layout, one cache/TLB
+        # miss per element in the (M, N) one.
+        self._otc_rstat_rows = inst.read_scale_rows()
+        self._otc_wterm = wterm
+        # Contiguous scratch for the masked read-cost delta each commit
+        # computes inside :meth:`add_replica`.
+        self._otc_scratch = np.empty(inst.n_servers)
+        self._otc_track = True
+        return self._otc_value
+
+    def end_otc_tracking(self) -> None:
+        """Stop tracking; subsequent commits skip the maintenance dot."""
+        self._otc_track = False
+
+    def tracked_otc(self) -> float:
+        """The delta-maintained total OTC (requires active tracking)."""
+        if not self._otc_track:
+            raise ConfigurationError(
+                "OTC tracking is not active; call begin_otc_tracking() first"
+            )
+        return self._otc_value
+
     # -- mutation -----------------------------------------------------------
 
     def add_replica(self, server: int, k: int) -> None:
@@ -146,6 +213,23 @@ class ReplicationState:
         closer = np.less(d_new, dist_col, out=self.last_nn_changed)
         np.copyto(dist_col, d_new, where=closer)
         np.copyto(self.nn_server[:, k], server, where=closer)
+        if self._otc_track:
+            # dist_col now holds the relaxed column, so one dot refreshes
+            # object k's read cost; the write side moves by exactly the
+            # new replicator's update-keeping term.  The column is staged
+            # contiguous first: einsum's reduction order depends on
+            # operand strides, and over contiguous rows it matches the
+            # batched ``einsum("rj,rj->r", ...)`` the columnar flush path
+            # computes over its reconstructed copies of the same columns
+            # — which is what keeps the two emission paths' OTC floats
+            # bit-identical.
+            scratch = self._otc_scratch
+            np.copyto(scratch, dist_col)
+            new_rk = float(np.einsum("j,j->", self._otc_rstat_rows[k], scratch))
+            self._otc_value += float(self._otc_wterm[server, k]) + (
+                new_rk - float(self._otc_read_k[k])
+            )
+            self._otc_read_k[k] = new_rk
 
     def recompute_nn(self) -> None:
         """Rebuild NN tables from X (vectorized per object).
@@ -153,7 +237,10 @@ class ReplicationState:
         Cost O(Σ_k M·|R_k|); used after bulk edits to X.
         """
         inst = self.instance
-        # A bulk rebuild invalidates any notion of "the last broadcast".
+        # A bulk rebuild invalidates any notion of "the last broadcast" —
+        # and the incremental OTC tracker, which only follows
+        # add_replica deltas (re-arm with begin_otc_tracking if needed).
+        self._otc_track = False
         self.last_nn_changed = np.zeros(inst.n_servers, dtype=bool)
         for k in range(inst.n_objects):
             reps = np.nonzero(self.x[:, k])[0]

@@ -49,7 +49,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional, Sequence
 
 from repro.obs.events import (
     AdversaryEvent,
@@ -86,6 +86,8 @@ __all__ = [
     "AuditReport",
     "TaintedPayment",
     "audit_events",
+    "audit_stream",
+    "audit_files",
     "audit_file",
     "ServingViolation",
     "ServingAuditReport",
@@ -552,11 +554,40 @@ class _Auditor:
         self._residuals[w.agent] = w.residual_before - w.obj_size
 
 
-def audit_events(events: Iterable[Event]) -> AuditReport:
-    """Verify a recorded event stream against the mechanism's axioms."""
+def audit_stream(
+    events: Iterable[Event],
+    *,
+    window: int = 0,
+    on_window: Optional[Callable[[int, AuditReport], None]] = None,
+) -> AuditReport:
+    """Verify an event stream against the mechanism's axioms, one round
+    at a time in bounded memory.
+
+    The verifier is inherently streaming: per-round state is dropped at
+    each ``RoundEnd``, so memory is bounded by the widest single round
+    (plus the violation and tainted-payment lists — empty on a clean
+    log) no matter how many gigabytes the stream spans.  Feed it a lazy
+    iterator (:func:`~repro.obs.export.open_event_stream`), not a
+    materialized list, to actually realize that bound.
+
+    ``window`` > 0 reports progress: after every ``window`` audited
+    rounds, ``on_window(rounds_audited, report)`` fires with the
+    running report, so a long audit can stream verdicts (the CLI's
+    ``--window N --stream`` prints one line per window).  Windowing
+    never changes the verdict — the same auditor sees the same events
+    in the same order; the callback is a read-only checkpoint.
+    """
+    if window < 0:
+        raise ValueError("window must be >= 0")
     auditor = _Auditor()
+    report = auditor.report
+    next_mark = window if window else 0
     for event in events:
         auditor.feed(event)
+        if window and report.rounds_audited >= next_mark:
+            if on_window is not None:
+                on_window(report.rounds_audited, report)
+            next_mark += window
     if auditor._round is not None:
         auditor._flag(
             auditor._round.index, "structure", "log ends inside an open round"
@@ -564,14 +595,47 @@ def audit_events(events: Iterable[Event]) -> AuditReport:
     # A log truncated before its RunEnd still gets its tainted-payment
     # resolution over whatever quarantine records were seen.
     auditor._finalize_run()
-    return auditor.report
+    return report
+
+
+def audit_events(events: Iterable[Event]) -> AuditReport:
+    """Verify a recorded event stream against the mechanism's axioms."""
+    return audit_stream(events)
+
+
+def audit_files(
+    paths: Sequence[str | Path],
+    *,
+    window: int = 0,
+    on_window: Optional[Callable[[int, AuditReport], None]] = None,
+) -> AuditReport:
+    """Audit one logical event log spread over files, lazily.
+
+    Each path may be a single JSONL or binary log, or the logical name
+    of a rotated chunk set (``events.jsonl`` standing for
+    ``events.part00000.jsonl`` …) — resolution and format sniffing via
+    :func:`~repro.obs.export.event_log_chunks` /
+    :func:`~repro.obs.export.open_event_stream`.  Files are decoded
+    record-by-record and chained into one stream, so a multi-file,
+    multi-gigabyte log audits in bounded memory with verdicts identical
+    to a whole-log audit.
+    """
+    from repro.obs.export import event_log_chunks, open_event_stream
+
+    resolved: list[Path] = []
+    for p in paths:
+        resolved.extend(event_log_chunks(p))
+
+    def chained() -> Iterable[Event]:
+        for path in resolved:
+            yield from open_event_stream(path)
+
+    return audit_stream(chained(), window=window, on_window=on_window)
 
 
 def audit_file(path: str | Path) -> AuditReport:
-    """Load a JSONL event log and audit it."""
-    from repro.obs.export import read_events_jsonl
-
-    return audit_events(read_events_jsonl(path))
+    """Load one event log (JSONL or binary, possibly chunked) and audit it."""
+    return audit_files([path])
 
 
 # -- serving audit -----------------------------------------------------------
@@ -759,7 +823,12 @@ def audit_serving_events(events: Iterable[Event]) -> ServingAuditReport:
 
 
 def audit_serving_file(path: str | Path) -> ServingAuditReport:
-    """Load a JSONL event log and audit its serving campaign."""
-    from repro.obs.export import read_events_jsonl
+    """Load an event log (JSONL or binary, possibly chunked) and audit
+    its serving campaign."""
+    from repro.obs.export import event_log_chunks, open_event_stream
 
-    return audit_serving_events(read_events_jsonl(path))
+    def chained() -> Iterable[Event]:
+        for chunk in event_log_chunks(path):
+            yield from open_event_stream(chunk)
+
+    return audit_serving_events(chained())

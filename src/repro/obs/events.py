@@ -27,11 +27,18 @@ good for ordering and durations, meaningless across processes.
 
 from __future__ import annotations
 
+import math
 import time
+from array import array
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import asdict, dataclass, field, fields
-from typing import Any, ClassVar, Iterator, Optional
+from typing import Any, ClassVar, Iterable, Iterator, Optional
+
+try:  # numpy backs the columnar buffers when present
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a core dependency
+    _np = None  # type: ignore[assignment]
 
 __all__ = [
     "EVENT_SCHEMA_VERSION",
@@ -68,12 +75,17 @@ __all__ = [
     "EventSink",
     "NullSink",
     "RecordingSink",
+    "ColumnarSink",
     "NULL_SINK",
     "current",
     "install",
     "capture",
     "RoundSeries",
+    "RoundBlock",
+    "ColumnarRoundBuffer",
+    "iter_block_events",
     "now",
+    "now_block",
 ]
 
 #: Version of the event record schema.  Bumps only on breaking changes
@@ -82,6 +94,25 @@ EVENT_SCHEMA_VERSION = 1
 
 #: Monotonic clock used for every event timestamp.
 now = time.perf_counter
+
+
+def _wall_now_block(n: int) -> tuple[float, float]:
+    """Reserve timestamps for ``n`` events emitted together.
+
+    Returns ``(start, step)``: event ``j`` of the block is stamped
+    ``start + step * j``.  Under the wall clock a deferred flush cannot
+    recover per-decision times, so the whole block shares one
+    ``perf_counter`` reading (``step`` 0) — ordering is preserved and
+    stamps stay non-decreasing across blocks.  :func:`logical_time`
+    swaps this for a tick-per-event variant so buffered emission stays
+    byte-identical to the per-object path.
+    """
+    return now(), 0.0
+
+
+#: Block-granular clock used by the columnar pipeline; swapped together
+#: with :data:`now` by :func:`logical_time`.
+now_block = _wall_now_block
 
 
 # -- event records -----------------------------------------------------------
@@ -640,15 +671,411 @@ def logical_time() -> Iterator[None]:
     chaos campaign's determinism guarantee).  Ordering and structure are
     preserved; durations become meaningless.  The swap is process-global
     (module-level), so don't nest it with concurrent wall-clock captures.
+
+    :func:`now_block` is swapped from the same counter: a block of ``n``
+    events consumes ``n`` consecutive ticks (``step`` 1.0), so a flushed
+    :class:`RoundBlock` expands to exactly the timestamps the per-object
+    path would have produced — integer-valued floats are exact, which is
+    what makes buffered and legacy logs byte-identical under this clock.
     """
-    global now
-    previous = now
-    counter = iter(range(1 << 62))
-    now = lambda: float(next(counter))  # noqa: E731
+    global now, now_block
+    previous = (now, now_block)
+    ticks = [0]
+
+    def _tick() -> float:
+        t = ticks[0]
+        ticks[0] = t + 1
+        return float(t)
+
+    def _tick_block(n: int) -> tuple[float, float]:
+        t = ticks[0]
+        ticks[0] = t + n
+        return float(t), 1.0
+
+    now = _tick
+    now_block = _tick_block
     try:
         yield
     finally:
-        now = previous
+        now, now_block = previous
+
+
+# -- columnar round buffers --------------------------------------------------
+
+#: Flat estimate for one materialized Event object's memory footprint,
+#: used by :attr:`ColumnarSink.nbytes` for non-buffered emissions.
+_LOOSE_EVENT_BYTES = 88
+
+
+@dataclass
+class RoundBlock:
+    """One flushed span of consecutive mechanism rounds, struct-of-arrays.
+
+    A block is the columnar pipeline's unit of emission: ``rounds`` rows
+    starting at round ``base_round``, each row holding the round's full
+    pre-commit bid vector plus the commit scalars.  ``winners[i] == -1``
+    marks the terminal (``committed=0``) round.  Timestamps are assigned
+    at flush time as ``t0 + t_step * j`` over the block's expanded event
+    sequence (see :func:`iter_block_events`), so expansion is
+    deterministic no matter when — or how often — it happens.
+
+    Arrays are numpy when available; the :mod:`array`-module fallback
+    stores the bid matrices flat (row ``i`` is ``[i*n_agents :
+    (i+1)*n_agents]``).
+    """
+
+    base_round: int
+    rounds: int
+    n_agents: int
+    payment_rule: str
+    t0: float
+    t_step: float
+    bid_vals: Any
+    bid_objs: Any
+    winners: Any
+    objs: Any
+    residuals: Any
+    payments: Any
+    otcs: Any
+    obj_sizes: Any
+    n_bids: Any
+
+    def bid_row(self, i: int) -> Any:
+        """Round ``i``'s reported values, one per agent (−inf = no bid)."""
+        if _np is not None and isinstance(self.bid_vals, _np.ndarray):
+            return self.bid_vals[i]
+        m = self.n_agents
+        return self.bid_vals[i * m : (i + 1) * m]
+
+    def obj_row(self, i: int) -> Any:
+        """Round ``i``'s reported objects, aligned with :meth:`bid_row`."""
+        if _np is not None and isinstance(self.bid_objs, _np.ndarray):
+            return self.bid_objs[i]
+        m = self.n_agents
+        return self.bid_objs[i * m : (i + 1) * m]
+
+    @property
+    def n_committed(self) -> int:
+        """Rows that committed a replica (``winners >= 0``)."""
+        return sum(1 for i in range(self.rounds) if self.winners[i] >= 0)
+
+    @property
+    def n_events(self) -> int:
+        """Events this block expands to: per round, RoundStart + one
+        BidEvent per finite report + RoundEnd, plus Winner/Payment/
+        NNUpdate for committed rounds."""
+        bids = int(sum(self.n_bids))
+        return bids + 2 * self.rounds + 3 * self.n_committed
+
+    @property
+    def nbytes(self) -> int:
+        """Raw byte size of the columnar payload."""
+        total = 0
+        for col in (
+            self.bid_vals,
+            self.bid_objs,
+            self.winners,
+            self.objs,
+            self.residuals,
+            self.payments,
+            self.otcs,
+            self.obj_sizes,
+            self.n_bids,
+        ):
+            if _np is not None and isinstance(col, _np.ndarray):
+                total += col.nbytes
+            else:
+                total += len(col) * col.itemsize
+        return total
+
+
+def iter_block_events(block: RoundBlock) -> Iterator[Event]:
+    """Expand a :class:`RoundBlock` into the per-object event sequence.
+
+    Yields exactly the events — same order, same python-native field
+    values, same timestamps under :func:`logical_time` — that the legacy
+    per-decision path emits for the same rounds: ``RoundStart``, one
+    ``BidEvent`` per finite report in ascending agent order, then
+    ``WinnerEvent``/``PaymentEvent``/``NNUpdateEvent`` when the round
+    committed, and ``RoundEnd``.
+    """
+    t = block.t0
+    step = block.t_step
+    rule = block.payment_rule
+    m = block.n_agents
+    numpy_rows = _np is not None and isinstance(block.bid_vals, _np.ndarray)
+    for i in range(block.rounds):
+        rnd = block.base_round + i
+        yield RoundStart(t=t, round=rnd)
+        t += step
+        vals = block.bid_row(i)
+        objs = block.obj_row(i)
+        if numpy_rows:
+            agents = _np.nonzero(_np.isfinite(vals))[0].tolist()
+        else:
+            agents = [a for a in range(m) if math.isfinite(vals[a])]
+        for a in agents:
+            yield BidEvent(
+                t=t,
+                round=rnd,
+                agent=a,
+                obj=int(objs[a]),
+                value=float(vals[a]),
+            )
+            t += step
+        winner = int(block.winners[i])
+        if winner >= 0:
+            yield WinnerEvent(
+                t=t,
+                round=rnd,
+                agent=winner,
+                obj=int(block.objs[i]),
+                value=float(vals[winner]),
+                obj_size=int(block.obj_sizes[i]),
+                residual_before=int(block.residuals[i]),
+            )
+            t += step
+            yield PaymentEvent(
+                t=t,
+                round=rnd,
+                agent=winner,
+                amount=float(block.payments[i]),
+                rule=rule,
+            )
+            t += step
+            yield NNUpdateEvent(
+                t=t, round=rnd, obj=int(block.objs[i]), agents=m
+            )
+            t += step
+            committed = 1
+        else:
+            committed = 0
+        yield RoundEnd(
+            t=t, round=rnd, committed=committed, otc=float(block.otcs[i])
+        )
+        t += step
+
+
+class ColumnarRoundBuffer:
+    """Preallocated struct-of-arrays ring for hot-loop round emission.
+
+    The mechanism's tight loop appends one row per round with scalar
+    writes (:meth:`stage` the pre-commit bid vectors, then
+    :meth:`commit` / :meth:`close` the round scalars) and flushes the
+    ring into the active sink once it fills — or once at run end.  All
+    derivable per-event data (timestamps, bid counts, object sizes) is
+    computed vectorized at :meth:`flush`, so the per-round cost is a
+    handful of array stores.
+
+    numpy-backed when available; otherwise flat :mod:`array`-module
+    columns (same layout, scalar python writes).  The hot path may bind
+    the column attributes locally and maintain :attr:`n` itself — the
+    arrays, not the methods, are the interface the tight loop relies on.
+    """
+
+    def __init__(
+        self,
+        n_agents: int,
+        sizes: Any,
+        *,
+        capacity: int = 512,
+        base_round: int = 0,
+        payment_rule: str = "second_price",
+        backend: Optional[str] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if n_agents < 1:
+            raise ValueError("n_agents must be >= 1")
+        if backend is None:
+            backend = "numpy" if _np is not None else "array"
+        if backend not in ("numpy", "array"):
+            raise ValueError(f"unknown buffer backend {backend!r}")
+        if backend == "numpy" and _np is None:
+            raise ValueError("numpy backend requested but numpy is missing")
+        self.backend = backend
+        self.n_agents = n_agents
+        self.capacity = capacity
+        self.base_round = base_round
+        self.payment_rule = payment_rule
+        self.sizes = sizes
+        #: Rows currently staged+committed; the next row index.
+        self.n = 0
+        #: Set by staging loops that fill :attr:`n_bids` themselves —
+        #: counting finite reports while the bid row is still cache-hot
+        #: beats re-reading the whole ring at :meth:`flush`, which is
+        #: what happens when this is False.
+        self.staged_n_bids = False
+        # Scratch that never leaves the buffer is allocated once; only
+        # the columns handed off inside RoundBlocks are re-armed per
+        # flush (the sink keeps the old ones).
+        if self.backend == "numpy":
+            self._finite = _np.empty((capacity, n_agents), dtype=bool)
+        self._alloc()
+
+    def _alloc(self) -> None:
+        cap, m = self.capacity, self.n_agents
+        if self.backend == "numpy":
+            self.bid_vals = _np.empty((cap, m), dtype=_np.float64)
+            # int32 halves the page-fault/bandwidth bill per flush; object
+            # indices always fit (N < 2^31), and expansion re-casts to
+            # python ints anyway.
+            self.bid_objs = _np.empty((cap, m), dtype=_np.int32)
+            self.winners = _np.empty(cap, dtype=_np.int64)
+            self.objs = _np.empty(cap, dtype=_np.int64)
+            self.residuals = _np.empty(cap, dtype=_np.int64)
+            self.payments = _np.empty(cap, dtype=_np.float64)
+            self.otcs = _np.empty(cap, dtype=_np.float64)
+            self.n_bids = _np.empty(cap, dtype=_np.int64)
+        else:
+            self.bid_vals = array("d", bytes(8 * cap * m))
+            self.bid_objs = array("q", bytes(8 * cap * m))
+            self.winners = array("q", bytes(8 * cap))
+            self.objs = array("q", bytes(8 * cap))
+            self.residuals = array("q", bytes(8 * cap))
+            self.payments = array("d", bytes(8 * cap))
+            self.otcs = array("d", bytes(8 * cap))
+            self.n_bids = array("q", bytes(8 * cap))
+
+    @property
+    def full(self) -> bool:
+        return self.n >= self.capacity
+
+    def stage(self, vals: Any, objs: Any) -> None:
+        """Copy the round's pre-commit reports into the next row."""
+        i = self.n
+        if self.backend == "numpy":
+            self.bid_vals[i] = vals
+            self.bid_objs[i] = objs
+        else:
+            m = self.n_agents
+            self.bid_vals[i * m : (i + 1) * m] = array("d", vals)
+            self.bid_objs[i * m : (i + 1) * m] = array(
+                "q", [int(o) for o in objs]
+            )
+
+    def commit(
+        self,
+        winner: int,
+        obj: int,
+        residual_before: int,
+        payment: float,
+        otc: float,
+    ) -> None:
+        """Record the staged round's commit scalars and advance."""
+        i = self.n
+        self.winners[i] = winner
+        self.objs[i] = obj
+        self.residuals[i] = residual_before
+        self.payments[i] = payment
+        self.otcs[i] = otc
+        self.n = i + 1
+
+    def close(self, otc: float) -> None:
+        """Record the staged round as terminal (no commit) and advance."""
+        i = self.n
+        self.winners[i] = -1
+        self.objs[i] = -1
+        self.residuals[i] = 0
+        self.payments[i] = 0.0
+        self.otcs[i] = otc
+        self.n = i + 1
+
+    def flush(self) -> Optional[RoundBlock]:
+        """Hand the filled rows off as a :class:`RoundBlock` and reset.
+
+        Returns ``None`` when empty.  Timestamps for the block's whole
+        event expansion are reserved here via :func:`now_block`; the
+        ring is re-armed with fresh arrays (the block keeps the old
+        ones), so no row is ever copied.
+        """
+        rows = self.n
+        if rows == 0:
+            return None
+        m = self.n_agents
+        if self.backend == "numpy":
+            bid_vals = self.bid_vals[:rows]
+            bid_objs = self.bid_objs[:rows]
+            winners = self.winners[:rows]
+            objs = self.objs[:rows]
+            if self.staged_n_bids:
+                n_bids = self.n_bids[:rows]
+            else:
+                n_bids = _np.count_nonzero(
+                    _np.isfinite(bid_vals, out=self._finite[:rows]), axis=1
+                )
+            committed = winners >= 0
+            sizes = _np.asarray(self.sizes)
+            obj_sizes = _np.where(
+                committed, sizes[_np.where(committed, objs, 0)], 0
+            )
+            n_events = int(n_bids.sum()) + 2 * rows + 3 * int(
+                committed.sum()
+            )
+            block_cols = (
+                bid_vals,
+                bid_objs,
+                winners,
+                objs,
+                self.residuals[:rows],
+                self.payments[:rows],
+                self.otcs[:rows],
+                obj_sizes,
+                n_bids,
+            )
+        else:
+            bid_vals = self.bid_vals[: rows * m]
+            bid_objs = self.bid_objs[: rows * m]
+            winners = self.winners[:rows]
+            objs = self.objs[:rows]
+            if self.staged_n_bids:
+                n_bids = self.n_bids[:rows]
+            else:
+                n_bids = array(
+                    "q",
+                    (
+                        sum(
+                            1
+                            for a in range(m)
+                            if math.isfinite(bid_vals[i * m + a])
+                        )
+                        for i in range(rows)
+                    ),
+                )
+            obj_sizes = array(
+                "q",
+                (
+                    int(self.sizes[objs[i]]) if winners[i] >= 0 else 0
+                    for i in range(rows)
+                ),
+            )
+            n_committed = sum(1 for w in winners if w >= 0)
+            n_events = int(sum(n_bids)) + 2 * rows + 3 * n_committed
+            block_cols = (
+                bid_vals,
+                bid_objs,
+                winners,
+                objs,
+                self.residuals[:rows],
+                self.payments[:rows],
+                self.otcs[:rows],
+                obj_sizes,
+                n_bids,
+            )
+        t0, t_step = now_block(n_events)
+        block = RoundBlock(
+            self.base_round,
+            rows,
+            m,
+            self.payment_rule,
+            t0,
+            t_step,
+            *block_cols,
+        )
+        self.base_round += rows
+        self.n = 0
+        self._alloc()
+        return block
 
 
 # -- sinks -------------------------------------------------------------------
@@ -666,6 +1093,18 @@ class EventSink:
     def emit(self, event: Event) -> None:  # pragma: no cover - interface
         raise NotImplementedError
 
+    def emit_block(self, block: RoundBlock) -> None:
+        """Receive one flushed :class:`RoundBlock`.
+
+        The default expands the block through :func:`iter_block_events`
+        into the ordinary :meth:`emit` stream, so every existing sink
+        sees events identical to the per-object path.  Block-aware sinks
+        (:class:`ColumnarSink`) override this to keep the columnar form
+        and skip object materialization entirely.
+        """
+        for event in iter_block_events(block):
+            self.emit(event)
+
 
 class NullSink(EventSink):
     """The disabled sink — drops everything, costs one attribute read."""
@@ -673,6 +1112,9 @@ class NullSink(EventSink):
     enabled = False
 
     def emit(self, event: Event) -> None:
+        return None
+
+    def emit_block(self, block: RoundBlock) -> None:
         return None
 
 
@@ -687,6 +1129,58 @@ class RecordingSink(EventSink):
 
     def __len__(self) -> int:
         return len(self.events)
+
+
+class ColumnarSink(EventSink):
+    """Block-aware recording sink: stores flushed :class:`RoundBlock`\\ s
+    raw and interleaves them, in order, with loose events.
+
+    The hot path never materializes per-decision objects into it; blocks
+    expand lazily (and deterministically — timestamps live in the block)
+    on :meth:`iter_events`.  ``len()`` and :attr:`nbytes` are maintained
+    incrementally, so bench accounting costs nothing extra.
+    """
+
+    def __init__(self) -> None:
+        self._items: list[Any] = []
+        self._n = 0
+        self._nbytes = 0
+
+    def emit(self, event: Event) -> None:
+        self._items.append(event)
+        self._n += 1
+        self._nbytes += _LOOSE_EVENT_BYTES
+
+    def emit_block(self, block: RoundBlock) -> None:
+        self._items.append(block)
+        self._n += block.n_events
+        self._nbytes += block.nbytes
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def nbytes(self) -> int:
+        """Captured payload bytes: exact columnar sizes for blocks plus
+        a flat per-object estimate for loose events."""
+        return self._nbytes
+
+    def iter_events(self) -> Iterator[Event]:
+        """The full stream in emission order, blocks expanded lazily."""
+        for item in self._items:
+            if isinstance(item, RoundBlock):
+                yield from iter_block_events(item)
+            else:
+                yield item
+
+    @property
+    def events(self) -> list[Event]:
+        """Materialized event list (drop-in for :class:`RecordingSink`)."""
+        return list(self.iter_events())
+
+    def blocks(self) -> Iterable[RoundBlock]:
+        """The raw blocks captured, in order."""
+        return [b for b in self._items if isinstance(b, RoundBlock)]
 
 
 #: The canonical disabled sink — the default "current" sink.

@@ -1,10 +1,19 @@
 """Standard-format exporters for the ``repro.obs`` event stream.
 
-Three targets, each a well-known external format:
+Four targets:
 
 * **JSONL event log** — one header line plus one JSON object per event;
   lossless (``read_events_jsonl`` parses back the same typed events),
   the input format of the offline audit (:mod:`repro.obs.audit`).
+  :class:`RotatingJsonlWriter` streams the same format across size- or
+  count-bounded ``.partNNNNN`` chunk files so a large campaign never
+  holds its log in memory; :func:`event_log_chunks` re-discovers the
+  chunk set and :func:`iter_events_jsonl` replays any one file lazily.
+* **Binary event log** — a compact length-prefixed codec
+  (:func:`write_events_binary` / :func:`iter_events_binary`) whose
+  decode is a lossless round-trip back to the same typed events; about
+  4-6x smaller than JSONL and decodable record-by-record in bounded
+  memory.  Format spec in docs/observability.md.
 * **Chrome trace-event JSON** — loadable in Perfetto / ``chrome://tracing``;
   runs and rounds become duration ("X") slices on the central track,
   bids/winners/payments become instant events on per-agent tracks.
@@ -12,16 +21,23 @@ Three targets, each a well-known external format:
   bench document or a tracer snapshot, suitable for the node-exporter
   textfile collector.  :func:`lint_openmetrics` checks the invariants
   the exposition format requires.
+
+:func:`open_event_stream` sniffs a file's magic and returns the right
+lazy decoder, so consumers (the windowed audit, the CLI) accept either
+log format interchangeably.
 """
 
 from __future__ import annotations
 
 import json
+import struct
+from dataclasses import fields
 from pathlib import Path
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, BinaryIO, Iterable, Iterator, Optional, Sequence
 
 from repro.obs.events import (
     EVENT_SCHEMA_VERSION,
+    EVENT_TYPES,
     AdversaryEvent,
     BidEvent,
     CapacityReject,
@@ -54,8 +70,17 @@ from repro.obs.events import (
 
 __all__ = [
     "EVENTS_KIND",
+    "BINARY_MAGIC",
     "write_events_jsonl",
     "read_events_jsonl",
+    "iter_events_jsonl",
+    "RotatingJsonlWriter",
+    "chunk_path",
+    "event_log_chunks",
+    "write_events_binary",
+    "read_events_binary",
+    "iter_events_binary",
+    "open_event_stream",
     "events_to_chrome_trace",
     "write_chrome_trace",
     "validate_chrome_trace",
@@ -84,17 +109,9 @@ def write_events_jsonl(events: Iterable[Event], path: str | Path) -> Path:
     return out
 
 
-def read_events_jsonl(path: str | Path) -> list[Event]:
-    """Parse a JSONL event log back into typed events.
-
-    Raises ``ValueError`` on a missing/foreign header, a newer schema
-    version than this library understands, or an unparseable record.
-    """
-    text = Path(path).read_text()
-    lines = [ln for ln in text.splitlines() if ln.strip()]
-    if not lines:
-        raise ValueError("empty event log")
-    header = json.loads(lines[0])
+def _check_jsonl_header(line: str) -> None:
+    """Validate the JSONL header line; raises ``ValueError``."""
+    header = json.loads(line)
     if not isinstance(header, dict) or header.get("kind") != EVENTS_KIND:
         raise ValueError(
             f"not a {EVENTS_KIND} log: header={header!r}"
@@ -107,14 +124,352 @@ def read_events_jsonl(path: str | Path) -> list[Event]:
             f"event log schema_version {version} is newer than supported "
             f"{EVENT_SCHEMA_VERSION}; upgrade the library"
         )
-    out: list[Event] = []
-    for i, line in enumerate(lines[1:], start=2):
-        record = json.loads(line)
-        try:
-            out.append(parse_event(record))
-        except (TypeError, ValueError) as exc:
-            raise ValueError(f"line {i}: {exc}") from exc
+
+
+def iter_events_jsonl(path: str | Path) -> Iterator[Event]:
+    """Lazily parse a JSONL event log: one event per ``next()``, one
+    line of the file in memory at a time.
+
+    Raises ``ValueError`` on a missing/foreign header, a newer schema
+    version than this library understands, or an unparseable record.
+    """
+    with open(path, encoding="utf-8") as f:
+        first = f.readline()
+        if not first.strip():
+            raise ValueError("empty event log")
+        _check_jsonl_header(first)
+        for i, line in enumerate(f, start=2):
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            try:
+                yield parse_event(record)
+            except (TypeError, ValueError) as exc:
+                raise ValueError(f"line {i}: {exc}") from exc
+
+
+def read_events_jsonl(path: str | Path) -> list[Event]:
+    """Parse a whole JSONL event log back into typed events."""
+    return list(iter_events_jsonl(path))
+
+
+# -- chunked / rotating JSONL ------------------------------------------------
+
+
+def chunk_path(path: str | Path, index: int) -> Path:
+    """The ``index``-th rotation chunk of a logical log ``path``:
+    ``events.jsonl`` -> ``events.part00000.jsonl``, ``events.part00001.jsonl``
+    … (five digits, so lexicographic order is replay order up to 100k
+    chunks)."""
+    p = Path(path)
+    return p.with_name(f"{p.stem}.part{index:05d}{p.suffix}")
+
+
+def event_log_chunks(path: str | Path) -> list[Path]:
+    """Resolve a logical log path to its ordered file list.
+
+    A plain single-file log resolves to itself; a rotated log (the
+    logical path does not exist but ``<stem>.partNNNNN<suffix>`` chunks
+    do) resolves to the sorted chunk list.  Raises ``FileNotFoundError``
+    when neither exists.
+    """
+    p = Path(path)
+    if p.exists():
+        return [p]
+    chunks = sorted(p.parent.glob(f"{p.stem}.part[0-9][0-9][0-9][0-9][0-9]{p.suffix}"))
+    if not chunks:
+        raise FileNotFoundError(f"no event log at {p} and no {p.stem}.part* chunks")
+    return chunks
+
+
+class RotatingJsonlWriter:
+    """Streaming JSONL writer with size/count-based rotation.
+
+    Events are serialized as they arrive — nothing is buffered beyond
+    the OS file buffer, so a multi-gigabyte campaign log never lives in
+    memory.  With ``max_events``/``max_bytes`` set, the stream rotates
+    into ``chunk_path(path, i)`` files, each a self-contained JSONL log
+    (own header line); with neither set, everything goes to ``path``
+    itself.  ``max_bytes`` is checked *before* each write, so a chunk
+    may overshoot by at most one serialized event rather than ever
+    splitting one.
+
+    Use as a context manager::
+
+        with RotatingJsonlWriter("log.jsonl", max_events=100_000) as w:
+            for e in events:
+                w.write(e)
+        w.paths  # the chunk files written, in order
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        max_events: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self._logical = Path(path)
+        self._rotating = max_events is not None or max_bytes is not None
+        self.max_events = max_events
+        self.max_bytes = max_bytes
+        #: Chunk files opened so far, in write order.
+        self.paths: list[Path] = []
+        self.events_written = 0
+        self._file: Optional[Any] = None
+        self._chunk_events = 0
+        self._chunk_bytes = 0
+
+    def _open_next(self) -> None:
+        if self._file is not None:
+            self._file.close()
+        target = (
+            chunk_path(self._logical, len(self.paths))
+            if self._rotating
+            else self._logical
+        )
+        self._file = open(target, "w", encoding="utf-8")
+        self.paths.append(target)
+        header = json.dumps(
+            {"kind": EVENTS_KIND, "schema_version": EVENT_SCHEMA_VERSION},
+            sort_keys=True,
+        )
+        self._file.write(header + "\n")
+        self._chunk_events = 0
+        self._chunk_bytes = len(header) + 1
+
+    def _should_rotate(self, incoming: int) -> bool:
+        if not self._rotating or self._chunk_events == 0:
+            return False
+        if self.max_events is not None and self._chunk_events >= self.max_events:
+            return True
+        return (
+            self.max_bytes is not None
+            and self._chunk_bytes + incoming > self.max_bytes
+        )
+
+    def write(self, event: Event) -> None:
+        line = json.dumps(event.to_dict(), sort_keys=True) + "\n"
+        if self._file is None or self._should_rotate(len(line)):
+            self._open_next()
+        assert self._file is not None
+        self._file.write(line)
+        self._chunk_events += 1
+        self._chunk_bytes += len(line)
+        self.events_written += 1
+
+    def write_all(self, events: Iterable[Event]) -> None:
+        for event in events:
+            self.write(event)
+
+    def close(self) -> None:
+        if self._file is None:
+            # Zero events still yields a valid (header-only) log.
+            self._open_next()
+        assert self._file is not None
+        self._file.close()
+        self._file = None
+
+    def __enter__(self) -> "RotatingJsonlWriter":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+# -- binary event log --------------------------------------------------------
+
+#: File magic of the length-prefixed binary event codec.
+BINARY_MAGIC = b"REVB"
+#: Binary container version (bumped only on incompatible layout change).
+BINARY_VERSION = 1
+
+_U8 = struct.Struct("<B")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+
+#: Field codecs are keyed by the *annotation string* of the dataclass
+#: field (``from __future__ import annotations`` keeps them strings).
+#: Every event field is one of exactly these six shapes; adding a new
+#: shape to an event class without extending this table is a hard error
+#: at write time, not silent corruption.
+_FIELD_ANNOTATIONS = (
+    "float",
+    "int",
+    "bool",
+    "str",
+    "tuple[int, ...]",
+    "tuple[tuple[int, int], ...]",
+)
+
+
+def _encode_field(ann: str, value: Any, out: bytearray) -> None:
+    if ann == "float":
+        out += _F64.pack(value)
+    elif ann == "int":
+        out += _I64.pack(value)
+    elif ann == "bool":
+        out += b"\x01" if value else b"\x00"
+    elif ann == "str":
+        raw = value.encode("utf-8")
+        out += _U32.pack(len(raw))
+        out += raw
+    elif ann == "tuple[int, ...]":
+        out += _U32.pack(len(value))
+        out += struct.pack(f"<{len(value)}q", *value)
+    elif ann == "tuple[tuple[int, int], ...]":
+        out += _U32.pack(len(value))
+        flat = [x for pair in value for x in pair]
+        out += struct.pack(f"<{len(flat)}q", *flat)
+    else:  # pragma: no cover - schema drift guard
+        raise TypeError(f"no binary codec for field annotation {ann!r}")
+
+
+def _decode_field(ann: str, buf: bytes, off: int) -> tuple[Any, int]:
+    if ann == "float":
+        return _F64.unpack_from(buf, off)[0], off + 8
+    if ann == "int":
+        return _I64.unpack_from(buf, off)[0], off + 8
+    if ann == "bool":
+        return buf[off] != 0, off + 1
+    if ann == "str":
+        n = _U32.unpack_from(buf, off)[0]
+        off += 4
+        return buf[off : off + n].decode("utf-8"), off + n
+    if ann == "tuple[int, ...]":
+        n = _U32.unpack_from(buf, off)[0]
+        off += 4
+        return tuple(struct.unpack_from(f"<{n}q", buf, off)), off + 8 * n
+    if ann == "tuple[tuple[int, int], ...]":
+        n = _U32.unpack_from(buf, off)[0]
+        off += 4
+        flat = struct.unpack_from(f"<{2 * n}q", buf, off)
+        return (
+            tuple((flat[2 * i], flat[2 * i + 1]) for i in range(n)),
+            off + 16 * n,
+        )
+    raise TypeError(f"no binary codec for field annotation {ann!r}")
+
+
+def _event_field_plan(cls: type[Event]) -> list[tuple[str, str]]:
+    """``(name, annotation)`` per field, in dataclass declaration order."""
+    plan = [(f.name, f.type) for f in fields(cls)]
+    for _, ann in plan:
+        if ann not in _FIELD_ANNOTATIONS:
+            raise TypeError(
+                f"{cls.__name__} field annotation {ann!r} has no binary codec"
+            )
+    return plan
+
+
+def write_events_binary(events: Iterable[Event], path: str | Path) -> Path:
+    """Write the stream in the length-prefixed binary format.
+
+    Layout (all integers little-endian): magic ``REVB``, u8 container
+    version, u16 kind count, then the kind table (u8 tag length + UTF-8
+    ``type`` tag per kind — the table is self-describing, so a reader
+    never depends on registry ordering), then one record per event:
+    u8 kind index, u32 payload length, payload = the event's dataclass
+    fields in declaration order under the per-annotation codecs.
+    Returns the path written.
+    """
+    out = Path(path)
+    tags = list(EVENT_TYPES)
+    index = {tag: i for i, tag in enumerate(tags)}
+    plans = {tag: _event_field_plan(cls) for tag, cls in EVENT_TYPES.items()}
+    with open(out, "wb") as f:
+        f.write(BINARY_MAGIC)
+        f.write(_U8.pack(BINARY_VERSION))
+        f.write(_U16.pack(len(tags)))
+        for tag in tags:
+            raw = tag.encode("utf-8")
+            f.write(_U8.pack(len(raw)))
+            f.write(raw)
+        payload = bytearray()
+        for event in events:
+            tag = event.type
+            payload.clear()
+            for name, ann in plans[tag]:
+                _encode_field(ann, getattr(event, name), payload)
+            f.write(_U8.pack(index[tag]))
+            f.write(_U32.pack(len(payload)))
+            f.write(payload)
     return out
+
+
+def _read_exact(f: BinaryIO, n: int, what: str) -> bytes:
+    raw = f.read(n)
+    if len(raw) != n:
+        raise ValueError(f"truncated binary event log: short read in {what}")
+    return raw
+
+
+def iter_events_binary(path: str | Path) -> Iterator[Event]:
+    """Lazily decode a binary event log: one record in memory at a time.
+
+    Raises ``ValueError`` on bad magic, an unsupported container
+    version, an unknown kind tag, or a truncated/overlong record.
+    """
+    with open(path, "rb") as f:
+        if f.read(len(BINARY_MAGIC)) != BINARY_MAGIC:
+            raise ValueError(f"{path}: not a {BINARY_MAGIC!r} binary event log")
+        version = _U8.unpack(_read_exact(f, 1, "version"))[0]
+        if version > BINARY_VERSION:
+            raise ValueError(
+                f"binary event log version {version} is newer than supported "
+                f"{BINARY_VERSION}; upgrade the library"
+            )
+        n_kinds = _U16.unpack(_read_exact(f, 2, "kind table"))[0]
+        classes: list[type[Event]] = []
+        plans: list[list[tuple[str, str]]] = []
+        for _ in range(n_kinds):
+            tag_len = _U8.unpack(_read_exact(f, 1, "kind table"))[0]
+            tag = _read_exact(f, tag_len, "kind table").decode("utf-8")
+            cls = EVENT_TYPES.get(tag)
+            if cls is None:
+                raise ValueError(f"unknown event kind {tag!r} in binary log")
+            classes.append(cls)
+            plans.append(_event_field_plan(cls))
+        while True:
+            head = f.read(1)
+            if not head:
+                return  # clean EOF at a record boundary
+            kind = head[0]
+            if kind >= n_kinds:
+                raise ValueError(f"record kind index {kind} out of range")
+            size = _U32.unpack(_read_exact(f, 4, "record header"))[0]
+            buf = _read_exact(f, size, "record payload")
+            values: dict[str, Any] = {}
+            off = 0
+            for name, ann in plans[kind]:
+                values[name], off = _decode_field(ann, buf, off)
+            if off != size:
+                raise ValueError(
+                    f"record payload length mismatch: {off} decoded of {size}"
+                )
+            yield classes[kind](**values)
+
+
+def read_events_binary(path: str | Path) -> list[Event]:
+    """Decode a whole binary event log back into typed events."""
+    return list(iter_events_binary(path))
+
+
+def open_event_stream(path: str | Path) -> Iterator[Event]:
+    """Lazy event iterator over either log format, sniffed by magic:
+    files starting with ``REVB`` decode as binary, anything else parses
+    as JSONL."""
+    with open(path, "rb") as f:
+        magic = f.read(len(BINARY_MAGIC))
+    if magic == BINARY_MAGIC:
+        return iter_events_binary(path)
+    return iter_events_jsonl(path)
 
 
 # -- Chrome trace-event JSON -------------------------------------------------

@@ -6,10 +6,10 @@ schema-versioned JSON document — the repo's performance trajectory.
 Every future perf PR appends a ``BENCH_<date>.json`` produced here and
 compares it against the previous one with :func:`compare_documents`.
 
-Document layout (``SCHEMA_VERSION`` = 2)::
+Document layout (``SCHEMA_VERSION`` = 3)::
 
     {
-      "schema_version": 2,
+      "schema_version": 3,
       "kind": "repro-bench",
       "scale": "tiny",                  # tiny | small | medium | large
       "seed": 2007,
@@ -25,6 +25,10 @@ Document layout (``SCHEMA_VERSION`` = 2)::
           "otc": ..., "savings_percent": ..., "replicas": ..., "rounds": ...,
           "spans": {path: {count, total_s, mean_s, min_s, max_s}},
           "counters": {path: value},
+          # observability accounting (v3)
+          "peak_rss_mb": ...,           # process high-water mark so far
+          "events_emitted": ...,        # events this scenario emitted
+          "events_bytes": ...,          # their captured columnar bytes
           # mechanism scenarios (v2): per-round trajectories
           "series": {"otc": [...], "best_bid": [...], "payment": [...],
                      "n_bids": [...],
@@ -38,11 +42,16 @@ Document layout (``SCHEMA_VERSION`` = 2)::
       ]
     }
 
-Schema history: v2 added the per-round ``series`` trajectories (taken
-from the best run); v1 documents remain loadable.  The
-``engine_compare`` record (naive-vs-vectorized identity verdict and
-uninstrumented speedup, see :mod:`repro.obs.equivalence`) is additive
-within v2 — documents without it still compare cleanly.
+Schema history: v3 added the per-record observability accounting
+(``peak_rss_mb`` — the ``getrusage`` high-water mark, monotone across
+the document's records — plus ``events_emitted`` / ``events_bytes``
+from the capturing sink) and made the default capture sink the
+block-aware :class:`~repro.obs.events.ColumnarSink`; v2 added the
+per-round ``series`` trajectories (taken from the best run); v1
+documents remain loadable.  The ``engine_compare`` record
+(naive-vs-vectorized identity verdict and uninstrumented speedup, see
+:mod:`repro.obs.equivalence`) is additive — documents without it still
+compare cleanly.
 
 Span paths are hierarchical (see :mod:`repro.obs.tracer`); the AGT-RAM
 per-round phases land under ``mechanism/AGT-RAM/...`` and the baseline
@@ -65,7 +74,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.obs import events as ev
 from repro.obs.tracer import capture
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 DOCUMENT_KIND = "repro-bench"
 
 #: Default time-regression tolerance: new wall time beyond
@@ -149,6 +158,41 @@ def _environment() -> dict[str, str]:
     }
 
 
+def _peak_rss_mb() -> float:
+    """Process peak RSS in MiB (0.0 where ``getrusage`` is unavailable).
+
+    ``ru_maxrss`` is a high-water mark, so per-record values are
+    monotone non-decreasing across a document — each scenario's figure
+    bounds, rather than isolates, its own footprint.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-unix
+        return 0.0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes; macOS reports bytes.
+    divisor = 1024 * 1024 if sys.platform == "darwin" else 1024
+    return peak / divisor
+
+
+def _sink_len(sink: ev.EventSink) -> int:
+    try:
+        return len(sink)  # type: ignore[arg-type]
+    except TypeError:
+        return 0
+
+
+def _obs_fields(
+    sink: ev.EventSink, events_before: int, bytes_before: int
+) -> dict[str, Any]:
+    """The v3 observability accounting for one scenario record."""
+    return {
+        "peak_rss_mb": _peak_rss_mb(),
+        "events_emitted": _sink_len(sink) - events_before,
+        "events_bytes": getattr(sink, "nbytes", 0) - bytes_before,
+    }
+
+
 def _placement_record(
     algorithm: str,
     instance: Any,
@@ -161,6 +205,8 @@ def _placement_record(
 
     placer_kwargs = {"AGT-RAM": {"engine": engine}} if algorithm == "AGT-RAM" else None
     best = None
+    events_before = _sink_len(sink)
+    bytes_before = getattr(sink, "nbytes", 0)
     with capture() as tracer, ev.capture(sink):
         for _ in range(repeats):
             result = run_algorithms(
@@ -180,6 +226,7 @@ def _placement_record(
         "rounds": best.rounds,
         "spans": snap["spans"],
         "counters": snap["counters"],
+        **_obs_fields(sink, events_before, bytes_before),
     }
     series = best.extra.get("round_series")
     if series is not None:
@@ -193,6 +240,8 @@ def _protocol_record(
     from repro.runtime.simulator import SemiDistributedSimulator
 
     best = None
+    events_before = _sink_len(sink)
+    bytes_before = getattr(sink, "nbytes", 0)
     with capture() as tracer, ev.capture(sink):
         for _ in range(repeats):
             result = SemiDistributedSimulator().run(instance)
@@ -215,6 +264,7 @@ def _protocol_record(
         "parallel_speedup": summary["parallel_speedup"],
         "spans": snap["spans"],
         "counters": snap["counters"],
+        **_obs_fields(sink, events_before, bytes_before),
     }
     series = best.extra.get("round_series")
     series_dict = series.to_dict() if series is not None else {}
@@ -280,10 +330,12 @@ def run_bench(
         only source of message/byte counts.
     event_sink:
         Sink receiving the full event stream of every scenario run
-        (e.g. a :class:`~repro.obs.events.RecordingSink` to export a
-        JSONL log / Chrome trace afterwards).  A fresh recording sink is
-        used when omitted: the per-round ``series`` in the document are
-        derived from the event machinery either way.
+        (e.g. a :class:`~repro.obs.events.ColumnarSink` to export a
+        JSONL log / Chrome trace afterwards).  A fresh columnar sink is
+        used when omitted — blocks stay columnar until export, and the
+        v3 ``events_emitted`` / ``events_bytes`` accounting reads its
+        counters; the per-round ``series`` in the document are derived
+        from the event machinery either way.
     engine:
         AGT-RAM benefit engine (``auto`` / ``naive`` / ``vectorized``);
         recorded in the document config.  Other algorithms are
@@ -303,7 +355,7 @@ def run_bench(
     cfg = bench_config(scale)
     algorithms = tuple(algorithms) if algorithms else BENCH_ALGORITHMS
     instance = paper_instance(cfg)
-    sink = event_sink if event_sink is not None else ev.RecordingSink()
+    sink = event_sink if event_sink is not None else ev.ColumnarSink()
 
     results = [
         _placement_record(alg, instance, repeats, seed, sink, engine=engine)

@@ -309,6 +309,13 @@ class SemiDistributedSimulator:
         with timer, ParallelBidEvaluator(self.max_workers) as evaluator:
             state = ReplicationState.primaries_only(instance)
             engine = make_local_engine(self.engine, instance, state)
+            if eventing:
+                # Per-round OTC telemetry (stalls, fruitless rounds, the
+                # series, RoundEnd) reads the delta-maintained tracker —
+                # O(1) per round instead of the O(M·N) closed-form
+                # recompute.  The headline result below still reports the
+                # exact total_otc.
+                state.begin_otc_tracking()
             active = set(range(m)) - self.failed_agents
             acting_central = CENTRAL  # the dedicated body, until it fails
             handover_round: Optional[int] = None
@@ -368,6 +375,11 @@ class SemiDistributedSimulator:
                         f"{fruitless} consecutive rounds produced only "
                         f"rejected or quarantined bids (adversary livelock?)"
                     )
+
+            def otc_now() -> float:
+                """Round-granular OTC for stall/fruitless telemetry:
+                the O(1) tracker when eventing, never read otherwise."""
+                return state.tracked_otc() if eventing else 0.0
 
             while active:
                 # Self-repair (§7): the central body crashes; every live
@@ -433,7 +445,7 @@ class SemiDistributedSimulator:
                 if injector is not None and not ordered:
                     # Total blackout: every live agent is crashed this
                     # round; wait for the schedule to bring one back.
-                    stall(total_otc(state))
+                    stall(otc_now())
                     continue
                 if boundary is not None:
                     ordered = boundary.filter_bidders(ordered, pround)
@@ -441,7 +453,7 @@ class SemiDistributedSimulator:
                         if boundary.quarantine.quarantined:
                             # Every eligible bidder is quarantined; wait
                             # out the (finite) probation.
-                            fruitless_round(total_otc(state))
+                            fruitless_round(otc_now())
                             continue
                         # Only expelled agents could still bid: nobody
                         # will ever commit again, the game is over.
@@ -536,7 +548,7 @@ class SemiDistributedSimulator:
                             )
                         )
                     if not quorum_met or received == 0:
-                        stall(total_otc(state))
+                        stall(otc_now())
                         continue
 
                 t0 = perf_counter() if traced else 0.0
@@ -556,7 +568,7 @@ class SemiDistributedSimulator:
                         # The quiet view may be an artifact of lost bids
                         # or crashed agents; only a clean round may end
                         # the game.
-                        stall(total_otc(state))
+                        stall(otc_now())
                         continue
                     if boundary is not None and (
                         offended or boundary.quarantine.quarantined
@@ -566,7 +578,7 @@ class SemiDistributedSimulator:
                         # a clean round may end the game.  Expelled
                         # agents never return, so they don't block
                         # termination.
-                        fruitless_round(total_otc(state))
+                        fruitless_round(otc_now())
                         continue
                     if eventing:
                         sink.emit(
@@ -574,7 +586,7 @@ class SemiDistributedSimulator:
                                 t=ev.now(),
                                 round=round_idx,
                                 committed=0,
-                                otc=total_otc(state),
+                                otc=state.tracked_otc(),
                             )
                         )
                     pround += 1  # the terminal probing round counts too
@@ -740,7 +752,7 @@ class SemiDistributedSimulator:
                     )
                     assert series is not None
                     series.append(
-                        otc=total_otc(state),
+                        otc=state.tracked_otc(),
                         best_bid=next(
                             b.value for b in bid_msgs if b.sender == outcome.winner
                         ),
