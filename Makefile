@@ -24,8 +24,8 @@ OBS_SCALE ?= tiny
 OBS_RETRIES ?= 2
 
 .PHONY: install test test-fast test-slow bench bench-json bench-compare \
-        equivalence obs-gate trace audit chaos adversary serve lint \
-        reproduce examples clean
+        equivalence obs-gate trace audit chaos adversary serve shard \
+        lint reproduce examples clean
 
 # Chaos campaign knobs (see docs/robustness.md).
 CHAOS_SEED ?= 5
@@ -35,6 +35,13 @@ CHAOS_MAX_DEGRADATION ?= 1.05
 ADV_SEED ?= 3
 ADV_MAX_DEGRADATION ?= 1.10
 ADV_MIN_RECALL ?= 0.95
+
+# Shard campaign knobs (see docs/robustness.md, "Partition tolerance").
+SHARD_SEED ?= 2007
+SHARD_PARTITION_SEED ?= 2007
+SHARD_REGIONS ?= 8
+SHARD_MAX_DEGRADATION ?= 1.0
+SHARD_MIN_MSG_REDUCTION ?= 2
 
 # Serving campaign knobs (see docs/serving.md).
 SERVE_SEED ?= 11
@@ -136,6 +143,22 @@ serve:
 	python -m repro audit serve_events.jsonl
 	python -m repro audit serve_drift_events.jsonl
 
+# Partition-tolerance campaign: sweep partition fractions (with
+# regional-central crashes) on the sharded central, gated on the
+# null-schedule byte-identity, OTC degradation, and the message
+# reduction vs the single central; then the per-shard + cross-shard
+# audit re-verifies the recorded event log offline.
+shard:
+	python -m repro shard --scale tiny \
+		--regions $(SHARD_REGIONS) --shard-seed $(SHARD_SEED) \
+		--partition-seed $(SHARD_PARTITION_SEED) \
+		--crash-rate 0.01 --check-null \
+		--max-degradation $(SHARD_MAX_DEGRADATION) \
+		--min-message-reduction $(SHARD_MIN_MSG_REDUCTION) \
+		--events shard_events.jsonl --report shard_report.json \
+		--plan-out shard_plans.json
+	python -m repro audit --sharded shard_events.jsonl
+
 lint:
 	ruff check src/repro/obs
 	ruff format --check src/repro/obs
@@ -153,5 +176,6 @@ clean:
 		chaos_events.jsonl chaos_report.json chaos_faults.json \
 		adversary_events.jsonl adversary_report.json \
 		serve_events.jsonl serve_report.json serve_drift_events.jsonl \
-		serve_drift_report.json
+		serve_drift_report.json shard_events.jsonl shard_report.json \
+		shard_plans.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

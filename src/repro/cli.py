@@ -12,6 +12,7 @@ audit      offline axiom verification of a recorded JSONL event log
 chaos      seeded fault-injection campaign vs a fault-free baseline
 adversary  seeded Byzantine-agent campaign vs the honest baseline
 serve      resilient online serving campaign with SLO gates
+shard      partition-tolerance campaign for the sharded central
 
 ``run`` and ``bench`` accept ``--events`` (JSONL event log),
 ``--chrome-trace`` (Perfetto-loadable trace) and ``--metrics-out``
@@ -518,6 +519,16 @@ def cmd_audit(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.sharded:
+        from repro.obs.audit import audit_sharded_files
+
+        try:
+            report = audit_sharded_files(args.log)
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(report.summary())
+        return 0 if report.ok else 1
     from repro.obs.audit import audit_files
 
     window = args.window if args.window else (64 if args.stream else 0)
@@ -996,6 +1007,266 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
 
 
+def cmd_shard(args: argparse.Namespace) -> int:
+    """Partition-tolerance campaign for the sharded central.
+
+    Runs the concurrent regional mechanism healthy, then sweeps
+    partition fractions (seeded :class:`PartitionSchedule`\\ s with
+    optional regional-central crashes) and reports rounds to
+    convergence, OTC degradation, split-brain statistics and the
+    message/byte reduction against the single-central simulator
+    baseline on the same instance.
+
+    Deterministic like ``chaos``: ``--shard-seed`` fixes the proximity
+    partition, ``--partition-seed`` the schedule, and the logical event
+    clock makes same-argument runs (and their ``--report`` JSON)
+    byte-for-byte identical.  Exit status is non-zero if any swept run
+    is infeasible, fails the per-shard/cross-shard audit, degrades OTC
+    beyond ``--max-degradation``, if the healthy sharded run's message
+    reduction is below ``--min-message-reduction``, or if
+    ``--check-null`` finds the null-schedule event stream differing
+    from the unpartitioned one.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.drp.feasibility import check_state
+    from repro.obs import events as obs_events
+    from repro.obs.audit import audit_sharded_events
+    from repro.runtime.shard import PartitionSchedule, ShardedAGTRam
+    from repro.runtime.simulator import SemiDistributedSimulator
+
+    if args.scale:
+        instance = paper_instance(BENCH_SCALE_CONFIGS[args.scale])
+    else:
+        instance = _instance_from_args(args)
+    m = instance.n_servers
+
+    baseline = SemiDistributedSimulator().run(instance)
+    base_log = baseline.extra["metrics"].log
+    base_msgs = sum(base_log.counts.values())
+
+    def sharded(plan):
+        sink = obs_events.ColumnarSink()
+        with obs_events.logical_time(), obs_events.capture(sink):
+            result = ShardedAGTRam(
+                n_regions=args.regions,
+                plan=plan,
+                engine=args.engine,
+                seed=args.shard_seed,
+            ).run(instance)
+        return result, sink
+
+    failures = []
+
+    # Healthy sharded reference: the horizon for random schedules and
+    # the headline message-reduction claim (partitioned runs add heal
+    # resyncs and election storms on top; the reduction is a property
+    # of the healthy protocol).
+    healthy, _ = sharded(None)
+    healthy_msgs = healthy.extra["messages"]
+    reduction = base_msgs / healthy_msgs if healthy_msgs else float("inf")
+    byte_reduction = (
+        base_log.bytes_total / healthy.extra["message_bytes"]
+        if healthy.extra["message_bytes"]
+        else float("inf")
+    )
+    horizon = args.horizon if args.horizon else max(1, healthy.rounds)
+    if (
+        args.min_message_reduction is not None
+        and reduction < args.min_message_reduction
+    ):
+        failures.append(
+            f"message reduction x{reduction:.2f} below required "
+            f"x{args.min_message_reduction:.2f}"
+        )
+
+    if args.check_null:
+        null_run, null_sink = sharded(PartitionSchedule.null(args.regions))
+        _, plain_sink = sharded(None)
+        null_stream = [e.to_dict() for e in null_sink.events]
+        plain_stream = [e.to_dict() for e in plain_sink.events]
+        if null_stream != plain_stream:
+            failures.append(
+                "null partition schedule diverges from the unpartitioned "
+                f"run ({len(null_stream)} vs {len(plain_stream)} events)"
+            )
+        elif null_run.extra["messages"] != healthy_msgs:
+            failures.append(
+                "null partition schedule changes the message count "
+                f"({null_run.extra['messages']} vs {healthy_msgs})"
+            )
+
+    if args.plan:
+        loaded = PartitionSchedule.from_dict(
+            json.loads(Path(args.plan).read_text())
+        )
+        sweeps = [(None, loaded)]
+    else:
+        fractions = args.fraction or [0.0, 0.25, 0.5]
+        sweeps = [
+            (
+                fraction,
+                PartitionSchedule.random(
+                    n_regions=args.regions,
+                    horizon=horizon,
+                    seed=args.partition_seed,
+                    partition_fraction=fraction,
+                    mean_width=args.mean_width,
+                    n_islands=args.islands,
+                    crash_rate=args.crash_rate,
+                ),
+            )
+            for fraction in fractions
+        ]
+
+    rows = []
+    runs = []
+    sink = obs_events.ColumnarSink()
+    for fraction, plan in sweeps:
+        label = "file" if fraction is None else f"{fraction:.2f}"
+        result, sink = sharded(plan)
+        feasible = True
+        try:
+            check_state(result.state)
+        except Exception as exc:
+            feasible = False
+            failures.append(f"fraction {label}: infeasible scheme: {exc}")
+        audit = audit_sharded_events(sink.events)
+        if not audit.ok:
+            failures.append(
+                f"fraction {label}: sharded audit FAIL "
+                f"({len(audit.violations)} violations)"
+            )
+        degradation = result.otc / baseline.otc if baseline.otc else 1.0
+        if (
+            args.max_degradation is not None
+            and degradation > args.max_degradation
+        ):
+            failures.append(
+                f"fraction {label}: OTC degradation x{degradation:.4f} "
+                f"exceeds bound x{args.max_degradation:.4f}"
+            )
+        msgs = result.extra["messages"]
+        ratio = base_msgs / msgs if msgs else float("inf")
+        rows.append(
+            [
+                label,
+                result.extra["windows"],
+                result.extra["heals"],
+                result.extra["conflicts"],
+                result.extra["revocations"],
+                result.extra["crashes_injected"],
+                f"{result.otc:,.0f}",
+                f"x{degradation:.4f}",
+                result.rounds,
+                msgs,
+                f"x{ratio:.2f}",
+                "PASS" if audit.ok else "FAIL",
+            ]
+        )
+        runs.append(
+            {
+                "fraction": fraction,
+                "schedule": plan.to_dict(),
+                "otc": result.otc,
+                "otc_degradation": degradation,
+                "rounds": result.rounds,
+                "messages": msgs,
+                "message_bytes": result.extra["message_bytes"],
+                "message_counts": dict(
+                    sorted(result.extra["message_counts"].items())
+                ),
+                "message_reduction": ratio,
+                "feasible": feasible,
+                "audit_ok": audit.ok,
+                "audit_violations": [str(v) for v in audit.violations],
+                "windows": result.extra["windows"],
+                "heals": result.extra["heals"],
+                "divergent": result.extra["divergent"],
+                "conflicts": result.extra["conflicts"],
+                "revocations": result.extra["revocations"],
+                "refunded_capacity": result.extra["refunded_capacity"],
+                "refunded_payment": result.extra["refunded_payment"],
+                "reauctioned": result.extra["reauctioned"],
+                "elections": result.extra["elections"],
+                "recoveries": result.extra["recoveries"],
+                "crashes_injected": result.extra["crashes_injected"],
+            }
+        )
+
+    print(
+        render_table(
+            [
+                "fraction",
+                "windows",
+                "heals",
+                "conflicts",
+                "revoked",
+                "crashes",
+                "OTC",
+                "degradation",
+                "rounds",
+                "msgs",
+                "reduction",
+                "audit",
+            ],
+            rows,
+            title=f"shard campaign on {instance.name} (M={m}, "
+            f"N={instance.n_objects}, k={args.regions}, shard seed "
+            f"{args.shard_seed}, partition seed {args.partition_seed})",
+        )
+    )
+    print(
+        f"single central: {base_msgs} messages / {base_log.bytes_total} "
+        f"bytes in {baseline.rounds} rounds"
+    )
+    print(
+        f"sharded (healthy): {healthy_msgs} messages / "
+        f"{healthy.extra['message_bytes']} bytes in {healthy.rounds} rounds "
+        f"(reduction x{reduction:.2f} msgs, x{byte_reduction:.2f} bytes)"
+    )
+
+    report = {
+        "kind": "repro-shard",
+        "instance": _campaign_instance_meta(instance, args),
+        "scale": args.scale,
+        "regions": args.regions,
+        "shard_seed": args.shard_seed,
+        "partition_seed": args.partition_seed,
+        "baseline": {
+            "otc": baseline.otc,
+            "rounds": baseline.rounds,
+            "messages": base_msgs,
+            "bytes": base_log.bytes_total,
+        },
+        "healthy": {
+            "otc": healthy.otc,
+            "rounds": healthy.rounds,
+            "messages": healthy_msgs,
+            "bytes": healthy.extra["message_bytes"],
+        },
+        "message_reduction": reduction,
+        "byte_reduction": byte_reduction,
+        "gates": {
+            "max_degradation": args.max_degradation,
+            "min_message_reduction": args.min_message_reduction,
+            "check_null": bool(args.check_null),
+        },
+        "runs": runs,
+    }
+    if args.plan_out:
+        plans = {
+            ("file" if f is None else f"{f:g}"): p.to_dict()
+            for f, p in sweeps
+        }
+        Path(args.plan_out).write_text(json.dumps(plans, indent=2) + "\n")
+        print(f"wrote partition schedule(s) -> {args.plan_out}")
+    return _finish_campaign(
+        args, label="shard", report=report, failures=failures, sink=sink
+    )
+
+
 def cmd_axioms(args: argparse.Namespace) -> int:
     instance = _instance_from_args(args)
     result = run_agt_ram(instance, record_audit=True)
@@ -1140,6 +1411,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a progress line per audited window (implies "
         "--window 64 unless set)",
+    )
+    p.add_argument(
+        "--sharded",
+        action="store_true",
+        help="audit a sharded-central log: per-shard mechanism audits "
+        "from the region tags plus the cross-shard reconciliation pass",
     )
     p.add_argument(
         "--emission-gate",
@@ -1393,6 +1670,85 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--report", help="write the serving report JSON here")
     _add_export_args(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "shard",
+        help="partition-tolerance campaign for the sharded central",
+    )
+    _add_instance_args(p)
+    p.add_argument(
+        "--scale",
+        choices=sorted(BENCH_SCALE_CONFIGS),
+        default=None,
+        help="run on a bench preset instead of the instance knobs",
+    )
+    p.add_argument(
+        "--regions", type=int, default=8,
+        help="regional sub-centrals k (default 8)",
+    )
+    p.add_argument(
+        "--shard-seed", type=int, default=2007, dest="shard_seed",
+        help="seed for the proximity partition of servers into regions",
+    )
+    p.add_argument(
+        "--partition-seed", type=int, default=2007, dest="partition_seed",
+        help="seed for the random partition schedule (default 2007)",
+    )
+    p.add_argument(
+        "--fraction", type=float, action="append", metavar="F",
+        help="fraction of rounds spent partitioned; repeat to sweep "
+        "(default: 0.0 0.25 0.5)",
+    )
+    p.add_argument(
+        "--islands", type=int, default=2,
+        help="islands per partition window (default 2)",
+    )
+    p.add_argument(
+        "--mean-width", type=float, default=6.0, dest="mean_width",
+        help="mean partition window width in rounds (default 6)",
+    )
+    p.add_argument(
+        "--crash-rate", type=float, default=0.0, dest="crash_rate",
+        help="per-(round, region) regional-central crash probability",
+    )
+    p.add_argument(
+        "--horizon", type=int, default=None,
+        help="rounds covered by random schedules (default: the healthy "
+        "sharded run's length)",
+    )
+    p.add_argument(
+        "--engine", choices=list(ENGINE_NAMES), default="auto",
+        help="benefit engine for the regional games (default auto)",
+    )
+    p.add_argument(
+        "--plan", help="run exactly this partition schedule JSON instead "
+        "of sweeping random ones",
+    )
+    p.add_argument(
+        "--plan-out", dest="plan_out",
+        help="write the swept partition schedule(s) JSON here",
+    )
+    p.add_argument(
+        "--check-null", action="store_true", dest="check_null",
+        help="verify the null schedule's event stream is byte-identical "
+        "to the unpartitioned sharded run",
+    )
+    p.add_argument(
+        "--max-degradation", type=float, default=None,
+        dest="max_degradation",
+        help="fail (exit 1) if any swept run's OTC exceeds the "
+        "single-central OTC by more than this ratio (e.g. 1.05)",
+    )
+    p.add_argument(
+        "--min-message-reduction", type=float, default=2.0,
+        dest="min_message_reduction",
+        help="fail (exit 1) if the healthy sharded run sends more than "
+        "1/this of the single-central messages (default 2.0; pass 0 to "
+        "disable)",
+    )
+    p.add_argument("--report", help="write the full campaign report JSON here")
+    _add_export_args(p)
+    p.set_defaults(func=cmd_shard)
 
     p = sub.add_parser(
         "reproduce", help="regenerate the paper's figures/tables"

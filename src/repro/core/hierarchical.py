@@ -39,11 +39,12 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.payments import second_best_payment
-from repro.drp.benefit import BenefitEngine
 from repro.drp.cost import total_otc
+from repro.drp.delta import ENGINE_NAMES, make_local_engine, resolve_engine
 from repro.drp.instance import DRPInstance
 from repro.drp.state import ReplicationState
 from repro.errors import ConfigurationError
+from repro.obs import events as ev
 from repro.result import PlacementResult
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.timing import Timer
@@ -109,6 +110,17 @@ class HierarchicalAGTRam:
         Regions whose mechanism is down; their servers abstain.
     seed:
         Seed for the proximity partition.
+    engine:
+        Benefit-engine selector for the non-cooperative regional games:
+        ``"auto"`` (vectorized when numpy allows, the default),
+        ``"naive"``, or ``"vectorized"`` — the same passthrough as the
+        flat mechanism (:mod:`repro.drp.delta`); the two engines are
+        bit-for-bit identical at the regional level.  The cooperative
+        game prices regional coalitions through
+        :class:`~repro.drp.global_engine.RegionalBenefitEngine`, which
+        has no vectorized implementation: requesting
+        ``engine="vectorized"`` with ``regional_game="cooperative"``
+        is a configuration error.
     """
 
     n_regions: int = 4
@@ -118,6 +130,7 @@ class HierarchicalAGTRam:
     failed_regions: Sequence[int] = field(default_factory=tuple)
     seed: SeedLike = None
     max_rounds: Optional[int] = None
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.mode not in ("sequential", "concurrent"):
@@ -128,6 +141,15 @@ class HierarchicalAGTRam:
             raise ConfigurationError(
                 "regional_game must be 'non-cooperative' or 'cooperative', "
                 f"got {self.regional_game!r}"
+            )
+        if self.engine not in ENGINE_NAMES:
+            raise ConfigurationError(
+                f"engine must be one of {ENGINE_NAMES}, got {self.engine!r}"
+            )
+        if self.regional_game == "cooperative" and self.engine == "vectorized":
+            raise ConfigurationError(
+                "the cooperative regional game has no vectorized engine; "
+                "use engine='auto' or 'naive'"
             )
 
     # -- helpers -----------------------------------------------------------
@@ -158,16 +180,30 @@ class HierarchicalAGTRam:
         }
         payments = np.zeros(instance.n_servers)
 
+        label = (
+            f"H-AGT-RAM({self.mode})"
+            if self.regional_game == "non-cooperative"
+            else f"H-AGT-RAM({self.mode},coop)"
+        )
+        sink = ev.current()
+        eventing = sink.enabled
+
         with timer:
             state = ReplicationState.primaries_only(instance)
             if self.regional_game == "cooperative":
                 from repro.drp.global_engine import RegionalBenefitEngine
 
                 engine = RegionalBenefitEngine(instance, state, part)
+                engine_name = "naive"
             else:
-                engine = BenefitEngine(instance, state)
+                engine_name = resolve_engine(self.engine)
+                engine = make_local_engine(engine_name, instance, state)
             live_regions = [r for r in region_ids if r not in failed]
             region_masks = {r: np.flatnonzero(part == r) for r in live_regions}
+
+            if eventing:
+                sink.emit(ev.RunStart(t=ev.now(), algorithm=label))
+                state.begin_otc_tracking()
 
             rounds = 0
             cap = (
@@ -202,28 +238,120 @@ class HierarchicalAGTRam:
                     r, winner, obj, bid, regional_price = regional[best_idx]
                     forwarded = [b for *_, b, _ in regional]
                     root_price = second_best_payment(forwarded, best_idx)
+                    # max(regional second, best competing regional
+                    # winner) == the global second price, so the flat
+                    # audit verifies sequential rounds unchanged.
                     price = max(regional_price, root_price)
+                    if eventing:
+                        sink.emit(ev.RoundStart(t=ev.now(), round=rounds))
+                        self._emit_bids(
+                            sink, rounds, live_regions, region_masks,
+                            part, vals, objs,
+                        )
+                        sink.emit(
+                            ev.WinnerEvent(
+                                t=ev.now(), round=rounds, agent=winner,
+                                obj=obj, value=bid,
+                                obj_size=int(instance.sizes[obj]),
+                                residual_before=int(state.residual[winner]),
+                                region=r,
+                            )
+                        )
                     state.add_replica(winner, obj)
                     engine.notify_allocation(winner, obj)
                     payments[winner] += price
                     stats[r].allocations += 1
                     stats[r].payments += price
+                    if eventing:
+                        sink.emit(
+                            ev.PaymentEvent(
+                                t=ev.now(), round=rounds, agent=winner,
+                                amount=price, region=r,
+                            )
+                        )
+                        sink.emit(
+                            ev.RoundEnd(
+                                t=ev.now(), round=rounds, committed=1,
+                                otc=state.tracked_otc(),
+                            )
+                        )
                 else:
                     # Concurrent: every region commits its winner; NN
                     # updates propagate only after all regions commit,
                     # so a round's bids are mutually stale (the price of
                     # autonomy).  Conflicts are impossible — winners are
                     # distinct servers — but capacity is re-checked
-                    # against the live state.
+                    # against the live state.  Each region's sub-round
+                    # is a self-contained region-tagged round in the
+                    # event stream, so both the flat audit and the
+                    # per-shard audit verify it independently.
                     committed: list[tuple[int, int]] = []
                     for r, winner, obj, bid, regional_price in regional:
+                        if eventing:
+                            sink.emit(
+                                ev.RoundStart(
+                                    t=ev.now(), round=rounds, region=r
+                                )
+                            )
+                            self._emit_bids(
+                                sink, rounds, [r], region_masks,
+                                part, vals, objs,
+                            )
                         if not state.can_host(winner, obj):
+                            if eventing:
+                                reason = (
+                                    "duplicate"
+                                    if state.x[winner, obj]
+                                    else "capacity"
+                                )
+                                sink.emit(
+                                    ev.CapacityReject(
+                                        t=ev.now(), round=rounds,
+                                        agent=winner, obj=obj,
+                                        obj_size=int(instance.sizes[obj]),
+                                        residual=int(state.residual[winner]),
+                                        reason=reason, region=r,
+                                    )
+                                )
+                                sink.emit(
+                                    ev.RoundEnd(
+                                        t=ev.now(), round=rounds,
+                                        committed=0,
+                                        otc=state.tracked_otc(),
+                                        region=r,
+                                    )
+                                )
                             continue
+                        if eventing:
+                            sink.emit(
+                                ev.WinnerEvent(
+                                    t=ev.now(), round=rounds, agent=winner,
+                                    obj=obj, value=bid,
+                                    obj_size=int(instance.sizes[obj]),
+                                    residual_before=int(
+                                        state.residual[winner]
+                                    ),
+                                    region=r,
+                                )
+                            )
                         state.add_replica(winner, obj)
                         committed.append((winner, obj))
                         payments[winner] += regional_price
                         stats[r].allocations += 1
                         stats[r].payments += regional_price
+                        if eventing:
+                            sink.emit(
+                                ev.PaymentEvent(
+                                    t=ev.now(), round=rounds, agent=winner,
+                                    amount=regional_price, region=r,
+                                )
+                            )
+                            sink.emit(
+                                ev.RoundEnd(
+                                    t=ev.now(), round=rounds, committed=1,
+                                    otc=state.tracked_otc(), region=r,
+                                )
+                            )
                     if not committed:
                         break
                     for winner, obj in committed:
@@ -231,11 +359,14 @@ class HierarchicalAGTRam:
                         engine.refresh_server(winner)
                 rounds += 1
 
-        label = (
-            f"H-AGT-RAM({self.mode})"
-            if self.regional_game == "non-cooperative"
-            else f"H-AGT-RAM({self.mode},coop)"
-        )
+            if eventing:
+                sink.emit(
+                    ev.RunEnd(
+                        t=ev.now(), algorithm=label,
+                        otc=state.tracked_otc(), rounds=rounds,
+                    )
+                )
+
         return PlacementResult(
             algorithm=label,
             state=state,
@@ -248,5 +379,30 @@ class HierarchicalAGTRam:
                 "region_stats": stats,
                 "failed_regions": sorted(failed),
                 "mode": self.mode,
+                "engine": engine_name,
             },
         )
+
+    @staticmethod
+    def _emit_bids(
+        sink: "ev.EventSink",
+        rnd: int,
+        regions: Sequence[int],
+        region_masks: dict[int, np.ndarray],
+        part: np.ndarray,
+        vals: np.ndarray,
+        objs: np.ndarray,
+    ) -> None:
+        """Emit every finite regional bid, tagged with its region."""
+        for r in regions:
+            for server in region_masks[r]:
+                value = float(vals[server])
+                if not np.isfinite(value):
+                    continue
+                sink.emit(
+                    ev.BidEvent(
+                        t=ev.now(), round=rnd, agent=int(server),
+                        obj=int(objs[server]), value=value,
+                        region=int(r),
+                    )
+                )

@@ -60,12 +60,15 @@ from repro.obs.events import (
     Event,
     FailoverEvent,
     FaultEvent,
+    HealEvent,
     HedgeEvent,
     ManipulationEvent,
     NNUpdateEvent,
+    PartitionEvent,
     PaymentEvent,
     QuarantineEvent,
     ReauctionEvent,
+    ReconcileEvent,
     RecoveryEvent,
     RequestEvent,
     RequestTimeout,
@@ -89,6 +92,11 @@ __all__ = [
     "audit_stream",
     "audit_files",
     "audit_file",
+    "ShardedAuditReport",
+    "audit_sharded_stream",
+    "audit_sharded_events",
+    "audit_sharded_files",
+    "audit_sharded_file",
     "ServingViolation",
     "ServingAuditReport",
     "audit_serving_events",
@@ -636,6 +644,440 @@ def audit_files(
 def audit_file(path: str | Path) -> AuditReport:
     """Load one event log (JSONL or binary, possibly chunked) and audit it."""
     return audit_files([path])
+
+
+# -- sharded-central audit ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ShardCommit:
+    """One committed regional allocation, as the cross-shard pass sees
+    it (the payment is attached when the round's PaymentEvent lands)."""
+
+    region: int
+    server: int
+    obj: int
+    value: float
+    size: int
+    round: int
+    payment: float = 0.0
+
+
+@dataclass
+class ShardedAuditReport:
+    """Outcome of auditing one sharded-central event log.
+
+    ``shards`` holds one flat :class:`AuditReport` per region: each
+    shard's region-tagged rounds are demultiplexed into their own
+    streaming :class:`_Auditor`, so every regional argmax, second price
+    and residual chain is verified independently — with revoked
+    capacity credited back from the declared
+    :class:`~repro.obs.events.ReconcileEvent`\\ s, which is what the
+    flat audit cannot do.
+
+    The **cross-shard pass** re-derives the reconciliation from the log
+    alone: it tracks the global ``(server, object)`` placement across
+    all shards (a commit of an already-live pair is a
+    ``double_allocation`` violation), groups each partition window's
+    commits by island (from the :class:`~repro.obs.events.PartitionEvent`
+    assignment), recomputes the contested objects and the
+    lowest-cost-winner resolution, and checks the heal-time
+    :class:`ReconcileEvent` declared exactly that outcome — conflicts,
+    kept/revoked pairs, refunded capacity and clawed-back payments.  A
+    heal without a reconcile, an undeclared divergence, or a revoked
+    pair that was never committed all surface as cross violations.
+    """
+
+    shards: dict[int, AuditReport] = field(default_factory=dict)
+    cross_violations: list[AuditViolation] = field(default_factory=list)
+    partitions_seen: int = 0
+    heals_seen: int = 0
+    reconciles_seen: int = 0
+    commits_seen: int = 0
+    revocations_seen: int = 0
+    #: Untagged infrastructure events seen outside any shard round.
+    faults_seen: int = 0
+    elections_seen: int = 0
+    checkpoints_seen: int = 0
+    recoveries_seen: int = 0
+    validations_seen: int = 0
+    manipulations_seen: int = 0
+    quarantines_seen: int = 0
+    adversarial_bids_seen: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.cross_violations and all(
+            r.ok for r in self.shards.values()
+        )
+
+    @property
+    def violations(self) -> list[AuditViolation]:
+        out = list(self.cross_violations)
+        for r in self.shards.values():
+            out.extend(r.violations)
+        return out
+
+    def summary(self) -> str:
+        lines = [
+            f"shards audited     {len(self.shards)}",
+            f"rounds audited     "
+            f"{sum(r.rounds_audited for r in self.shards.values())}",
+            f"commits seen       {self.commits_seen}",
+            f"payments verified  "
+            f"{sum(r.payments_verified for r in self.shards.values())}",
+            f"partitions         {self.partitions_seen} "
+            f"(heals {self.heals_seen}, reconciles {self.reconciles_seen}, "
+            f"revocations {self.revocations_seen})",
+        ]
+        for region in sorted(self.shards):
+            r = self.shards[region]
+            verdict = "ok" if r.ok else f"{len(r.violations)} violation(s)"
+            lines.append(
+                f"  shard {region}: {r.rounds_audited} round(s), "
+                f"{r.payments_verified} payment(s) verified, {verdict}"
+            )
+        if self.ok:
+            lines.append(
+                "PASS  every shard paid its regional second price and "
+                "picked its regional argmax, the global placement is "
+                "conflict-free, and every split-brain divergence was "
+                "declared and reconciled"
+            )
+        else:
+            bad = self.violations
+            lines.append(f"FAIL  {len(bad)} violation(s):")
+            lines.extend(f"  {v}" for v in bad)
+        return "\n".join(lines)
+
+
+class _CrossShardAuditor:
+    """The reconciliation re-derivation over the demuxed commit stream."""
+
+    def __init__(self, report: ShardedAuditReport) -> None:
+        self.report = report
+        #: Live global placement: (server, obj) -> its commit record.
+        self.placement: dict[tuple[int, int], _ShardCommit] = {}
+        #: The active window's island assignment (None when healed).
+        self.islands: Optional[tuple[int, ...]] = None
+        self.window_commits: list[_ShardCommit] = []
+        self.window_reconciled = False
+        self.partition_round = -1
+
+    def _flag(self, rnd: int, kind: str, detail: str) -> None:
+        self.report.cross_violations.append(
+            AuditViolation(run="cross-shard", round=rnd, kind=kind,
+                           detail=detail)
+        )
+
+    def commit(self, c: _ShardCommit) -> None:
+        self.report.commits_seen += 1
+        pair = (c.server, c.obj)
+        if pair in self.placement:
+            self._flag(
+                c.round, "capacity",
+                f"double allocation: (server {c.server}, object {c.obj}) "
+                f"committed in shard {c.region} but already live since "
+                f"round {self.placement[pair].round}",
+            )
+            return
+        self.placement[pair] = c
+        if self.islands is not None:
+            self.window_commits.append(c)
+
+    def attach_payment(self, region: int, server: int, amount: float) -> None:
+        """Bind a round's payment to its commit (payments follow their
+        winner within the same regional round)."""
+        for i in range(len(self.window_commits) - 1, -1, -1):
+            c = self.window_commits[i]
+            if c.region == region and c.server == server:
+                self.window_commits[i] = _ShardCommit(
+                    region=c.region, server=c.server, obj=c.obj,
+                    value=c.value, size=c.size, round=c.round,
+                    payment=amount,
+                )
+                pair = (c.server, c.obj)
+                if pair in self.placement:
+                    self.placement[pair] = self.window_commits[i]
+                return
+
+    def on_partition(self, e: PartitionEvent) -> None:
+        self.report.partitions_seen += 1
+        if self.islands is not None:
+            self._flag(
+                e.round, "structure",
+                "partition declared while a previous window is still open",
+            )
+        self.islands = tuple(e.islands)
+        self.window_commits = []
+        self.window_reconciled = False
+        self.partition_round = e.round
+
+    def on_reconcile(self, e: ReconcileEvent) -> None:
+        self.report.reconciles_seen += 1
+        if self.islands is None:
+            self._flag(
+                e.round, "structure", "reconcile without an open partition"
+            )
+            return
+        islands = self.islands
+        # Independent re-derivation of the merge (mirrors the runner's
+        # declared rule without importing it): an object committed by
+        # >= 2 islands is contested; the highest-value commit survives,
+        # ties to the lowest server id, then region, then round.
+        by_obj: dict[int, list[_ShardCommit]] = {}
+        for c in self.window_commits:
+            by_obj.setdefault(c.obj, []).append(c)
+        conflicts: list[int] = []
+        kept: list[_ShardCommit] = []
+        revoked: list[_ShardCommit] = []
+        for obj in sorted(by_obj):
+            group = by_obj[obj]
+            committed_islands = {islands[c.region] for c in group}
+            if len(committed_islands) < 2:
+                continue
+            conflicts.append(obj)
+            winner = min(
+                group, key=lambda c: (-c.value, c.server, c.region, c.round)
+            )
+            kept.append(winner)
+            revoked.extend(c for c in group if c is not winner)
+        order = lambda c: (c.obj, c.server)  # noqa: E731
+        kept.sort(key=order)
+        revoked.sort(key=order)
+
+        if tuple(conflicts) != tuple(e.conflicts):
+            self._flag(
+                e.round, "structure",
+                f"reconcile declares conflicts {list(e.conflicts)} but the "
+                f"window's commits contest {conflicts}",
+            )
+        expected_kept = tuple((c.server, c.obj) for c in kept)
+        if expected_kept != tuple(e.kept):
+            self._flag(
+                e.round, "winner",
+                f"reconcile keeps {list(e.kept)} but the lowest-cost-winner "
+                f"rule keeps {list(expected_kept)}",
+            )
+        expected_revoked = tuple((c.server, c.obj) for c in revoked)
+        if expected_revoked != tuple(e.revoked):
+            self._flag(
+                e.round, "winner",
+                f"reconcile revokes {list(e.revoked)} but the "
+                f"lowest-cost-winner rule revokes {list(expected_revoked)}",
+            )
+        expected_cap = sum(c.size for c in revoked)
+        if e.refunded_capacity != expected_cap:
+            self._flag(
+                e.round, "capacity",
+                f"reconcile refunds {e.refunded_capacity} capacity unit(s) "
+                f"but the revoked commits total {expected_cap}",
+            )
+        expected_pay = float(sum(c.payment for c in revoked))
+        if not _close(e.refunded_payment, expected_pay):
+            self._flag(
+                e.round, "payment",
+                f"reconcile claws back {e.refunded_payment} but the revoked "
+                f"commits were paid {expected_pay}",
+            )
+        expected_reauction = tuple(sorted({c.obj for c in revoked}))
+        if expected_reauction != tuple(e.reauctioned):
+            self._flag(
+                e.round, "structure",
+                f"reconcile re-auctions {list(e.reauctioned)} but the "
+                f"revoked objects are {list(expected_reauction)}",
+            )
+        # Apply the *declared* revocations to the global placement and
+        # credit the capacity back into the owning shard's residual
+        # chain (the per-shard auditors can then verify post-heal
+        # rounds against refunded residuals).
+        self.report.revocations_seen += len(e.revoked)
+        for server, obj in e.revoked:
+            c = self.placement.pop((server, obj), None)
+            if c is None:
+                self._flag(
+                    e.round, "structure",
+                    f"reconcile revokes (server {server}, object {obj}) "
+                    "which is not a live allocation",
+                )
+                continue
+            shard = self.report.shards.get(c.region)
+            if shard is not None:
+                # Mutate the shard auditor's expected-residual chain via
+                # the report's back-reference (set in audit_sharded).
+                auditor = getattr(shard, "_auditor", None)
+                if auditor is not None and server in auditor._residuals:
+                    auditor._residuals[server] += c.size
+        self.window_reconciled = True
+
+    def on_heal(self, e: HealEvent) -> None:
+        self.report.heals_seen += 1
+        if self.islands is None:
+            self._flag(e.round, "structure", "heal without an open partition")
+            return
+        if tuple(e.islands) != self.islands:
+            self._flag(
+                e.round, "structure",
+                f"heal declares islands {list(e.islands)} but the open "
+                f"partition split {list(self.islands)}",
+            )
+        if not self.window_reconciled:
+            self._flag(
+                e.round, "structure",
+                "heal without a reconcile: the window's divergence was "
+                "never declared",
+            )
+        if e.divergent != len(self.window_commits):
+            self._flag(
+                e.round, "structure",
+                f"heal declares {e.divergent} divergent commit(s) but the "
+                f"window logged {len(self.window_commits)}",
+            )
+        self.islands = None
+        self.window_commits = []
+        self.window_reconciled = False
+
+    def finish(self) -> None:
+        if self.islands is not None:
+            self._flag(
+                self.partition_round, "structure",
+                "log ends inside an open partition window (no heal)",
+            )
+
+
+def audit_sharded_stream(events: Iterable[Event]) -> ShardedAuditReport:
+    """Audit a sharded-central event log, per shard and cross-shard.
+
+    Region-tagged round events are demultiplexed into one streaming
+    flat :class:`_Auditor` per shard (each sees a synthetic run of its
+    own region's rounds), while the cross-shard pass follows partition
+    / reconcile / heal declarations over the combined commit stream —
+    see :class:`ShardedAuditReport`.  Untagged infrastructure events
+    (faults, elections, checkpoints, recoveries, the Byzantine layer)
+    are routed to the shard whose round is currently open, or tallied
+    globally when none is.
+    """
+    report = ShardedAuditReport()
+    cross = _CrossShardAuditor(report)
+    auditors: dict[int, _Auditor] = {}
+    run_label = "Sharded-AGT-RAM"
+    open_shard: Optional[int] = None
+    #: The open round's winner sizes, for payment attachment.
+    pending_winner: Optional[WinnerEvent] = None
+
+    def shard_auditor(region: int) -> _Auditor:
+        auditor = auditors.get(region)
+        if auditor is None:
+            auditor = _Auditor()
+            auditor.feed(RunStart(t=0.0, algorithm=f"{run_label}/shard{region}"))
+            auditors[region] = auditor
+            report.shards[region] = auditor.report
+            # Back-reference for the cross pass's residual refunds.
+            auditor.report._auditor = auditor  # type: ignore[attr-defined]
+        return auditor
+
+    for event in events:
+        nonlocal_region = getattr(event, "region", -1)
+        if isinstance(event, RunStart):
+            run_label = event.algorithm
+        elif isinstance(event, RunEnd):
+            for auditor in auditors.values():
+                auditor.feed(
+                    RunEnd(t=event.t, algorithm=auditor._run_label,
+                           otc=event.otc, rounds=event.rounds)
+                )
+        elif isinstance(event, PartitionEvent):
+            cross.on_partition(event)
+        elif isinstance(event, ReconcileEvent):
+            cross.on_reconcile(event)
+        elif isinstance(event, HealEvent):
+            cross.on_heal(event)
+        elif isinstance(
+            event,
+            (RoundStart, BidEvent, WinnerEvent, PaymentEvent,
+             CapacityReject, RoundEnd),
+        ) and nonlocal_region >= 0:
+            auditor = shard_auditor(nonlocal_region)
+            if isinstance(event, RoundStart):
+                open_shard = nonlocal_region
+                pending_winner = None
+            auditor.feed(event)
+            if isinstance(event, WinnerEvent):
+                pending_winner = event
+                cross.commit(
+                    _ShardCommit(
+                        region=nonlocal_region, server=event.agent,
+                        obj=event.obj, value=event.value,
+                        size=event.obj_size, round=event.round,
+                    )
+                )
+            elif isinstance(event, PaymentEvent):
+                if (
+                    pending_winner is not None
+                    and pending_winner.agent == event.agent
+                ):
+                    cross.attach_payment(
+                        nonlocal_region, event.agent, event.amount
+                    )
+            elif isinstance(event, RoundEnd):
+                open_shard = None
+                pending_winner = None
+        else:
+            # Untagged infrastructure / Byzantine events.
+            if open_shard is not None:
+                shard_auditor(open_shard).feed(event)
+            elif isinstance(event, FaultEvent):
+                report.faults_seen += 1
+            elif isinstance(event, ElectionEvent):
+                report.elections_seen += 1
+            elif isinstance(event, CheckpointEvent):
+                report.checkpoints_seen += 1
+            elif isinstance(event, RecoveryEvent):
+                report.recoveries_seen += 1
+            elif isinstance(event, ValidationEvent):
+                report.validations_seen += 1
+            elif isinstance(event, ManipulationEvent):
+                report.manipulations_seen += 1
+            elif isinstance(event, QuarantineEvent):
+                report.quarantines_seen += 1
+            elif isinstance(event, AdversaryEvent):
+                report.adversarial_bids_seen += 1
+
+    cross.finish()
+    for auditor in auditors.values():
+        if auditor._round is not None:
+            auditor._flag(
+                auditor._round.index, "structure",
+                "log ends inside an open round",
+            )
+        auditor._finalize_run()
+    return report
+
+
+def audit_sharded_events(events: Iterable[Event]) -> ShardedAuditReport:
+    """Verify a recorded sharded-central stream per shard and cross-shard."""
+    return audit_sharded_stream(events)
+
+
+def audit_sharded_files(paths: Sequence[str | Path]) -> ShardedAuditReport:
+    """Audit one logical sharded event log spread over files, lazily."""
+    from repro.obs.export import event_log_chunks, open_event_stream
+
+    resolved: list[Path] = []
+    for p in paths:
+        resolved.extend(event_log_chunks(p))
+
+    def chained() -> Iterable[Event]:
+        for path in resolved:
+            yield from open_event_stream(path)
+
+    return audit_sharded_stream(chained())
+
+
+def audit_sharded_file(path: str | Path) -> ShardedAuditReport:
+    """Load one event log (JSONL or binary, possibly chunked) and audit
+    it as a sharded-central run."""
+    return audit_sharded_files([path])
 
 
 # -- serving audit -----------------------------------------------------------

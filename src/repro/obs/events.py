@@ -70,6 +70,9 @@ __all__ = [
     "ShedEvent",
     "FailoverEvent",
     "ReauctionEvent",
+    "PartitionEvent",
+    "HealEvent",
+    "ReconcileEvent",
     "parse_event",
     "logical_time",
     "EventSink",
@@ -156,11 +159,18 @@ class RunEnd(Event):
 
 @dataclass(frozen=True)
 class RoundStart(Event):
-    """A mechanism round opens (Figure 2, top of the loop)."""
+    """A mechanism round opens (Figure 2, top of the loop).
+
+    ``region`` is ``-1`` for the flat single-central mechanism; the
+    hierarchical/sharded runtimes tag each regional sub-round with its
+    region id so per-shard streams can be demultiplexed
+    (:func:`repro.obs.audit.audit_sharded_events`).
+    """
 
     type: ClassVar[str] = "round_start"
 
     round: int = 0
+    region: int = -1
 
 
 @dataclass(frozen=True)
@@ -173,6 +183,8 @@ class BidEvent(Event):
     agent: int = -1
     obj: int = -1
     value: float = 0.0
+    #: Region whose (regional) central received the bid; -1 = flat.
+    region: int = -1
 
 
 @dataclass(frozen=True)
@@ -192,6 +204,8 @@ class WinnerEvent(Event):
     value: float = 0.0
     obj_size: int = 0
     residual_before: int = 0
+    #: Region whose sealed-bid auction the winner cleared; -1 = flat.
+    region: int = -1
 
 
 @dataclass(frozen=True)
@@ -209,6 +223,8 @@ class PaymentEvent(Event):
     agent: int = -1
     amount: float = 0.0
     rule: str = "second_price"
+    #: Region whose central issued the payment; -1 = flat.
+    region: int = -1
 
 
 @dataclass(frozen=True)
@@ -237,6 +253,8 @@ class CapacityReject(Event):
     #: "capacity" (object no longer fits) or "duplicate" (agent already
     #: hosts the object — possible under warm starts).
     reason: str = "capacity"
+    #: Region whose round skipped the provisional winner; -1 = flat.
+    region: int = -1
 
 
 @dataclass(frozen=True)
@@ -249,6 +267,8 @@ class RoundEnd(Event):
     round: int = 0
     committed: int = 0
     otc: float = 0.0
+    #: Region of the sub-round that closed; -1 = flat.
+    region: int = -1
 
 
 @dataclass(frozen=True)
@@ -614,6 +634,85 @@ class ReauctionEvent(Event):
         object.__setattr__(self, "removed", _pairs(self.removed))
 
 
+@dataclass(frozen=True)
+class PartitionEvent(Event):
+    """A network partition split the sharded central into islands.
+
+    ``islands`` maps region id -> island index (``islands[r]`` is the
+    communication island region ``r`` belongs to from protocol round
+    ``round`` until the matching :class:`HealEvent`).  Regions in
+    different islands cannot exchange commits: each island keeps
+    clearing on its own fork of the replica map.
+    """
+
+    type: ClassVar[str] = "partition"
+
+    round: int = 0
+    islands: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "islands", tuple(int(i) for i in self.islands)
+        )
+
+
+@dataclass(frozen=True)
+class HealEvent(Event):
+    """The partition healed: all regions communicate again.
+
+    ``islands`` echoes the assignment that just ended; ``divergent``
+    counts the commits made across all islands while split.  A heal is
+    always accompanied by exactly one :class:`ReconcileEvent` declaring
+    how the divergent forks were merged.
+    """
+
+    type: ClassVar[str] = "heal"
+
+    round: int = 0
+    islands: tuple[int, ...] = ()
+    divergent: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "islands", tuple(int(i) for i in self.islands)
+        )
+
+
+@dataclass(frozen=True)
+class ReconcileEvent(Event):
+    """Deterministic merge of divergent island placements at heal time.
+
+    ``conflicts`` lists the contested objects (allocated in two or more
+    islands during the split); per contested object the single
+    lowest-cost (highest-benefit, ties to the lowest server id) commit
+    is ``kept`` and every other commit is ``revoked`` — its capacity is
+    refunded (``refunded_capacity`` size units total), its payment is
+    clawed back (``refunded_payment``), and the object re-enters the
+    post-heal auction (``reauctioned``).  The cross-shard audit
+    recomputes all of this from the region-tagged winner events alone.
+    """
+
+    type: ClassVar[str] = "reconcile"
+
+    round: int = 0
+    conflicts: tuple[int, ...] = ()
+    kept: tuple[tuple[int, int], ...] = ()
+    revoked: tuple[tuple[int, int], ...] = ()
+    refunded_capacity: int = 0
+    refunded_payment: float = 0.0
+    reauctioned: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "conflicts", tuple(int(k) for k in self.conflicts)
+        )
+        object.__setattr__(self, "kept", _pairs(self.kept))
+        object.__setattr__(self, "revoked", _pairs(self.revoked))
+        object.__setattr__(
+            self, "reauctioned", tuple(int(k) for k in self.reauctioned)
+        )
+
+
 #: ``type`` tag -> event class, for parsing serialized records.
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.type: cls
@@ -644,6 +743,9 @@ EVENT_TYPES: dict[str, type[Event]] = {
         ShedEvent,
         FailoverEvent,
         ReauctionEvent,
+        PartitionEvent,
+        HealEvent,
+        ReconcileEvent,
     )
 }
 

@@ -46,12 +46,15 @@ from repro.obs.events import (
     Event,
     FailoverEvent,
     FaultEvent,
+    HealEvent,
     HedgeEvent,
     ManipulationEvent,
     NNUpdateEvent,
+    PartitionEvent,
     PaymentEvent,
     QuarantineEvent,
     ReauctionEvent,
+    ReconcileEvent,
     RecoveryEvent,
     RequestEvent,
     RequestTimeout,
@@ -750,6 +753,31 @@ def events_to_chrome_trace(events: Sequence[Event]) -> dict[str, Any]:
                 {"objects": list(e.objects), "added": len(e.added),
                  "removed": len(e.removed), "otc_after": e.otc_after,
                  "tick": e.tick},
+            )
+        elif isinstance(e, PartitionEvent):
+            instant(
+                e,
+                "partition",
+                _CENTRAL_TID,
+                {"islands": list(e.islands), "round": e.round},
+            )
+        elif isinstance(e, HealEvent):
+            instant(
+                e,
+                "heal",
+                _CENTRAL_TID,
+                {"islands": list(e.islands), "divergent": e.divergent,
+                 "round": e.round},
+            )
+        elif isinstance(e, ReconcileEvent):
+            instant(
+                e,
+                "reconcile",
+                _CENTRAL_TID,
+                {"conflicts": list(e.conflicts), "kept": len(e.kept),
+                 "revoked": len(e.revoked),
+                 "refunded_capacity": e.refunded_capacity,
+                 "round": e.round},
             )
 
     # Track naming metadata: process + central + one track per agent.

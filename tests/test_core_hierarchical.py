@@ -160,3 +160,63 @@ class TestConfiguration:
             n_regions=4, mode="concurrent", seed=0, max_rounds=3
         ).run(read_heavy_instance)
         assert res.rounds == 3
+
+
+class TestEngineSelector:
+    @pytest.mark.parametrize("mode", ["sequential", "concurrent"])
+    def test_naive_and_vectorized_identical(self, read_heavy_instance, mode):
+        runs = {
+            name: HierarchicalAGTRam(
+                n_regions=4, mode=mode, seed=0, engine=name
+            ).run(read_heavy_instance)
+            for name in ("naive", "vectorized")
+        }
+        naive, fast = runs["naive"], runs["vectorized"]
+        # Same winners, same prices, same placement, bit for bit.
+        assert np.array_equal(naive.state.x, fast.state.x)
+        assert naive.otc == fast.otc
+        assert naive.rounds == fast.rounds
+        assert np.array_equal(
+            naive.extra["payments"], fast.extra["payments"]
+        )
+        assert naive.extra["engine"] == "naive"
+        assert fast.extra["engine"] == "vectorized"
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HierarchicalAGTRam(engine="turbo")
+
+    def test_cooperative_has_no_vectorized_engine(self):
+        with pytest.raises(ConfigurationError):
+            HierarchicalAGTRam(
+                regional_game="cooperative", engine="vectorized"
+            )
+
+
+class TestRegionTaggedEvents:
+    def test_concurrent_rounds_carry_region(self, tiny_instance):
+        from repro.obs import events as ev
+
+        with ev.capture() as sink:
+            res = HierarchicalAGTRam(
+                n_regions=4, mode="concurrent", seed=7
+            ).run(tiny_instance)
+        part = res.extra["partition"]
+        starts = [e for e in sink.events if type(e).type == "round_start"]
+        winners = [e for e in sink.events if type(e).type == "winner"]
+        assert starts and winners
+        regions = {e.region for e in starts}
+        assert regions <= set(range(4))
+        assert all(e.region >= 0 for e in starts)
+        # The tagged winner really lives in the tagged region.
+        for e in winners:
+            assert int(part[e.agent]) == e.region
+
+    def test_flat_rounds_stay_untagged(self, tiny_instance):
+        from repro.obs import events as ev
+
+        with ev.capture() as sink:
+            run_agt_ram(tiny_instance)
+        starts = [e for e in sink.events if type(e).type == "round_start"]
+        assert starts
+        assert {e.region for e in starts} == {-1}

@@ -93,7 +93,7 @@ class TestEventRecords:
             ev.parse_event({"t": 0.0})
 
     def test_every_type_tag_is_registered_and_unique(self):
-        assert len(ev.EVENT_TYPES) == 26
+        assert len(ev.EVENT_TYPES) == 29
         for tag, cls in ev.EVENT_TYPES.items():
             assert cls.type == tag
         # The five fault-layer events are part of the vocabulary.
@@ -107,6 +107,9 @@ class TestEventRecords:
             "serve_start", "serve_end", "request", "request_timeout",
             "hedge", "shed", "failover", "reauction",
         ):
+            assert tag in ev.EVENT_TYPES
+        # ... and the three sharded-central events.
+        for tag in ("partition", "heal", "reconcile"):
             assert tag in ev.EVENT_TYPES
 
 
