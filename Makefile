@@ -12,6 +12,7 @@
 #   EQ_MIN_SPEEDUP  ?= factor          required vectorized-over-naive speedup
 #   OBS_SCALE       ?= preset          scale for the emission-overhead gate
 #   OBS_RETRIES     ?= n               re-measure attempts for the obs gate
+#   OUT_DIR         ?= dir             where campaign artifacts land
 
 BENCH_SCALE ?= tiny
 BENCH_GATE ?= 0
@@ -22,10 +23,11 @@ EQ_SCALE ?= small
 EQ_MIN_SPEEDUP ?= 3
 OBS_SCALE ?= tiny
 OBS_RETRIES ?= 2
+OUT_DIR ?= out
 
 .PHONY: install test test-fast test-slow bench bench-json bench-compare \
         equivalence obs-gate trace audit chaos adversary serve shard \
-        lint reproduce examples clean
+        resilience resilience-smoke lint reproduce examples clean
 
 # Chaos campaign knobs (see docs/robustness.md).
 CHAOS_SEED ?= 5
@@ -42,6 +44,11 @@ SHARD_PARTITION_SEED ?= 2007
 SHARD_REGIONS ?= 8
 SHARD_MAX_DEGRADATION ?= 1.0
 SHARD_MIN_MSG_REDUCTION ?= 2
+
+# Resilience campaign knobs (see docs/robustness.md, "Composed failure
+# planes").
+RESILIENCE_LOTTERY ?= 2
+RESILIENCE_LOTTERY_SEED ?= 0
 
 # Serving campaign knobs (see docs/serving.md).
 SERVE_SEED ?= 11
@@ -109,9 +116,10 @@ chaos:
 		--seed 101 --fault-seed $(CHAOS_SEED) \
 		--central-crash-rate 0.03 \
 		--max-degradation $(CHAOS_MAX_DEGRADATION) \
+		--out-dir $(OUT_DIR) \
 		--events chaos_events.jsonl --report chaos_report.json \
 		--fault-log chaos_faults.json
-	python -m repro audit chaos_events.jsonl
+	python -m repro audit $(OUT_DIR)/chaos_events.jsonl
 
 # Seeded Byzantine campaign: misreports, malformed bids and collusion
 # injected into the bid stream, gated on detection recall, zero false
@@ -122,8 +130,9 @@ adversary:
 		--fraction 0.25 --fraction 0.4 \
 		--min-recall $(ADV_MIN_RECALL) \
 		--max-degradation $(ADV_MAX_DEGRADATION) \
+		--out-dir $(OUT_DIR) \
 		--events adversary_events.jsonl --report adversary_report.json
-	python -m repro audit adversary_events.jsonl
+	python -m repro audit $(OUT_DIR)/adversary_events.jsonl
 
 # Resilient serving campaign: stream workload traffic against the
 # auctioned placement while 5% of the servers crash per round, gated on
@@ -135,13 +144,15 @@ serve:
 		--crash-rate 0.05 --straggler-rate 0.02 \
 		--min-availability $(SERVE_MIN_AVAILABILITY) \
 		--max-p99 $(SERVE_MAX_P99) \
+		--out-dir $(OUT_DIR) \
 		--events serve_events.jsonl --report serve_report.json
 	python -m repro serve --workload drift \
 		--serve-seed $(SERVE_SEED) \
 		--min-availability $(SERVE_MIN_AVAILABILITY) \
+		--out-dir $(OUT_DIR) \
 		--events serve_drift_events.jsonl --report serve_drift_report.json
-	python -m repro audit serve_events.jsonl
-	python -m repro audit serve_drift_events.jsonl
+	python -m repro audit $(OUT_DIR)/serve_events.jsonl
+	python -m repro audit $(OUT_DIR)/serve_drift_events.jsonl
 
 # Partition-tolerance campaign: sweep partition fractions (with
 # regional-central crashes) on the sharded central, gated on the
@@ -155,9 +166,29 @@ shard:
 		--crash-rate 0.01 --check-null \
 		--max-degradation $(SHARD_MAX_DEGRADATION) \
 		--min-message-reduction $(SHARD_MIN_MSG_REDUCTION) \
+		--out-dir $(OUT_DIR) \
 		--events shard_events.jsonl --report shard_report.json \
 		--plan-out shard_plans.json
-	python -m repro audit --sharded shard_events.jsonl
+	python -m repro audit --sharded $(OUT_DIR)/shard_events.jsonl
+
+# Composed failure-plane survivability campaign: every catalog scenario
+# (fault storm, Byzantine, split-brain, and the flash-crowd showcase
+# composing all three) plus random lottery compositions, run over the
+# sharded serving stack with the online invariant monitor armed, gated
+# on availability / invariants / composed audits / degradation budget /
+# detection recall.  Failing scenarios shrink to minimal repro JSONs in
+# $(OUT_DIR).
+resilience:
+	python -m repro resilience \
+		--lottery $(RESILIENCE_LOTTERY) \
+		--lottery-seed $(RESILIENCE_LOTTERY_SEED) \
+		--out-dir $(OUT_DIR) --report resilience_report.json
+
+# CI-sized leg: the smallest catalog scenario plus one lottery ticket.
+resilience-smoke:
+	python -m repro resilience --scenario smoke \
+		--lottery 1 --lottery-seed $(RESILIENCE_LOTTERY_SEED) \
+		--out-dir $(OUT_DIR) --report resilience_report.json
 
 lint:
 	ruff check src/repro/obs
@@ -173,6 +204,7 @@ examples:
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .ruff_cache \
 		.mypy_cache bench.json events.jsonl trace.json metrics.prom \
+		out \
 		chaos_events.jsonl chaos_report.json chaos_faults.json \
 		adversary_events.jsonl adversary_report.json \
 		serve_events.jsonl serve_report.json serve_drift_events.jsonl \

@@ -126,6 +126,52 @@ def _add_export_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+#: Campaign artifact arguments `_apply_out_dir` relocates.
+_ARTIFACT_ATTRS = (
+    "events",
+    "events_binary",
+    "chrome_trace",
+    "metrics_out",
+    "report",
+    "fault_log",
+    "plan_out",
+)
+
+
+def _add_out_dir_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--out-dir",
+        dest="out_dir",
+        default="out",
+        help="directory campaign artifacts (--report, --events, …) are "
+        "written under; created if missing, relative artifact paths are "
+        "prefixed with it (default: out)",
+    )
+
+
+def _apply_out_dir(args: argparse.Namespace) -> None:
+    """Route the campaign's relative artifact paths under ``--out-dir``.
+
+    Absolute paths are honoured as given; the directory is only created
+    when some artifact will actually land in it, so a dry campaign run
+    leaves the tree untouched.
+    """
+    from pathlib import Path
+
+    out_dir = getattr(args, "out_dir", None)
+    if not out_dir or out_dir == ".":
+        return
+    base = Path(out_dir)
+    used = False
+    for attr in _ARTIFACT_ATTRS:
+        value = getattr(args, attr, None)
+        if value and not Path(value).is_absolute():
+            setattr(args, attr, str(base / value))
+            used = True
+    if used:
+        base.mkdir(parents=True, exist_ok=True)
+
+
 def _wants_events(args: argparse.Namespace) -> bool:
     return bool(args.events or args.chrome_trace or args.events_binary)
 
@@ -571,6 +617,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.runtime.faults import ChannelConfig, FaultPlan, FaultSchedule, QuorumPolicy
     from repro.runtime.simulator import SemiDistributedSimulator
 
+    _apply_out_dir(args)
     instance = _instance_from_args(args)
     m = instance.n_servers
 
@@ -704,6 +751,7 @@ def cmd_adversary(args: argparse.Namespace) -> int:
     from repro.runtime.adversary import AdversaryPlan, QuarantinePolicy
     from repro.runtime.simulator import SemiDistributedSimulator
 
+    _apply_out_dir(args)
     instance = _instance_from_args(args)
     m = instance.n_servers
 
@@ -881,6 +929,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.runtime.simulator import SemiDistributedSimulator
     from repro.serving import ServeConfig, make_traffic, serve, with_demand
 
+    _apply_out_dir(args)
     base = _instance_from_args(args)
     m = base.n_servers
 
@@ -1036,6 +1085,7 @@ def cmd_shard(args: argparse.Namespace) -> int:
     from repro.runtime.shard import PartitionSchedule, ShardedAGTRam
     from repro.runtime.simulator import SemiDistributedSimulator
 
+    _apply_out_dir(args)
     if args.scale:
         instance = paper_instance(BENCH_SCALE_CONFIGS[args.scale])
     else:
@@ -1264,6 +1314,133 @@ def cmd_shard(args: argparse.Namespace) -> int:
         print(f"wrote partition schedule(s) -> {args.plan_out}")
     return _finish_campaign(
         args, label="shard", report=report, failures=failures, sink=sink
+    )
+
+
+def cmd_resilience(args: argparse.Namespace) -> int:
+    """Composed failure-plane survivability campaign.
+
+    Runs each selected :class:`~repro.runtime.scenario.Scenario` —
+    curated catalog entries and/or ``--lottery`` random compositions —
+    end to end over the sharded serving stack with the online
+    invariant monitor armed, then gates on availability, invariant
+    violations, the composed audits, the degradation budget and
+    detection recall.  A failing scenario is greedily shrunk (drop
+    planes, halve the workload, bisect the horizon) to a minimal
+    still-failing ``<name>_scenario.json`` repro artifact unless
+    ``--no-shrink``.  Deterministic like the other campaigns: every
+    plane draws from its own substream of the scenario seed and the
+    event log runs on the logical clock, so same-argument runs (and
+    the ``--report`` JSON) are byte-for-byte identical.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.errors import ReproError
+    from repro.runtime.scenario import (
+        CATALOG,
+        Scenario,
+        run_scenario,
+        scenario_fails,
+        shrink_scenario,
+    )
+
+    _apply_out_dir(args)
+
+    scenarios: list[Scenario] = []
+    for name in args.scenario or ():
+        if name not in CATALOG:
+            print(
+                f"unknown scenario {name!r}; catalog: "
+                f"{', '.join(CATALOG)}",
+                file=sys.stderr,
+            )
+            return 2
+        scenarios.append(CATALOG[name])
+    if not scenarios:
+        scenarios.extend(CATALOG.values())
+    for i in range(args.lottery):
+        scenarios.append(Scenario.random(args.lottery_seed + i))
+
+    rows = []
+    runs = []
+    failures: list[str] = []
+    sink = None
+    out_base = Path(args.out_dir) if args.out_dir else Path(".")
+    for sc in scenarios:
+        try:
+            outcome = run_scenario(sc, strict=args.strict)
+        except ReproError as exc:
+            failures.append(f"{sc.name}: aborted: {exc}")
+            rows.append([sc.name, "-", "-", "-", "-", "-", "-", "ERROR"])
+            runs.append(
+                {"scenario": sc.to_dict(), "error": str(exc), "ok": False}
+            )
+            scenario_failed = True
+        else:
+            sink = outcome.monitor
+            r = outcome.report
+            failures.extend(f"{sc.name}: {f}" for f in outcome.failures)
+            planes = "+".join(
+                tag for tag, on in (
+                    ("faults", r["planes"]["faults"]
+                     or r["planes"]["serving_faults"]),
+                    ("adv", r["planes"]["adversary"]),
+                    ("part", r["planes"]["partition"]),
+                ) if on
+            ) or "none"
+            rows.append(
+                [
+                    sc.name,
+                    planes,
+                    f"{r['serving']['availability']:.4f}",
+                    r["invariants"]["violations"],
+                    f"{r['recovery']['mttr']:.1f}",
+                    f"{r['recovery']['degraded_fraction']:.3f}",
+                    f"{r['detection']['recall']:.3f}",
+                    "PASS" if outcome.ok else "FAIL",
+                ]
+            )
+            runs.append(r)
+            scenario_failed = not outcome.ok
+        if scenario_failed and not args.no_shrink:
+            mini, probes = shrink_scenario(sc, scenario_fails)
+            out_base.mkdir(parents=True, exist_ok=True)
+            path = out_base / f"{sc.name}_scenario.json"
+            path.write_text(json.dumps(mini.to_dict(), indent=2) + "\n")
+            print(
+                f"shrunk {sc.name} to a minimal failing scenario "
+                f"({probes} probes) -> {path}"
+            )
+            runs[-1]["shrunk_scenario"] = mini.to_dict()
+
+    print(
+        render_table(
+            [
+                "scenario",
+                "planes",
+                "availability",
+                "inv-viol",
+                "MTTR",
+                "degraded",
+                "recall",
+                "verdict",
+            ],
+            rows,
+            title=f"resilience campaign ({len(scenarios)} scenario(s), "
+            f"{len(CATALOG)} in catalog)",
+        )
+    )
+    report = {
+        "kind": "repro-resilience",
+        "catalog": sorted(CATALOG),
+        "lottery": args.lottery,
+        "lottery_seed": args.lottery_seed,
+        "strict": bool(args.strict),
+        "runs": runs,
+    }
+    return _finish_campaign(
+        args, label="resilience", report=report, failures=failures, sink=sink
     )
 
 
@@ -1519,6 +1696,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--report", help="write the full chaos report JSON here")
     p.add_argument("--fault-log", dest="fault_log",
                    help="write the fault-plan + injection summary JSON here")
+    _add_out_dir_arg(p)
     _add_export_args(p)
     p.set_defaults(func=cmd_chaos)
 
@@ -1572,6 +1750,7 @@ def build_parser() -> argparse.ArgumentParser:
         "by more than this ratio (e.g. 1.10)",
     )
     p.add_argument("--report", help="write the full campaign report JSON here")
+    _add_out_dir_arg(p)
     _add_export_args(p)
     p.set_defaults(func=cmd_adversary)
 
@@ -1668,6 +1847,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail (exit 1) if p99 latency exceeds this",
     )
     p.add_argument("--report", help="write the serving report JSON here")
+    _add_out_dir_arg(p)
     _add_export_args(p)
     p.set_defaults(func=cmd_serve)
 
@@ -1747,8 +1927,42 @@ def build_parser() -> argparse.ArgumentParser:
         "disable)",
     )
     p.add_argument("--report", help="write the full campaign report JSON here")
+    _add_out_dir_arg(p)
     _add_export_args(p)
     p.set_defaults(func=cmd_shard)
+
+    p = sub.add_parser(
+        "resilience",
+        help="composed failure-plane survivability campaign with shrinking",
+    )
+    p.add_argument(
+        "--scenario", action="append", metavar="NAME",
+        help="run this catalog scenario (repeatable; default: the whole "
+        "catalog)",
+    )
+    p.add_argument(
+        "--lottery", type=int, default=0, metavar="N",
+        help="also run N random scenario compositions (default 0)",
+    )
+    p.add_argument(
+        "--lottery-seed", type=int, default=0, dest="lottery_seed",
+        help="base seed for the lottery tickets (ticket i uses seed+i)",
+    )
+    p.add_argument(
+        "--strict", action="store_true",
+        help="abort a scenario on the first invariant violation instead "
+        "of collecting them",
+    )
+    p.add_argument(
+        "--no-shrink", action="store_true", dest="no_shrink",
+        help="skip shrinking failing scenarios to minimal repro JSONs",
+    )
+    p.add_argument(
+        "--report", help="write the full campaign report JSON here"
+    )
+    _add_out_dir_arg(p)
+    _add_export_args(p)
+    p.set_defaults(func=cmd_resilience)
 
     p = sub.add_parser(
         "reproduce", help="regenerate the paper's figures/tables"

@@ -39,3 +39,13 @@ class MechanismProtocolError(ReproError):
 
 class ConvergenceError(ReproError):
     """An iterative algorithm failed to converge within its budget."""
+
+
+class InvariantViolationError(ReproError):
+    """An online safety invariant was violated during a strict run.
+
+    Raised by :class:`repro.runtime.invariants.InvariantMonitor` when a
+    check fails under ``strict=True``; the violating
+    :class:`~repro.obs.events.InvariantEvent` has already been emitted
+    into the active sink when this propagates.
+    """

@@ -73,6 +73,7 @@ __all__ = [
     "PartitionEvent",
     "HealEvent",
     "ReconcileEvent",
+    "InvariantEvent",
     "parse_event",
     "logical_time",
     "EventSink",
@@ -453,6 +454,42 @@ class AdversaryEvent(Event):
     detail: str = ""
 
 
+@dataclass(frozen=True)
+class InvariantEvent(Event):
+    """An online safety-invariant monitor observed a violation.
+
+    Emitted by :class:`repro.runtime.invariants.InvariantMonitor` the
+    moment a check fails *during* a run (the offline audit re-derives
+    the same properties after the fact).  ``invariant`` names the
+    violated check:
+
+    * ``"capacity"`` — a commit exceeded the winner's residual capacity
+      (or broke the monitor's reconstructed residual chain);
+    * ``"double_allocation"`` — a (server, object) pair was committed
+      while already live, without an intervening declared revocation;
+    * ``"payment_bound"`` — a round's payment exceeded the winning bid
+      (second-price payments never do);
+    * ``"availability_floor"`` — the served fraction over the sliding
+      request window dropped below the configured floor;
+    * ``"undeclared_revocation"`` — a reconcile declared a revocation
+      for a pair that was never committed.
+
+    ``round`` is the mechanism round (``-1`` on the serving path) and
+    ``tick`` the serving request index (``-1`` on the mechanism path).
+    """
+
+    type: ClassVar[str] = "invariant"
+
+    invariant: str = ""
+    round: int = -1
+    tick: int = -1
+    agent: int = -1
+    obj: int = -1
+    value: float = 0.0
+    bound: float = 0.0
+    detail: str = ""
+
+
 def _pairs(value: Any) -> tuple[tuple[int, int], ...]:
     """Coerce a (server, obj)-pair sequence (or its JSON list-of-lists
     form) back into the canonical nested-tuple representation."""
@@ -746,6 +783,7 @@ EVENT_TYPES: dict[str, type[Event]] = {
         PartitionEvent,
         HealEvent,
         ReconcileEvent,
+        InvariantEvent,
     )
 }
 

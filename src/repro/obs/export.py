@@ -48,6 +48,7 @@ from repro.obs.events import (
     FaultEvent,
     HealEvent,
     HedgeEvent,
+    InvariantEvent,
     ManipulationEvent,
     NNUpdateEvent,
     PartitionEvent,
@@ -778,6 +779,17 @@ def events_to_chrome_trace(events: Sequence[Event]) -> dict[str, Any]:
                  "revoked": len(e.revoked),
                  "refunded_capacity": e.refunded_capacity,
                  "round": e.round},
+            )
+        elif isinstance(e, InvariantEvent):
+            tid = _CENTRAL_TID if e.agent < 0 else e.agent + 1
+            if e.agent >= 0:
+                agents_seen.add(e.agent)
+            instant(
+                e,
+                f"invariant:{e.invariant}",
+                tid,
+                {"round": e.round, "tick": e.tick, "obj": e.obj,
+                 "value": e.value, "bound": e.bound, "detail": e.detail},
             )
 
     # Track naming metadata: process + central + one track per agent.

@@ -169,11 +169,17 @@ class AdversaryPlan:
 
     ``agents`` maps agent id to its :class:`AdversarySpec`; agents not
     listed are honest.  ``seed`` drives the injector's per-round
-    activity draws and garbage-variant choices.
+    activity draws and garbage-variant choices.  ``window`` optionally
+    bounds the attack to the half-open round interval ``[start, end)``:
+    outside it every scripted agent bids honestly (and consumes no
+    injector randomness), so runtimes may treat the adversary as
+    dormant — re-enabling optimizations like regional quiescence — once
+    the window has passed.  ``None`` means the attack never ends.
     """
 
     agents: Mapping[int, AdversarySpec] = field(default_factory=dict)
     seed: int = 0
+    window: Optional[tuple[int, int]] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -184,6 +190,24 @@ class AdversaryPlan:
         for a in self.agents:
             if a < 0:
                 raise ConfigurationError(f"adversary agent id {a} is negative")
+        if self.window is not None:
+            start, end = self.window
+            if start < 0 or end < start:
+                raise ConfigurationError(
+                    f"adversary window must satisfy 0 <= start <= end, "
+                    f"got {self.window}"
+                )
+            object.__setattr__(self, "window", (int(start), int(end)))
+
+    def active_at(self, rnd: int) -> bool:
+        """Is the attack armed during protocol round ``rnd``?"""
+        if self.window is None:
+            return True
+        return self.window[0] <= rnd < self.window[1]
+
+    def over_by(self, rnd: int) -> bool:
+        """Has the attack window permanently ended at round ``rnd``?"""
+        return self.window is not None and rnd >= self.window[1]
 
     @classmethod
     def null(cls) -> "AdversaryPlan":
@@ -204,6 +228,7 @@ class AdversaryPlan:
         factor: float = 2.0,
         activity: float = 1.0,
         seed: int = 0,
+        window: Optional[tuple[int, int]] = None,
     ) -> "AdversaryPlan":
         """Sample a plan: ``round(fraction * n_agents)`` adversaries,
         behaviours drawn round-robin-uniformly from ``behaviors``.
@@ -243,25 +268,30 @@ class AdversaryPlan:
             agents[a] = AdversarySpec(
                 behavior="inflate", factor=factor, activity=activity
             )
-        return cls(agents=agents, seed=int(seed))
+        return cls(agents=agents, seed=int(seed), window=window)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe form (the artifact the adversary CLI writes)."""
-        return {
+        out: dict[str, Any] = {
             "agents": {
                 str(a): spec.to_dict() for a, spec in sorted(self.agents.items())
             },
             "seed": self.seed,
         }
+        if self.window is not None:
+            out["window"] = list(self.window)
+        return out
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any]) -> "AdversaryPlan":
+        window = d.get("window")
         return cls(
             agents={
                 int(a): AdversarySpec.from_dict(spec)
                 for a, spec in dict(d.get("agents", {})).items()
             },
             seed=int(d.get("seed", 0)),
+            window=None if window is None else (int(window[0]), int(window[1])),
         )
 
 
@@ -289,6 +319,18 @@ class AdversaryInjector:
         self._rng = as_generator(plan.seed)
         self.summary: dict[str, int] = {b: 0 for b in BEHAVIORS}
         self.summary["injected_bids"] = 0
+
+    def dormant(self, rnd: int, expelled: "set[int] | frozenset[int]" = frozenset()) -> bool:
+        """Can the run treat the adversary as permanently inert at
+        ``rnd``?  True once the plan's activity window has ended, or
+        once every scripted agent has been permanently expelled —
+        either way no future round can carry a corrupted bid, so
+        honest-path optimizations (regional quiescence) are safe again.
+        """
+        if self.plan.over_by(rnd):
+            return True
+        agents = self.plan.agents
+        return bool(agents) and set(agents) <= set(expelled)
 
     # -- helpers -----------------------------------------------------------
 
@@ -337,6 +379,12 @@ class AdversaryInjector:
         out: dict[int, list[tuple[int, float]]] = {
             a: [(b.obj, b.value)] for a, b in bids.items()
         }
+        if not self.plan.active_at(rnd):
+            # Outside the activity window every scripted agent bids
+            # honestly and no injector randomness is consumed, so the
+            # realization inside the window is independent of how much
+            # honest play surrounds it.
+            return out
         specs = {
             a: s for a, s in self.plan.agents.items()
             if a in bids

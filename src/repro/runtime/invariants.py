@@ -1,0 +1,294 @@
+"""Online safety-invariant monitors over the live event stream.
+
+The offline audits (:mod:`repro.obs.audit`) re-verify a run *after* it
+finishes; this module closes the loop *during* it.
+:class:`InvariantMonitor` is an :class:`~repro.obs.events.EventSink`
+wrapper: it forwards every event (and every columnar block, unexpanded)
+to the inner sink while streaming the expanded sequence through a set
+of incremental safety checks.  A failed check emits a typed
+:class:`~repro.obs.events.InvariantEvent` into the inner sink — so the
+violation is part of the very log being audited — and, under
+``strict=True``, raises
+:class:`~repro.errors.InvariantViolationError` on the spot.
+
+The invariant catalog (see docs/robustness.md, "Composed failure
+planes"):
+
+``capacity``
+    No commit exceeds the winner's residual capacity, and each server's
+    residual chain is consistent across its commits — declared
+    reconcile-time revocations credit capacity back.
+``double_allocation``
+    No (server, object) pair is committed while already live anywhere
+    in the system; a pair only frees up through a declared revocation.
+``payment_bound``
+    A round's payment never exceeds its winning bid (second price
+    <= first price, Axiom 5).
+``availability_floor``
+    The served fraction of admitted requests over a sliding window
+    never drops below the configured floor.
+``undeclared_revocation``
+    A :class:`~repro.obs.events.ReconcileEvent` only revokes pairs that
+    were actually committed.
+
+All checks are scoped per mechanism run: a
+:class:`~repro.obs.events.RunStart` resets the placement model, so the
+nested re-auction runs the serving loop spawns are verified
+independently, exactly like the offline audit does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import ConfigurationError, InvariantViolationError
+from repro.obs import events as ev
+
+__all__ = ["InvariantConfig", "InvariantMonitor"]
+
+#: Float slack for the payment <= bid comparison (both sides are exact
+#: in the reproduction, so anything beyond noise is a real violation).
+_PAYMENT_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class InvariantConfig:
+    """Knobs of the online monitor.
+
+    ``availability_floor`` is checked over the trailing
+    ``availability_window`` admitted requests; the window must fill
+    before the floor is enforced (a cold start is not an outage).
+    ``0.0`` disables the availability check entirely.
+    """
+
+    availability_floor: float = 0.0
+    availability_window: int = 200
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.availability_floor <= 1.0):
+            raise ConfigurationError(
+                f"availability_floor must be in [0, 1], got "
+                f"{self.availability_floor}"
+            )
+        if self.availability_window < 1:
+            raise ConfigurationError("availability_window must be >= 1")
+
+
+@dataclass
+class _RunModel:
+    """Per-run placement model the mechanism checks run against."""
+
+    #: Live (server, obj) -> committed size, for residual refunds.
+    live: dict[tuple[int, int], int] = field(default_factory=dict)
+    #: Reconstructed residual chain per server (from WinnerEvents).
+    residuals: dict[int, int] = field(default_factory=dict)
+    #: The open round's winner, keyed by region (-1 = flat).
+    pending: dict[int, ev.WinnerEvent] = field(default_factory=dict)
+
+
+class InvariantMonitor(ev.EventSink):
+    """Event-sink wrapper running the online safety checks.
+
+    Wraps an inner sink (usually a
+    :class:`~repro.obs.events.ColumnarSink`): every emission is
+    forwarded unchanged, then inspected.  Violations are emitted as
+    :class:`~repro.obs.events.InvariantEvent` records *after* the
+    triggering event, so the log stays a faithful transcript with the
+    verdicts inline.  The wrapper is transparent to exporters — it
+    proxies ``iter_events`` / ``events`` / ``__len__`` / ``nbytes`` to
+    the inner sink.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        inner: Optional[ev.EventSink] = None,
+        *,
+        config: Optional[InvariantConfig] = None,
+    ) -> None:
+        self.inner = inner if inner is not None else ev.ColumnarSink()
+        self.config = config or InvariantConfig()
+        self.violations: list[ev.InvariantEvent] = []
+        self._run = _RunModel()
+        # Sliding availability window: 1 = served, 0 = failed.
+        self._window: list[int] = []
+        self._window_served = 0
+        self._below_floor = False
+
+    # -- sink protocol -------------------------------------------------------
+
+    def emit(self, event: ev.Event) -> None:
+        self.inner.emit(event)
+        self._check(event)
+
+    def emit_block(self, block: ev.RoundBlock) -> None:
+        # Keep the columnar form for the inner sink; check the expanded
+        # stream (violations, if any, land after the whole block —
+        # acceptable skew for a bulk emission path).
+        self.inner.emit_block(block)
+        for event in ev.iter_block_events(block):
+            self._check(event)
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    @property
+    def nbytes(self) -> int:
+        return getattr(self.inner, "nbytes", 0)
+
+    def iter_events(self):
+        if hasattr(self.inner, "iter_events"):
+            return self.inner.iter_events()
+        return iter(self.inner.events)
+
+    @property
+    def events(self) -> list[ev.Event]:
+        return list(self.iter_events())
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary_dict(self) -> dict[str, Any]:
+        counts: dict[str, int] = {}
+        for v in self.violations:
+            counts[v.invariant] = counts.get(v.invariant, 0) + 1
+        return {
+            "ok": self.ok,
+            "violations": len(self.violations),
+            "by_invariant": dict(sorted(counts.items())),
+            "config": {
+                "availability_floor": self.config.availability_floor,
+                "availability_window": self.config.availability_window,
+                "strict": self.config.strict,
+            },
+        }
+
+    # -- violation plumbing --------------------------------------------------
+
+    def _flag(
+        self,
+        invariant: str,
+        detail: str,
+        *,
+        round: int = -1,
+        tick: int = -1,
+        agent: int = -1,
+        obj: int = -1,
+        value: float = 0.0,
+        bound: float = 0.0,
+    ) -> None:
+        violation = ev.InvariantEvent(
+            t=ev.now(), invariant=invariant, round=round, tick=tick,
+            agent=agent, obj=obj, value=value, bound=bound, detail=detail,
+        )
+        self.violations.append(violation)
+        self.inner.emit(violation)
+        if self.config.strict:
+            raise InvariantViolationError(f"{invariant}: {detail}")
+
+    # -- the checks ----------------------------------------------------------
+
+    def _check(self, e: ev.Event) -> None:
+        if isinstance(e, ev.RunStart):
+            self._run = _RunModel()
+        elif isinstance(e, ev.WinnerEvent):
+            self._on_winner(e)
+        elif isinstance(e, ev.PaymentEvent):
+            self._on_payment(e)
+        elif isinstance(e, ev.ReconcileEvent):
+            self._on_reconcile(e)
+        elif isinstance(e, ev.RequestEvent):
+            self._on_request(e)
+
+    def _on_winner(self, e: ev.WinnerEvent) -> None:
+        run = self._run
+        if e.obj_size > e.residual_before:
+            self._flag(
+                "capacity",
+                f"object {e.obj} (size {e.obj_size}) exceeds agent "
+                f"{e.agent}'s residual {e.residual_before}",
+                round=e.round, agent=e.agent, obj=e.obj,
+                value=float(e.obj_size), bound=float(e.residual_before),
+            )
+        tracked = run.residuals.get(e.agent)
+        if tracked is not None and e.residual_before != tracked:
+            self._flag(
+                "capacity",
+                f"agent {e.agent} declares residual {e.residual_before} "
+                f"but the commit chain implies {tracked}",
+                round=e.round, agent=e.agent, obj=e.obj,
+                value=float(e.residual_before), bound=float(tracked),
+            )
+        run.residuals[e.agent] = e.residual_before - e.obj_size
+        pair = (e.agent, e.obj)
+        if pair in run.live:
+            self._flag(
+                "double_allocation",
+                f"(server {e.agent}, object {e.obj}) committed while "
+                f"already live and never revoked",
+                round=e.round, agent=e.agent, obj=e.obj,
+            )
+        else:
+            run.live[pair] = e.obj_size
+        run.pending[e.region] = e
+
+    def _on_payment(self, e: ev.PaymentEvent) -> None:
+        winner = self._run.pending.get(e.region)
+        if winner is None or winner.agent != e.agent:
+            return  # a payment outside a tracked round is the audit's job
+        if e.amount > winner.value + _PAYMENT_TOL or not math.isfinite(
+            e.amount
+        ):
+            self._flag(
+                "payment_bound",
+                f"payment {e.amount} exceeds agent {e.agent}'s winning "
+                f"bid {winner.value}",
+                round=e.round, agent=e.agent, obj=winner.obj,
+                value=float(e.amount), bound=float(winner.value),
+            )
+        del self._run.pending[e.region]
+
+    def _on_reconcile(self, e: ev.ReconcileEvent) -> None:
+        run = self._run
+        for server, obj in e.revoked:
+            size = run.live.pop((server, obj), None)
+            if size is None:
+                self._flag(
+                    "undeclared_revocation",
+                    f"reconcile revokes (server {server}, object {obj}) "
+                    f"which was never committed",
+                    round=e.round, agent=server, obj=obj,
+                )
+                continue
+            if server in run.residuals:
+                run.residuals[server] += size
+
+    def _on_request(self, e: ev.RequestEvent) -> None:
+        cfg = self.config
+        if cfg.availability_floor <= 0.0:
+            return
+        ok = 1 if e.outcome == "ok" else 0
+        self._window.append(ok)
+        self._window_served += ok
+        if len(self._window) > cfg.availability_window:
+            self._window_served -= self._window.pop(0)
+        if len(self._window) < cfg.availability_window:
+            return
+        frac = self._window_served / len(self._window)
+        if frac < cfg.availability_floor:
+            if not self._below_floor:
+                self._below_floor = True
+                self._flag(
+                    "availability_floor",
+                    f"windowed availability {frac:.4f} fell below the "
+                    f"floor {cfg.availability_floor:.4f}",
+                    tick=e.tick, value=float(frac),
+                    bound=float(cfg.availability_floor),
+                )
+        else:
+            self._below_floor = False

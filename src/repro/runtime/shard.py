@@ -94,7 +94,12 @@ from repro.drp.state import ReplicationState
 from repro.errors import ConfigurationError
 from repro.obs import events as ev
 from repro.result import PlacementResult
-from repro.runtime.adversary import AdversaryInjector, AdversaryPlan, TrustBoundary
+from repro.runtime.adversary import (
+    AdversaryInjector,
+    AdversaryPlan,
+    QuarantinePolicy,
+    TrustBoundary,
+)
 from repro.runtime.central import CentralBody, Decision
 from repro.runtime.faults import CheckpointStore, FaultPlan, FaultSchedule
 from repro.runtime.messages import (
@@ -450,6 +455,10 @@ class ShardedAGTRam:
         :class:`~repro.runtime.adversary.TrustBoundary` (the defence
         policy is replicated across shards, so strikes survive
         partitions).
+    quarantine:
+        Optional :class:`~repro.runtime.adversary.QuarantinePolicy` for
+        that shared boundary; ``None`` uses the defaults.  Only
+        consulted when an adversary plan is supplied.
     """
 
     n_regions: int = 4
@@ -457,6 +466,7 @@ class ShardedAGTRam:
     plan: Optional[PartitionSchedule] = None
     faults: Optional[FaultPlan] = None
     adversary: Optional[AdversaryPlan] = None
+    quarantine: Optional[QuarantinePolicy] = None
     engine: str = "auto"
     seed: SeedLike = None
     max_rounds: Optional[int] = None
@@ -517,7 +527,11 @@ class ShardedAGTRam:
             if self.adversary is not None and not self.adversary.is_null
             else None
         )
-        boundary = TrustBoundary(instance) if injector is not None else None
+        boundary = (
+            TrustBoundary(instance, self.quarantine)
+            if injector is not None
+            else None
+        )
         central = CentralBody("second_price")
 
         log = MessageLog(keep_messages=self.keep_messages)
@@ -877,12 +891,18 @@ class ShardedAGTRam:
         live = [a for a in region_rows if not schedule.agent_down(a, pround)]
         if boundary is not None:
             live = boundary.filter_bidders(live, pround)
-        if injector is None:
+        if injector is None or injector.dormant(
+            pround,
+            boundary.quarantine.expelled if boundary is not None else
+            frozenset(),
+        ):
             # Regional quiescence: with only honest bidders, a round
             # whose best benefit is non-positive is a foregone
-            # DO_NOT_REPLICATE — nobody bids, no wire is used.  (With
-            # an adversary the round must be held: corrupted bids do
-            # not respect honest valuations.)
+            # DO_NOT_REPLICATE — nobody bids, no wire is used.  (While
+            # an adversary is *armed* the round must be held: corrupted
+            # bids do not respect honest valuations.  Once its window
+            # has ended — or every attacker is permanently expelled —
+            # only honest traffic remains and quiescence is safe again.)
             best = max(
                 (float(vals[a]) for a in live if np.isfinite(vals[a])),
                 default=float("-inf"),

@@ -406,3 +406,106 @@ class TestShard:
         out = capsys.readouterr()
         assert rc == 1
         assert "verdict: FAIL" in out.out
+
+class TestResilience:
+    def test_smoke_scenario_passes_and_writes_report(self, tmp_path, capsys):
+        import json
+
+        rc = main(
+            ["resilience", "--scenario", "smoke",
+             "--out-dir", str(tmp_path), "--report", "r.json"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "resilience campaign" in out and "verdict: PASS" in out
+        doc = json.loads((tmp_path / "r.json").read_text())
+        assert doc["kind"] == "repro-resilience"
+        assert doc["ok"] and not doc["failures"]
+        (run,) = doc["runs"]
+        assert run["scenario"]["name"] == "smoke"
+        assert run["invariants"]["violations"] == 0
+        assert run["audits"]["sharded_ok"]
+
+    def test_lottery_is_deterministic(self, tmp_path, capsys):
+        docs = []
+        for name in ("a.json", "b.json"):
+            rc = main(
+                ["resilience", "--scenario", "smoke",
+                 "--lottery", "1", "--lottery-seed", "4",
+                 "--no-shrink", "--out-dir", str(tmp_path),
+                 "--report", name]
+            )
+            capsys.readouterr()
+            docs.append((tmp_path / name).read_bytes())
+        assert docs[0] == docs[1]
+
+    def test_failing_scenario_shrinks_to_a_repro_file(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import dataclasses
+        import json
+
+        from repro.runtime import scenario as sc_mod
+
+        broken = dataclasses.replace(
+            sc_mod.CATALOG["smoke"], name="broken", min_availability=1.01
+        )
+        monkeypatch.setattr(sc_mod, "CATALOG", {"broken": broken})
+        rc = main(
+            ["resilience", "--scenario", "broken",
+             "--out-dir", str(tmp_path), "--report", "r.json"]
+        )
+        out = capsys.readouterr()
+        assert rc == 1
+        assert "verdict: FAIL" in out.out
+        assert "shrunk broken" in out.out
+        repro_file = tmp_path / "broken_scenario.json"
+        mini = sc_mod.Scenario.from_dict(
+            json.loads(repro_file.read_text())
+        )
+        assert mini.name == "broken-shrunk"
+        doc = json.loads((tmp_path / "r.json").read_text())
+        assert doc["runs"][0]["shrunk_scenario"]["name"] == "broken-shrunk"
+
+    def test_unknown_scenario_rejected(self, capsys):
+        rc = main(["resilience", "--scenario", "nope"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "unknown scenario" in err
+
+    def test_event_export_passes_sharded_audit(self, tmp_path, capsys):
+        rc = main(
+            ["resilience", "--scenario", "smoke",
+             "--out-dir", str(tmp_path), "--events", "ev.jsonl"]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        # The exported composed log replays through the audit CLI.
+        assert main(
+            ["audit", "--sharded", str(tmp_path / "ev.jsonl")]
+        ) == 0
+        capsys.readouterr()
+
+
+class TestOutDirRouting:
+    def test_relative_artifacts_land_in_out_dir(self, tmp_path, capsys):
+        out = tmp_path / "nested" / "artifacts"
+        rc = main(
+            ["chaos", *FAST, "--out-dir", str(out),
+             "--report", "report.json", "--events", "events.jsonl"]
+        )
+        capsys.readouterr()
+        assert rc == 0
+        assert (out / "report.json").exists()
+        assert (out / "events.jsonl").exists()
+
+    def test_absolute_paths_are_untouched(self, tmp_path, capsys):
+        report = tmp_path / "abs_report.json"
+        rc = main(
+            ["chaos", *FAST, "--out-dir", str(tmp_path / "ignored"),
+             "--report", str(report)]
+        )
+        capsys.readouterr()
+        assert rc == 0
+        assert report.exists()
+        assert not (tmp_path / "ignored" / "abs_report.json").exists()

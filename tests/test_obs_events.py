@@ -93,7 +93,7 @@ class TestEventRecords:
             ev.parse_event({"t": 0.0})
 
     def test_every_type_tag_is_registered_and_unique(self):
-        assert len(ev.EVENT_TYPES) == 29
+        assert len(ev.EVENT_TYPES) == 30
         for tag, cls in ev.EVENT_TYPES.items():
             assert cls.type == tag
         # The five fault-layer events are part of the vocabulary.

@@ -1,0 +1,204 @@
+"""Tests for the online safety-invariant monitors."""
+
+import pytest
+
+from repro.errors import ConfigurationError, InvariantViolationError
+from repro.obs import events as ev
+from repro.runtime.invariants import InvariantConfig, InvariantMonitor
+from repro.runtime.simulator import SemiDistributedSimulator
+
+
+def winner(round=0, agent=0, obj=0, value=10.0, size=2, residual=5, region=-1):
+    return ev.WinnerEvent(
+        t=0.0, round=round, agent=agent, obj=obj, value=value,
+        obj_size=size, residual_before=residual, region=region,
+    )
+
+
+def payment(round=0, agent=0, amount=5.0, region=-1):
+    return ev.PaymentEvent(
+        t=0.0, round=round, agent=agent, amount=amount, region=region,
+    )
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = InvariantConfig()
+        assert cfg.availability_floor == 0.0
+        assert not cfg.strict
+
+    def test_floor_bounds(self):
+        with pytest.raises(ConfigurationError):
+            InvariantConfig(availability_floor=1.5)
+        with pytest.raises(ConfigurationError):
+            InvariantConfig(availability_floor=-0.1)
+
+    def test_window_bounds(self):
+        with pytest.raises(ConfigurationError):
+            InvariantConfig(availability_window=0)
+
+
+class TestMechanismInvariants:
+    def test_clean_sequence_passes(self):
+        mon = InvariantMonitor()
+        mon.emit(ev.RunStart(t=0.0, algorithm="x"))
+        mon.emit(winner(round=0, agent=1, obj=0, size=2, residual=5))
+        mon.emit(payment(round=0, agent=1, amount=4.0))
+        mon.emit(winner(round=1, agent=1, obj=1, size=2, residual=3))
+        mon.emit(payment(round=1, agent=1, amount=4.0))
+        assert mon.ok
+        assert mon.summary_dict()["violations"] == 0
+
+    def test_capacity_exceeded(self):
+        mon = InvariantMonitor()
+        mon.emit(winner(size=9, residual=5))
+        assert not mon.ok
+        assert mon.violations[0].invariant == "capacity"
+
+    def test_residual_chain_mismatch(self):
+        mon = InvariantMonitor()
+        mon.emit(winner(round=0, agent=2, obj=0, size=2, residual=5))
+        # Chain implies residual 3; the agent claims 5 again.
+        mon.emit(winner(round=1, agent=2, obj=1, size=1, residual=5))
+        assert [v.invariant for v in mon.violations] == ["capacity"]
+
+    def test_double_allocation(self):
+        mon = InvariantMonitor()
+        mon.emit(winner(round=0, agent=1, obj=3, size=1, residual=5))
+        mon.emit(winner(round=1, agent=1, obj=3, size=1, residual=4))
+        assert [v.invariant for v in mon.violations] == ["double_allocation"]
+
+    def test_revocation_frees_the_pair(self):
+        mon = InvariantMonitor()
+        mon.emit(winner(round=0, agent=1, obj=3, size=1, residual=5))
+        mon.emit(
+            ev.ReconcileEvent(t=0.0, round=1, revoked=((1, 3),))
+        )
+        mon.emit(winner(round=2, agent=1, obj=3, size=1, residual=5))
+        assert mon.ok
+
+    def test_payment_exceeds_bid(self):
+        mon = InvariantMonitor()
+        mon.emit(winner(round=0, agent=1, value=10.0))
+        mon.emit(payment(round=0, agent=1, amount=10.5))
+        assert [v.invariant for v in mon.violations] == ["payment_bound"]
+
+    def test_second_price_at_most_bid_passes(self):
+        mon = InvariantMonitor()
+        mon.emit(winner(round=0, agent=1, value=10.0))
+        mon.emit(payment(round=0, agent=1, amount=10.0))
+        assert mon.ok
+
+    def test_undeclared_revocation(self):
+        mon = InvariantMonitor()
+        mon.emit(
+            ev.ReconcileEvent(t=0.0, round=1, revoked=((4, 9),))
+        )
+        assert [v.invariant for v in mon.violations] == [
+            "undeclared_revocation"
+        ]
+
+    def test_run_start_resets_the_model(self):
+        mon = InvariantMonitor()
+        mon.emit(winner(round=0, agent=1, obj=3, size=1, residual=5))
+        mon.emit(ev.RunStart(t=0.0, algorithm="nested"))
+        # Same pair again is fine in a fresh run.
+        mon.emit(winner(round=0, agent=1, obj=3, size=1, residual=5))
+        assert mon.ok
+
+    def test_regions_tracked_independently(self):
+        mon = InvariantMonitor()
+        mon.emit(winner(round=0, agent=1, value=10.0, region=0))
+        mon.emit(winner(round=0, agent=2, obj=1, value=8.0, region=1))
+        mon.emit(payment(round=0, agent=1, amount=9.0, region=0))
+        mon.emit(payment(round=0, agent=2, amount=7.0, region=1))
+        assert mon.ok
+
+
+class TestAvailabilityFloor:
+    def test_floor_breach_flagged_once_per_episode(self):
+        mon = InvariantMonitor(
+            config=InvariantConfig(
+                availability_floor=0.8, availability_window=10
+            )
+        )
+        for i in range(10):
+            outcome = "ok" if i < 5 else "failed"
+            mon.emit(
+                ev.RequestEvent(t=0.0, tick=i, outcome=outcome)
+            )
+        assert [v.invariant for v in mon.violations] == [
+            "availability_floor"
+        ]
+        # Staying below the floor does not re-flag.
+        mon.emit(ev.RequestEvent(t=0.0, tick=10, outcome="failed"))
+        assert len(mon.violations) == 1
+
+    def test_cold_start_not_an_outage(self):
+        mon = InvariantMonitor(
+            config=InvariantConfig(
+                availability_floor=0.9, availability_window=100
+            )
+        )
+        for i in range(50):
+            mon.emit(ev.RequestEvent(t=0.0, tick=i, outcome="failed"))
+        assert mon.ok  # window not yet full
+
+    def test_disabled_by_default(self):
+        mon = InvariantMonitor()
+        for i in range(500):
+            mon.emit(ev.RequestEvent(t=0.0, tick=i, outcome="failed"))
+        assert mon.ok
+
+
+class TestSinkBehavior:
+    def test_violation_lands_in_inner_sink(self):
+        inner = ev.ColumnarSink()
+        mon = InvariantMonitor(inner)
+        mon.emit(winner(size=9, residual=5))
+        kinds = [e.type for e in inner.events]
+        assert kinds == ["winner", "invariant"]
+
+    def test_strict_raises_after_emitting(self):
+        inner = ev.ColumnarSink()
+        mon = InvariantMonitor(inner, config=InvariantConfig(strict=True))
+        with pytest.raises(InvariantViolationError):
+            mon.emit(winner(size=9, residual=5))
+        assert any(e.type == "invariant" for e in inner.events)
+
+    def test_emit_block_checks_expanded_stream(self):
+        # One committed round whose winner takes size 9 on residual 5.
+        import numpy as np
+
+        block = ev.RoundBlock(
+            base_round=0, rounds=1, n_agents=2,
+            payment_rule="second_price", t0=0.0, t_step=1.0,
+            bid_vals=np.array([[10.0, 4.0]]), bid_objs=np.array([[0, 0]]),
+            winners=np.array([0]), objs=np.array([0]),
+            residuals=np.array([5]), payments=np.array([4.0]),
+            otcs=np.array([100.0]), obj_sizes=np.array([9]),
+            n_bids=np.array([2]),
+        )
+        inner = ev.ColumnarSink()
+        mon = InvariantMonitor(inner)
+        mon.emit_block(block)
+        assert not mon.ok
+        assert mon.violations[0].invariant == "capacity"
+        # The raw block is preserved for the inner sink; the violation
+        # record lands after it.
+        assert len(inner) == block.n_events + 1
+
+    def test_proxies_inner_sink(self):
+        mon = InvariantMonitor()
+        mon.emit(winner())
+        assert len(mon) == 1
+        assert mon.nbytes >= 0
+        assert [e.type for e in mon.events] == ["winner"]
+        assert [e.type for e in mon.iter_events()] == ["winner"]
+
+    def test_capture_integration_clean_run(self, tiny_instance):
+        mon = InvariantMonitor()
+        with ev.logical_time(), ev.capture(mon):
+            SemiDistributedSimulator().run(tiny_instance)
+        assert mon.ok
+        assert len(mon) > 0
